@@ -1,0 +1,113 @@
+"""Figures 11-12 — the {3,2}-lollipop query with different cache structures.
+
+The paper compares three strongly-compatible decompositions of the same
+lollipop query (Figure 12): CS1 with a single 1-dimension cache, CS2 with
+two 1-dimension caches, and CS3 with one 1-dimension and one 2-dimension
+cache.  Figure 11's finding: CS2 > CS1 >> CS3, i.e. the *adhesion sizes*
+(cache dimensions), not the treewidth, decide the benefit — all three
+decompositions have width 2.
+"""
+
+import pytest
+
+from repro.core.clftj import CachedLeapfrogTrieJoin
+from repro.core.lftj import LeapfrogTrieJoin
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.query.patterns import lollipop_query
+
+from benchmarks.conftest import report_row
+
+QUERY = lollipop_query(3, 2)
+
+#: The three cache structures of Figure 12 (variables x1..x3 = triangle,
+#: x3-x4-x5 = tail).
+CACHE_STRUCTURES = {
+    # one cache, dimension 1 (adhesion {x3})
+    "CS1": TreeDecomposition.path([["x1", "x2", "x3"], ["x3", "x4", "x5"]]),
+    # two caches, dimension 1 each (adhesions {x3} and {x4})
+    "CS2": TreeDecomposition.path([["x1", "x2", "x3"], ["x3", "x4"], ["x4", "x5"]]),
+    # one 1-dimension and one 2-dimension cache (adhesions {x2,x3} and {x4})
+    "CS3": TreeDecomposition.path([["x1", "x2", "x3"], ["x2", "x3", "x4"], ["x4", "x5"]]),
+}
+
+DATASETS = ("wiki-Vote", "ca-GrQc")
+
+_reference = {}
+
+
+def _run_structure(database, decomposition):
+    joiner = CachedLeapfrogTrieJoin(QUERY, database, decomposition)
+    return joiner.count(), joiner
+
+
+def _run_lftj(database):
+    joiner = LeapfrogTrieJoin(QUERY, database)
+    return joiner.count(), joiner
+
+
+@pytest.mark.parametrize("structure", sorted(CACHE_STRUCTURES))
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig11_cache_structures(benchmark, snap_dbs, dataset, structure):
+    database = snap_dbs[dataset]
+    decomposition = CACHE_STRUCTURES[structure]
+    decomposition.validate(QUERY)
+
+    count, joiner = benchmark.pedantic(
+        _run_structure, args=(database, decomposition), rounds=1, iterations=1
+    )
+    if dataset in _reference:
+        assert count == _reference[dataset]
+    else:
+        _reference[dataset] = count
+
+    benchmark.extra_info["count"] = count
+    benchmark.extra_info["max_adhesion"] = decomposition.max_adhesion_size
+    benchmark.extra_info["cache_hits"] = joiner.counter.cache_hits
+    report_row(
+        "Figure 11",
+        dataset=dataset,
+        structure=structure,
+        num_caches=decomposition.num_nodes - 1,
+        max_adhesion=decomposition.max_adhesion_size,
+        count=count,
+        cache_hits=joiner.counter.cache_hits,
+        memory_accesses=joiner.counter.memory_accesses,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig11_lftj_baseline(benchmark, snap_dbs, dataset):
+    database = snap_dbs[dataset]
+    count, joiner = benchmark.pedantic(_run_lftj, args=(database,), rounds=1, iterations=1)
+    if dataset in _reference:
+        assert count == _reference[dataset]
+    else:
+        _reference[dataset] = count
+    benchmark.extra_info["count"] = count
+    report_row(
+        "Figure 11",
+        dataset=dataset,
+        structure="LFTJ (no cache)",
+        count=count,
+        memory_accesses=joiner.counter.memory_accesses,
+    )
+
+
+def test_fig11_small_adhesions_beat_small_treewidth(benchmark, snap_dbs):
+    """The figure's message: CS2 (two 1-dim caches) needs the least trie traffic."""
+    database = snap_dbs["wiki-Vote"]
+
+    def run_all():
+        return {
+            name: _run_structure(database, decomposition)
+            for name, decomposition in CACHE_STRUCTURES.items()
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    counts = {name: count for name, (count, _) in results.items()}
+    assert len(set(counts.values())) == 1
+    accesses = {
+        name: joiner.counter.memory_accesses for name, (_, joiner) in results.items()
+    }
+    assert accesses["CS2"] <= accesses["CS1"] <= accesses["CS3"]
+    report_row("Figure 11", dataset="wiki-Vote", metric="memory accesses", **accesses)

@@ -1,0 +1,147 @@
+"""Figures 13-14 — isomorphic decompositions, different attribute skew (IMDB).
+
+The paper builds two isomorphic tree decompositions of the IMDB 4-cycle and
+6-cycle queries: TD1 caches on the highly-skewed person_id attributes, TD2 on
+the mildly-skewed movie_id attributes.  Figure 13's findings, reproduced
+here:
+
+* TD1 (person-keyed caches) is substantially faster than TD2;
+* simply imposing the decompositions' variable orders on vanilla LFTJ
+  already helps, but far less than caching does.
+"""
+
+import pytest
+
+from repro.core.clftj import CachedLeapfrogTrieJoin
+from repro.core.lftj import LeapfrogTrieJoin
+from repro.decomposition.ordering import strongly_compatible_order
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.query.patterns import bipartite_cycle_query
+
+from benchmarks.conftest import report_row
+
+
+def _decompositions(length):
+    """TD1 (cache on persons) and TD2 (cache on movies) for the IMDB cycles."""
+    half = length // 2
+    people = [f"p{i}" for i in range(1, half + 1)]
+    movies = [f"m{i}" for i in range(1, half + 1)]
+    if length == 4:
+        td_person = TreeDecomposition.path(
+            [[people[0], movies[0], people[1]], [people[0], movies[1], people[1]]]
+        )
+        td_movie = TreeDecomposition.path(
+            [[movies[0], people[0], movies[1]], [movies[0], people[1], movies[1]]]
+        )
+    elif length == 6:
+        td_person = TreeDecomposition.path(
+            [
+                [people[0], movies[0], people[1]],
+                [people[0], people[1], movies[1], people[2]],
+                [people[0], people[2], movies[2]],
+            ]
+        )
+        td_movie = TreeDecomposition.path(
+            [
+                [movies[0], people[1], movies[1]],
+                [movies[0], movies[1], people[2], movies[2]],
+                [movies[0], movies[2], people[0]],
+            ]
+        )
+    else:
+        raise ValueError("only 4- and 6-cycles are used in Figure 13")
+    return {"TD1-person": td_person, "TD2-movie": td_movie}
+
+
+def _run_clftj(query, database, decomposition):
+    joiner = CachedLeapfrogTrieJoin(query, database, decomposition)
+    return joiner.count(), joiner
+
+
+def _run_lftj_with_order(query, database, order):
+    joiner = LeapfrogTrieJoin(query, database, order)
+    return joiner.count(), joiner
+
+
+_reference = {}
+
+
+@pytest.mark.parametrize("td_name", ("TD1-person", "TD2-movie"))
+@pytest.mark.parametrize("length", (4, 6))
+def test_fig13_clftj_on_both_decompositions(benchmark, imdb_db, length, td_name):
+    query = bipartite_cycle_query(length)
+    decomposition = _decompositions(length)[td_name]
+    decomposition.validate(query)
+
+    count, joiner = benchmark.pedantic(
+        _run_clftj, args=(query, imdb_db, decomposition), rounds=1, iterations=1
+    )
+    if length in _reference:
+        assert count == _reference[length]
+    else:
+        _reference[length] = count
+
+    benchmark.extra_info["count"] = count
+    benchmark.extra_info["cache_hits"] = joiner.counter.cache_hits
+    benchmark.extra_info["hit_rate"] = round(joiner.counter.cache_hit_rate, 4)
+    report_row(
+        "Figure 13",
+        dataset="IMDB",
+        query=query.name,
+        plan=f"CLFTJ {td_name}",
+        count=count,
+        cache_hits=joiner.counter.cache_hits,
+        hit_rate=round(joiner.counter.cache_hit_rate, 3),
+        memory_accesses=joiner.counter.memory_accesses,
+    )
+
+
+@pytest.mark.parametrize("td_name", ("TD1-person", "TD2-movie"))
+@pytest.mark.parametrize("length", (4,))
+def test_fig13_lftj_with_imposed_orders(benchmark, imdb_db, length, td_name):
+    """LFTJ run with the decompositions' strongly compatible orders (no cache)."""
+    query = bipartite_cycle_query(length)
+    decomposition = _decompositions(length)[td_name]
+    order = strongly_compatible_order(decomposition)
+
+    count, joiner = benchmark.pedantic(
+        _run_lftj_with_order, args=(query, imdb_db, order), rounds=1, iterations=1
+    )
+    if length in _reference:
+        assert count == _reference[length]
+    else:
+        _reference[length] = count
+    benchmark.extra_info["count"] = count
+    report_row(
+        "Figure 13",
+        dataset="IMDB",
+        query=query.name,
+        plan=f"LFTJ order of {td_name}",
+        count=count,
+        memory_accesses=joiner.counter.memory_accesses,
+    )
+
+
+def test_fig13_person_caching_beats_movie_caching(benchmark, imdb_db):
+    """The skew effect: caching on person_id reuses far more work (4-cycle)."""
+    query = bipartite_cycle_query(4)
+    decompositions = _decompositions(4)
+
+    def run_both():
+        return {
+            name: _run_clftj(query, imdb_db, decomposition)
+            for name, decomposition in decompositions.items()
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    person_count, person_joiner = results["TD1-person"]
+    movie_count, movie_joiner = results["TD2-movie"]
+    assert person_count == movie_count
+    assert person_joiner.counter.memory_accesses < movie_joiner.counter.memory_accesses
+    report_row(
+        "Figure 13",
+        dataset="IMDB",
+        metric="memory accesses",
+        td1_person=person_joiner.counter.memory_accesses,
+        td2_movie=movie_joiner.counter.memory_accesses,
+    )

@@ -1,0 +1,57 @@
+"""Figure 5 — count-query runtimes across datasets and algorithms.
+
+The paper's Figure 5 reports the runtime of the 5-path, 5-cycle and 5-rand
+count queries on the SNAP datasets for LFTJ, CLFTJ and YTD.  The reproduced
+shape: CLFTJ is consistently (much) faster than LFTJ on the skewed datasets
+(wiki-Vote, ca-GrQc, ego-Facebook) and roughly comparable to the
+alternatives on the small balanced p2p-Gnutella04 graph.
+"""
+
+import pytest
+
+from repro.query.patterns import cycle_query, path_query, random_pattern_query
+
+from benchmarks.conftest import attach_result, report_row, run_count
+
+DATASETS = ("wiki-Vote", "p2p-Gnutella04", "ca-GrQc", "ego-Facebook")
+ALGORITHMS = ("lftj", "clftj", "ytd")
+
+QUERIES = {
+    "5-path": path_query(5),
+    "5-cycle": cycle_query(5),
+    "5-rand(0.4)": random_pattern_query(5, 0.4, seed=14),
+}
+
+#: Reference counts per (dataset, query), filled lazily so every algorithm's
+#: answer is cross-checked within the benchmark run.
+_reference = {}
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig5_count(benchmark, engines, dataset, query_name, algorithm):
+    engine = engines[dataset]
+    query = QUERIES[query_name]
+    result = benchmark.pedantic(
+        run_count, args=(engine, query, algorithm), rounds=1, iterations=1
+    )
+    attach_result(benchmark, result, dataset=dataset)
+
+    key = (dataset, query_name)
+    if key in _reference:
+        assert result.count == _reference[key], (
+            f"{algorithm} disagrees on {query_name} over {dataset}"
+        )
+    else:
+        _reference[key] = result.count
+
+    report_row(
+        "Figure 5",
+        dataset=dataset,
+        query=query_name,
+        algorithm=algorithm,
+        count=result.count,
+        seconds=round(result.elapsed_seconds, 4),
+        memory_accesses=result.memory_accesses,
+    )

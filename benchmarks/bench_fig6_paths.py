@@ -1,0 +1,60 @@
+"""Figure 6 — {3-7}-path count queries: scaling with query size.
+
+The paper's Figure 6 shows, for wiki-Vote and ego-Facebook, that the benefit
+of CLFTJ (and YTD) over LFTJ grows exponentially with the path length, and
+that CLFTJ stays roughly an order of magnitude ahead of YTD.  The pairwise
+hash-join engine plays the role of the DBMS baselines (Section 5.3.5).
+
+LFTJ and the pairwise engine enumerate/materialise every result, so — like
+the paper's timed-out bars — they are only run up to the length where that
+stays tractable in pure Python.
+"""
+
+import pytest
+
+from repro.query.patterns import path_query
+
+from benchmarks.conftest import attach_result, report_row, run_count
+
+DATASETS = ("wiki-Vote", "ego-Facebook")
+LENGTHS = (3, 4, 5, 6, 7)
+
+#: Maximum path length per algorithm (None = unlimited).  LFTJ / pairwise
+#: enumerate every tuple, which corresponds to the paper's timeout bars.
+MAX_LENGTH = {"lftj": 5, "pairwise": 4, "clftj": None, "ytd": None}
+
+_reference = {}
+
+
+def _cells():
+    for dataset in DATASETS:
+        for length in LENGTHS:
+            for algorithm, bound in MAX_LENGTH.items():
+                if bound is None or length <= bound:
+                    yield dataset, length, algorithm
+
+
+@pytest.mark.parametrize("dataset,length,algorithm", list(_cells()))
+def test_fig6_path_scaling(benchmark, engines, dataset, length, algorithm):
+    engine = engines[dataset]
+    query = path_query(length)
+    result = benchmark.pedantic(
+        run_count, args=(engine, query, algorithm), rounds=1, iterations=1
+    )
+    attach_result(benchmark, result, dataset=dataset)
+
+    key = (dataset, length)
+    if key in _reference:
+        assert result.count == _reference[key]
+    else:
+        _reference[key] = result.count
+
+    report_row(
+        "Figure 6",
+        dataset=dataset,
+        query=query.name,
+        algorithm=algorithm,
+        count=result.count,
+        seconds=round(result.elapsed_seconds, 4),
+        memory_accesses=result.memory_accesses,
+    )

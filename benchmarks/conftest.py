@@ -1,0 +1,81 @@
+"""Shared fixtures for the figure-by-figure benchmarks.
+
+Every benchmark module reproduces one table/figure of the paper's evaluation
+(Section 5).  The synthetic datasets are scaled down so that the whole
+benchmark suite runs in minutes of pure Python; set the environment variable
+``REPRO_BENCH_SCALE`` (default ``0.3``) to change the scale.  Pass ``-s`` to
+pytest to see the per-figure result tables printed by each benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.bench.workloads import imdb_database, snap_databases
+from repro.engine.engine import QueryEngine
+from repro.engine.results import ExecutionResult
+from repro.query.atoms import ConjunctiveQuery
+from repro.storage.database import Database
+
+
+def bench_scale(default: float = 0.3) -> float:
+    """The dataset scale used by the benchmarks (REPRO_BENCH_SCALE overrides)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def snap_dbs(scale) -> Dict[str, Database]:
+    """The four SNAP stand-ins of Figure 5 at benchmark scale."""
+    return snap_databases(
+        ("wiki-Vote", "p2p-Gnutella04", "ca-GrQc", "ego-Facebook"), scale=scale
+    )
+
+
+@pytest.fixture(scope="session")
+def imdb_db(scale) -> Database:
+    """The IMDB cast stand-in of Figures 10/13/14 at benchmark scale."""
+    return imdb_database(scale=max(scale * 1.5, 0.4))
+
+
+@pytest.fixture(scope="session")
+def engines(snap_dbs) -> Dict[str, QueryEngine]:
+    """One query engine per SNAP stand-in (plans and tries are reused)."""
+    return {name: QueryEngine(database) for name, database in snap_dbs.items()}
+
+
+def run_count(
+    engine: QueryEngine, query: ConjunctiveQuery, algorithm: str, **options
+) -> ExecutionResult:
+    """Execute one count cell (used inside ``benchmark.pedantic`` callables)."""
+    return engine.count(query, algorithm=algorithm, **options)
+
+
+def run_evaluate(
+    engine: QueryEngine, query: ConjunctiveQuery, algorithm: str, **options
+) -> ExecutionResult:
+    """Execute one evaluation cell."""
+    return engine.evaluate(query, algorithm=algorithm, **options)
+
+
+def attach_result(benchmark, result: ExecutionResult, **extra) -> None:
+    """Record the paper-relevant figures on the benchmark's extra_info."""
+    benchmark.extra_info["count"] = result.count
+    benchmark.extra_info["memory_accesses"] = result.memory_accesses
+    benchmark.extra_info["cache_hits"] = result.counter.cache_hits
+    benchmark.extra_info["cache_hit_rate"] = round(result.cache_hit_rate, 4)
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+
+
+def report_row(figure: str, **fields) -> None:
+    """Print one row of a figure's table (visible with ``pytest -s``)."""
+    rendered = "  ".join(f"{key}={value}" for key, value in fields.items())
+    print(f"[{figure}] {rendered}")

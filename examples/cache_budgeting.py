@@ -1,0 +1,66 @@
+"""Dynamic cache budgets: trade memory for speed at query time (Figure 10).
+
+Run with::
+
+    python examples/cache_budgeting.py
+
+CLFTJ's cache is optional and bounded: with a zero-capacity cache it *is*
+LFTJ (tiny memory footprint), and every additional cache entry buys back
+repeated computation.  This example sweeps the cache capacity for a 4-cycle
+count over the IMDB stand-in and reports runtime, hit rate and the number of
+entries actually used — the knob a multi-tenant deployment would turn to
+respect a per-query memory budget.
+"""
+
+import time
+
+from repro.bench.reporting import format_records
+from repro.bench.workloads import imdb_database
+from repro.core.cache import AdhesionCache
+from repro.core.clftj import CachedLeapfrogTrieJoin
+from repro.core.lftj import LeapfrogTrieJoin
+from repro.decomposition.cost import select_decomposition
+from repro.query.patterns import bipartite_cycle_query
+
+
+def main() -> None:
+    database = imdb_database()
+    query = bipartite_cycle_query(4)
+    choice = select_decomposition(query, database)
+    print(f"query: {query.name}; decomposition with {choice.decomposition.num_nodes} bags")
+
+    started = time.perf_counter()
+    baseline_count = LeapfrogTrieJoin(query, database).count()
+    lftj_seconds = time.perf_counter() - started
+    print(f"LFTJ (no cache): count={baseline_count} in {lftj_seconds:.3f}s")
+
+    records = []
+    for capacity in (0, 5, 20, 100, 500, 2000, None):
+        cache = AdhesionCache(capacity=capacity, eviction="lru") if capacity is not None else AdhesionCache()
+        joiner = CachedLeapfrogTrieJoin(
+            query, database, choice.decomposition, choice.order, cache=cache
+        )
+        started = time.perf_counter()
+        count = joiner.count()
+        elapsed = time.perf_counter() - started
+        assert count == baseline_count
+        records.append(
+            {
+                "cache_capacity": "unbounded" if capacity is None else capacity,
+                "elapsed_seconds": elapsed,
+                "speedup_vs_lftj": lftj_seconds / max(elapsed, 1e-9),
+                "entries_used": len(cache),
+                "hit_rate": joiner.counter.cache_hit_rate,
+            }
+        )
+
+    print("\ncache-capacity sweep (all runs return the same count):")
+    print(format_records(records))
+    print(
+        "\nEven a few hundred cached entries recover most of the speedup — the "
+        "flexible-memory behaviour of the paper's Figure 10."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Exploring tree decompositions and their effect on caching (Figures 11-14).
+
+Run with::
+
+    python examples/decomposition_explorer.py
+
+The choice of tree decomposition decides *what* CLFTJ can cache: the
+adhesions are the cache keys, so small, skewed adhesions give high hit rates.
+This example enumerates decompositions of the {3,2}-lollipop query, scores
+them with the structural heuristics + the Chu-style order cost model, and
+then runs CLFTJ with each candidate to show how much the decomposition
+matters — the lesson of the paper's Figure 11 (cache structures) and
+Figure 13 (skew-aware attribute choice on IMDB).
+"""
+
+import time
+
+from repro.bench.reporting import format_records
+from repro.bench.workloads import imdb_database
+from repro.core.clftj import CachedLeapfrogTrieJoin
+from repro.datasets import wiki_vote
+from repro.decomposition.cost import ChuCostModel, td_heuristic_score
+from repro.decomposition.generic import enumerate_tree_decompositions
+from repro.decomposition.ordering import strongly_compatible_order
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.query.patterns import bipartite_cycle_query, lollipop_query
+
+
+def explore_lollipop() -> None:
+    database = wiki_vote()
+    query = lollipop_query(3, 2)
+    model = ChuCostModel(database, query)
+    print(f"== enumerating decompositions of {query.name} ==")
+
+    records = []
+    for index, decomposition in enumerate(
+        enumerate_tree_decompositions(query, max_decompositions=6)
+    ):
+        order = strongly_compatible_order(decomposition)
+        joiner = CachedLeapfrogTrieJoin(query, database, decomposition, order)
+        started = time.perf_counter()
+        count = joiner.count()
+        elapsed = time.perf_counter() - started
+        records.append(
+            {
+                "candidate": index,
+                "bags": decomposition.num_nodes,
+                "max_adhesion": decomposition.max_adhesion_size,
+                "heuristic_score": str(td_heuristic_score(decomposition)),
+                "order_cost": model.order_cost(order),
+                "count": count,
+                "elapsed_seconds": elapsed,
+                "cache_hits": joiner.counter.cache_hits,
+            }
+        )
+    print(format_records(records))
+
+
+def explore_imdb_skew() -> None:
+    """Figure 13/14: caching on the skewed attribute (person) beats the other."""
+    database = imdb_database()
+    query = bipartite_cycle_query(4)
+    variables = [variable.name for variable in query.variables]
+    people = [name for name in variables if name.startswith("p")]
+    movies = [name for name in variables if name.startswith("m")]
+
+    td_person = TreeDecomposition.build(
+        ((people[0], movies[0], people[1]), [((people[0], movies[1], people[1]), [])])
+    )
+    td_movie = TreeDecomposition.build(
+        ((movies[0], people[0], movies[1]), [((movies[0], people[1], movies[1]), [])])
+    )
+
+    print(f"\n== {query.name} on the IMDB stand-in: isomorphic TDs, different skew ==")
+    records = []
+    for label, decomposition in (("TD1 (cache on persons)", td_person),
+                                 ("TD2 (cache on movies)", td_movie)):
+        joiner = CachedLeapfrogTrieJoin(query, database, decomposition)
+        started = time.perf_counter()
+        count = joiner.count()
+        elapsed = time.perf_counter() - started
+        records.append(
+            {
+                "decomposition": label,
+                "count": count,
+                "elapsed_seconds": elapsed,
+                "cache_hits": joiner.counter.cache_hits,
+                "hit_rate": joiner.counter.cache_hit_rate,
+                "memory_accesses": joiner.counter.memory_accesses,
+            }
+        )
+    print(format_records(records))
+    print(
+        "\nThe two decompositions are isomorphic as trees, yet caching keyed on the "
+        "skewed person attribute reuses far more work — Figure 13's message."
+    )
+
+
+def main() -> None:
+    explore_lollipop()
+    explore_imdb_skew()
+
+
+if __name__ == "__main__":
+    main()

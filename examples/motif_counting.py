@@ -1,0 +1,43 @@
+"""Motif counting across social-network datasets (the paper's Section 5 workloads).
+
+Run with::
+
+    python examples/motif_counting.py
+
+Counts path and cycle motifs over every SNAP stand-in with LFTJ, CLFTJ and
+YTD, checks that all algorithms agree, and prints the per-dataset speedups of
+CLFTJ — the shape of the paper's Figure 5.
+"""
+
+from repro.bench.harness import consistency_check, run_grid, speedup_table
+from repro.bench.reporting import format_results, format_speedups
+from repro.bench.workloads import snap_databases
+from repro.query.patterns import cycle_query, path_query
+
+
+def main() -> None:
+    databases = snap_databases(("wiki-Vote", "p2p-Gnutella04", "ego-Facebook"), scale=0.5)
+    queries = [path_query(4), cycle_query(4)]
+    algorithms = ("lftj", "clftj", "ytd")
+
+    print("running", len(databases) * len(queries) * len(algorithms), "workload cells ...")
+    results = run_grid(databases, queries, algorithms)
+    consistency_check(results)
+
+    print("\nper-cell results:")
+    print(format_results(results))
+
+    print("\nCLFTJ / YTD speedups over LFTJ (wall clock):")
+    print(format_speedups(speedup_table(results, baseline="lftj")))
+
+    print("\nCLFTJ / YTD reductions over LFTJ (abstract memory accesses):")
+    print(format_speedups(speedup_table(results, baseline="lftj", metric="memory_accesses")))
+
+    print(
+        "\nNote how the skewed datasets (wiki-Vote, ego-Facebook) benefit far more "
+        "from caching than the balanced p2p-Gnutella04 graph — the paper's main finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Aggregates beyond counting: semiring evaluation over the cached trie join.
+
+Run with::
+
+    python examples/weighted_aggregates.py
+
+The paper's concluding remarks list "extension to general aggregate
+operators" as future work; this repository implements it for commutative
+semirings (:mod:`repro.core.aggregates`).  The example assigns random
+weights to the edges of the wiki-Vote stand-in and evaluates, over the same
+cached trie join and the same adhesion caches:
+
+* the number of 4-cycles (counting semiring — identical to CachedTJCount),
+* the total weight of all 4-cycles (sum-product semiring),
+* the lightest and heaviest 4-cycle (tropical min-plus / max-plus semirings),
+* whether any 4-cycle exists at all (boolean semiring).
+"""
+
+import random
+import time
+
+from repro.bench.reporting import format_records
+from repro.core.aggregates import (
+    BooleanSemiring,
+    CachedAggregateTrieJoin,
+    CountingSemiring,
+    MaxSemiring,
+    MinSemiring,
+    SumProductSemiring,
+    relation_weight_function,
+)
+from repro.datasets import wiki_vote
+from repro.decomposition.cost import select_decomposition
+from repro.query.patterns import cycle_query
+
+
+def main() -> None:
+    database = wiki_vote()
+    query = cycle_query(4)
+    choice = select_decomposition(query, database)
+    print(f"weighted aggregates for {query.name} over the wiki-Vote stand-in")
+
+    rng = random.Random(7)
+    weights = {
+        "E": {row: round(rng.uniform(0.1, 1.0), 3) for row in database.relation("E").tuples}
+    }
+    weigh = relation_weight_function(database, weights)
+
+    semirings = {
+        "count of 4-cycles": (CountingSemiring(), None),
+        "total cycle weight (sum of products)": (SumProductSemiring(), weigh),
+        "lightest cycle (min-plus)": (MinSemiring(), weigh),
+        "heaviest cycle (max-plus)": (MaxSemiring(), weigh),
+        "any cycle at all? (boolean)": (BooleanSemiring(), None),
+    }
+
+    records = []
+    for label, (semiring, weight_fn) in semirings.items():
+        joiner = CachedAggregateTrieJoin(
+            query,
+            database,
+            choice.decomposition,
+            semiring,
+            weight=weight_fn if weight_fn is not None else (lambda atom, values: None),
+        )
+        started = time.perf_counter()
+        value = joiner.aggregate()
+        elapsed = time.perf_counter() - started
+        records.append(
+            {
+                "aggregate": label,
+                "value": value if not isinstance(value, float) else round(value, 4),
+                "elapsed_seconds": elapsed,
+                "cache_hits": joiner.counter.cache_hits,
+            }
+        )
+
+    print("\nsemiring aggregate results (same plan, same caching machinery):")
+    print(format_records(records))
+    print(
+        "\nEvery aggregate reuses CLFTJ's adhesion caches: the cached value for a "
+        "subtree is a semiring element, so distributivity makes the reuse sound."
+    )
+
+
+if __name__ == "__main__":
+    main()

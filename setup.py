@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` also works in fully offline environments where
+the ``wheel`` package is unavailable (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,192 @@
+"""GenericJoin — an NPRR-style worst-case-optimal join.
+
+GenericJoin binds one variable at a time (like LFTJ) but uses hash-based
+prefix indexes instead of sorted trie iterators: at each depth the candidate
+values are obtained from the atom expected to offer the fewest candidates and
+probed against the other atoms containing the variable.  The paper's YTD
+baseline runs GenericJoin inside every bag of the tree decomposition; we also
+expose it standalone for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.instrumentation import OperationCounter
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.terms import Variable
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.storage.views import atom_variables_in_order, materialize_atom
+
+
+class _PrefixIndex:
+    """Hash index over one atom view: prefix tuple -> sorted candidate values.
+
+    Level ``i`` maps an assignment of the first ``i`` variables (in global
+    order) to the sorted list of values the ``i+1``-th variable can take.
+    """
+
+    def __init__(self, relation: Relation, ordered_attributes: Sequence[str],
+                 counter: Optional[OperationCounter]) -> None:
+        self.ordered_attributes = tuple(ordered_attributes)
+        self.counter = counter
+        positions = [relation.attribute_index(name) for name in ordered_attributes]
+        self._levels: List[Dict[Tuple[object, ...], List[object]]] = [
+            {} for _ in ordered_attributes
+        ]
+        seen: List[Dict[Tuple[object, ...], set]] = [{} for _ in ordered_attributes]
+        for row in relation.tuples:
+            ordered = tuple(row[index] for index in positions)
+            for level in range(len(ordered)):
+                prefix = ordered[:level]
+                bucket = seen[level].setdefault(prefix, set())
+                bucket.add(ordered[level])
+        for level, buckets in enumerate(seen):
+            self._levels[level] = {
+                prefix: sorted(values) for prefix, values in buckets.items()
+            }
+
+    def candidates(self, prefix: Tuple[object, ...]) -> List[object]:
+        """Sorted values the next variable can take under ``prefix``."""
+        if self.counter is not None:
+            self.counter.record_hash_probe()
+        return self._levels[len(prefix)].get(prefix, [])
+
+    def contains(self, prefix: Tuple[object, ...], value: object) -> bool:
+        """Membership probe: may ``prefix + (value,)`` be extended to a tuple?"""
+        if self.counter is not None:
+            self.counter.record_hash_probe()
+        level = self._levels[len(prefix)].get(prefix)
+        if not level:
+            return False
+        # The candidate lists are small; a scan keeps the index memory-lean.
+        from bisect import bisect_left
+
+        position = bisect_left(level, value)
+        return position < len(level) and level[position] == value
+
+
+class GenericJoin:
+    """Worst-case-optimal variable-at-a-time join over hash prefix indexes."""
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        variable_order: Optional[Sequence[Variable]] = None,
+        counter: Optional[OperationCounter] = None,
+    ) -> None:
+        self.query = query
+        self.database = database
+        self.counter = counter if counter is not None else OperationCounter()
+        order = tuple(variable_order) if variable_order is not None else tuple(query.variables)
+        if set(order) != query.variable_set() or len(order) != len(set(order)):
+            raise ValueError("variable order must be a permutation of the query variables")
+        self.variable_order = order
+        self._depth_of = {variable: depth for depth, variable in enumerate(order)}
+        self.num_variables = len(order)
+
+        self._indexes: List[_PrefixIndex] = []
+        self._atom_order: List[Tuple[Variable, ...]] = []
+        for atom in query.atoms:
+            view = materialize_atom(database, atom)
+            ordered = sorted(view.attributes, key=lambda name: self._depth_of[Variable(name)])
+            self._indexes.append(_PrefixIndex(view, ordered, self.counter))
+            self._atom_order.append(tuple(Variable(name) for name in ordered))
+
+        self._atoms_at_depth: List[Tuple[int, ...]] = [
+            tuple(
+                index
+                for index, atom_vars in enumerate(self._atom_order)
+                if variable in atom_vars
+            )
+            for variable in order
+        ]
+
+    # ------------------------------------------------------------- execution
+    def _bound_prefix(self, atom_index: int, assignment: List[object], depth_limit: int) -> Tuple[object, ...]:
+        """The values already assigned to the atom's leading variables."""
+        prefix: List[object] = []
+        for variable in self._atom_order[atom_index]:
+            depth = self._depth_of[variable]
+            if depth < depth_limit:
+                prefix.append(assignment[depth])
+            else:
+                break
+        return tuple(prefix)
+
+    def count(self) -> int:
+        """Return ``|q(D)|``."""
+        assignment: List[object] = [None] * self.num_variables
+        return self._count_recursive(0, assignment)
+
+    def _count_recursive(self, depth: int, assignment: List[object]) -> int:
+        self.counter.record_recursive_call()
+        if depth == self.num_variables:
+            self.counter.record_result(1)
+            return 1
+        candidates, probes = self._split_atoms(depth, assignment)
+        total = 0
+        for value in candidates:
+            if all(
+                self._indexes[atom_index].contains(prefix, value)
+                for atom_index, prefix in probes
+            ):
+                assignment[depth] = value
+                total += self._count_recursive(depth + 1, assignment)
+        assignment[depth] = None
+        return total
+
+    def evaluate(self) -> Iterator[Tuple[object, ...]]:
+        """Yield every result tuple in variable-order positions."""
+        assignment: List[object] = [None] * self.num_variables
+        yield from self._evaluate_recursive(0, assignment)
+
+    def _evaluate_recursive(self, depth: int, assignment: List[object]) -> Iterator[Tuple[object, ...]]:
+        self.counter.record_recursive_call()
+        if depth == self.num_variables:
+            self.counter.record_result(1)
+            yield tuple(assignment)
+            return
+        candidates, probes = self._split_atoms(depth, assignment)
+        for value in candidates:
+            if all(
+                self._indexes[atom_index].contains(prefix, value)
+                for atom_index, prefix in probes
+            ):
+                assignment[depth] = value
+                yield from self._evaluate_recursive(depth + 1, assignment)
+        assignment[depth] = None
+
+    def _split_atoms(
+        self, depth: int, assignment: List[object]
+    ) -> Tuple[List[object], List[Tuple[int, Tuple[object, ...]]]]:
+        """Pick the smallest candidate list and the probes for the other atoms."""
+        atom_indexes = self._atoms_at_depth[depth]
+        best_candidates: Optional[List[object]] = None
+        best_atom: Optional[int] = None
+        prefixes: Dict[int, Tuple[object, ...]] = {}
+        for atom_index in atom_indexes:
+            prefix = self._bound_prefix(atom_index, assignment, depth)
+            prefixes[atom_index] = prefix
+            candidates = self._indexes[atom_index].candidates(prefix)
+            if best_candidates is None or len(candidates) < len(best_candidates):
+                best_candidates = candidates
+                best_atom = atom_index
+        probes = [
+            (atom_index, prefixes[atom_index])
+            for atom_index in atom_indexes
+            if atom_index != best_atom
+        ]
+        return best_candidates or [], probes
+
+
+def generic_join_count(
+    query: ConjunctiveQuery,
+    database: Database,
+    variable_order: Optional[Sequence[Variable]] = None,
+    counter: Optional[OperationCounter] = None,
+) -> int:
+    """One-shot convenience wrapper around :meth:`GenericJoin.count`."""
+    return GenericJoin(query, database, variable_order, counter).count()

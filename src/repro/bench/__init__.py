@@ -1,0 +1,44 @@
+"""Benchmark harness utilities.
+
+The modules here are shared by the ``benchmarks/`` pytest-benchmark targets
+and by the examples:
+
+* :mod:`repro.bench.harness` -- run one workload cell (query x dataset x
+  algorithm), collect :class:`~repro.engine.results.ExecutionResult` records
+  and compute the speedup figures the paper reports.
+* :mod:`repro.bench.reporting` -- render result records as aligned text
+  tables (the "same rows/series as the paper" output).
+* :mod:`repro.bench.workloads` -- the figure-by-figure workload definitions
+  (datasets, queries, algorithms, parameters).
+"""
+
+from repro.bench.harness import BenchmarkCell, run_cell, run_grid, speedup_table
+from repro.bench.reporting import format_records, format_speedups, print_records
+from repro.bench.workloads import (
+    FIGURE5_DATASETS,
+    FIGURE5_QUERIES,
+    evaluation_datasets,
+    figure10_cache_sizes,
+    path_queries,
+    cycle_queries,
+    random_queries,
+    snap_databases,
+)
+
+__all__ = [
+    "BenchmarkCell",
+    "FIGURE5_DATASETS",
+    "FIGURE5_QUERIES",
+    "cycle_queries",
+    "evaluation_datasets",
+    "figure10_cache_sizes",
+    "format_records",
+    "format_speedups",
+    "path_queries",
+    "print_records",
+    "random_queries",
+    "run_cell",
+    "run_grid",
+    "snap_databases",
+    "speedup_table",
+]

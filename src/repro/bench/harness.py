@@ -1,0 +1,132 @@
+"""The benchmark harness: run (query, dataset, algorithm) cells and compare them.
+
+The paper reports, for every figure, runtimes of CLFTJ against LFTJ / YTD /
+systems on a grid of queries and datasets.  :func:`run_grid` executes such a
+grid through :class:`~repro.engine.QueryEngine` and returns flat records;
+:func:`speedup_table` post-processes them into "speedup over baseline" rows,
+which is the shape-level comparison this reproduction targets (absolute
+Python runtimes are not comparable to the paper's C++ numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.engine import QueryEngine
+from repro.engine.results import ExecutionResult
+from repro.query.atoms import ConjunctiveQuery
+from repro.storage.database import Database
+
+
+@dataclass
+class BenchmarkCell:
+    """One cell of a benchmark grid."""
+
+    dataset: str
+    database: Database
+    query: ConjunctiveQuery
+    algorithm: str
+    mode: str = "count"
+    engine_options: Dict[str, object] = field(default_factory=dict)
+    run_options: Dict[str, object] = field(default_factory=dict)
+
+
+def run_cell(cell: BenchmarkCell) -> ExecutionResult:
+    """Execute one cell and return its result (with dataset metadata attached)."""
+    engine = QueryEngine(cell.database, **cell.engine_options)
+    if cell.mode == "count":
+        result = engine.count(cell.query, algorithm=cell.algorithm, **cell.run_options)
+    elif cell.mode == "evaluate":
+        result = engine.evaluate(cell.query, algorithm=cell.algorithm, **cell.run_options)
+    else:
+        raise ValueError(f"unknown mode {cell.mode!r}")
+    result.metadata["dataset"] = cell.dataset
+    result.metadata["mode"] = cell.mode
+    return result
+
+
+def run_grid(
+    databases: Mapping[str, Database],
+    queries: Sequence[ConjunctiveQuery],
+    algorithms: Sequence[str],
+    mode: str = "count",
+    engine_options: Optional[Dict[str, object]] = None,
+    run_options: Optional[Dict[str, object]] = None,
+) -> List[ExecutionResult]:
+    """Run every (dataset, query, algorithm) combination and collect the results."""
+    results: List[ExecutionResult] = []
+    for dataset_name, database in databases.items():
+        for query in queries:
+            for algorithm in algorithms:
+                cell = BenchmarkCell(
+                    dataset=dataset_name,
+                    database=database,
+                    query=query,
+                    algorithm=algorithm,
+                    mode=mode,
+                    engine_options=dict(engine_options or {}),
+                    run_options=dict(run_options or {}),
+                )
+                results.append(run_cell(cell))
+    return results
+
+
+def consistency_check(results: Iterable[ExecutionResult]) -> None:
+    """Assert that all algorithms agree on the answer of each (dataset, query) cell.
+
+    Benchmarks call this so that a performance run doubles as a correctness
+    run: if any algorithm disagrees on a count, the benchmark fails loudly.
+    """
+    grouped: Dict[Tuple[str, str], List[ExecutionResult]] = {}
+    for result in results:
+        key = (str(result.metadata.get("dataset")), result.query_name)
+        grouped.setdefault(key, []).append(result)
+    for (dataset, query_name), cell_results in grouped.items():
+        counts = {result.count for result in cell_results}
+        if len(counts) > 1:
+            details = {result.algorithm: result.count for result in cell_results}
+            raise AssertionError(
+                f"algorithms disagree on {query_name!r} over {dataset!r}: {details}"
+            )
+
+
+def speedup_table(
+    results: Sequence[ExecutionResult],
+    baseline: str = "lftj",
+    metric: str = "elapsed_seconds",
+) -> List[Dict[str, object]]:
+    """Compute per-cell speedups of every algorithm relative to ``baseline``.
+
+    ``metric`` may be ``elapsed_seconds`` (wall clock) or ``memory_accesses``
+    (the abstract operation counts used for the paper's memory analysis).
+    """
+    def metric_value(result: ExecutionResult) -> float:
+        if metric == "elapsed_seconds":
+            return max(result.elapsed_seconds, 1e-9)
+        if metric == "memory_accesses":
+            return max(float(result.memory_accesses), 1.0)
+        raise ValueError(f"unknown metric {metric!r}")
+
+    grouped: Dict[Tuple[str, str], Dict[str, ExecutionResult]] = {}
+    for result in results:
+        key = (str(result.metadata.get("dataset")), result.query_name)
+        grouped.setdefault(key, {})[result.algorithm] = result
+
+    rows: List[Dict[str, object]] = []
+    for (dataset, query_name), by_algorithm in sorted(grouped.items()):
+        if baseline not in by_algorithm:
+            continue
+        base_value = metric_value(by_algorithm[baseline])
+        row: Dict[str, object] = {
+            "dataset": dataset,
+            "query": query_name,
+            "count": by_algorithm[baseline].count,
+            f"{baseline}_{metric}": base_value,
+        }
+        for algorithm, result in sorted(by_algorithm.items()):
+            if algorithm == baseline:
+                continue
+            row[f"speedup_{algorithm}"] = base_value / metric_value(result)
+        rows.append(row)
+    return rows

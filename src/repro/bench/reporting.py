@@ -1,0 +1,129 @@
+"""Plain-text reporting of benchmark records.
+
+The benchmark modules print the same rows/series the paper's figures show;
+these helpers keep that output aligned and stable without pulling in any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.engine.results import ExecutionResult
+
+_DEFAULT_COLUMNS = (
+    "dataset",
+    "query",
+    "algorithm",
+    "count",
+    "elapsed_seconds",
+    "memory_accesses",
+    "cache_hits",
+    "cache_hit_rate",
+)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_records(
+    records: Iterable[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render dictionaries as an aligned text table."""
+    records = list(records)
+    if not records:
+        return "(no records)"
+    if columns is None:
+        seen: List[str] = []
+        for record in records:
+            for key in record:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    header = [str(column) for column in columns]
+    rows = [
+        [_format_value(record.get(column, "")) for column in columns]
+        for record in records
+    ]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def results_to_records(results: Iterable[ExecutionResult]) -> List[Dict[str, object]]:
+    """Flatten execution results into report-friendly dictionaries."""
+    records = []
+    for result in results:
+        record = result.as_record()
+        record.setdefault("dataset", result.metadata.get("dataset", ""))
+        records.append(record)
+    return records
+
+
+def format_results(
+    results: Iterable[ExecutionResult],
+    columns: Sequence[str] = _DEFAULT_COLUMNS,
+) -> str:
+    """Render execution results with the default benchmark columns."""
+    return format_records(results_to_records(results), columns=columns)
+
+
+def format_speedups(rows: Iterable[Mapping[str, object]]) -> str:
+    """Render the output of :func:`repro.bench.harness.speedup_table`."""
+    return format_records(rows)
+
+
+def print_records(records: Iterable[Mapping[str, object]], title: str = "") -> None:
+    """Print a table (with an optional title) — used by the benchmark modules."""
+    if title:
+        print(f"\n== {title} ==")
+    print(format_records(records))
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Render a horizontal ASCII bar chart (a plotting-free stand-in for a figure).
+
+    ``values`` maps labels (e.g. algorithm names) to non-negative magnitudes;
+    ``log_scale`` is useful when the paper's figures span orders of magnitude
+    (runtime of LFTJ vs CLFTJ on long paths).
+    """
+    import math
+
+    if not values:
+        return "(no data)"
+    magnitudes: Dict[str, float] = {}
+    for label, value in values.items():
+        value = float(value)
+        if value < 0:
+            raise ValueError("bar chart values must be non-negative")
+        magnitudes[label] = math.log10(value + 1.0) if log_scale else value
+    peak = max(magnitudes.values()) or 1.0
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    for label, raw in values.items():
+        filled = int(round(width * magnitudes[label] / peak)) if peak else 0
+        bar = "#" * filled
+        rendered_value = _format_value(float(raw))
+        suffix = f" {rendered_value}{unit}"
+        lines.append(f"{str(label).ljust(label_width)} |{bar}{suffix}")
+    return "\n".join(lines)

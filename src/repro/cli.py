@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+Run queries over the synthetic stand-ins (or a real edge-list file) from the
+shell::
+
+    python -m repro run --dataset wiki-Vote --query 5-cycle --algorithm clftj
+    python -m repro compare --dataset ego-Facebook --query 4-path
+    python -m repro plan --dataset wiki-Vote --query "E(x,y), E(y,z), E(z,x)"
+    python -m repro datasets
+
+The CLI is a thin wrapper around :class:`repro.engine.QueryEngine`; it exists
+so that the reproduction can be exercised without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.reporting import format_records, format_results
+from repro.bench.workloads import imdb_database
+from repro.datasets.snap import SNAP_DATASETS, dataset_specs, load_snap_standin
+from repro.engine.engine import ALGORITHMS, QueryEngine
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.query.patterns import (
+    bipartite_cycle_query,
+    clique_query,
+    cycle_query,
+    lollipop_query,
+    path_query,
+    random_pattern_query,
+    star_query,
+)
+from repro.storage.database import Database
+from repro.storage.loaders import load_edge_list
+
+_PATTERN_RE = re.compile(r"^(\d+)-(path|cycle|clique|star|rand)(?:\(([\d.]+)\))?$")
+
+
+def resolve_query(spec: str) -> ConjunctiveQuery:
+    """Turn a query specification into a conjunctive query.
+
+    Accepted forms: ``5-path``, ``4-cycle``, ``4-clique``, ``3-star``,
+    ``5-rand(0.4)``, ``lollipop``, ``imdb-4-cycle``, ``imdb-6-cycle`` or a
+    datalog-style body such as ``E(x,y), E(y,z), E(z,x)``.
+    """
+    spec = spec.strip()
+    if spec == "lollipop":
+        return lollipop_query(3, 2)
+    if spec in ("imdb-4-cycle", "imdb-6-cycle"):
+        return bipartite_cycle_query(int(spec.split("-")[1]))
+    match = _PATTERN_RE.match(spec)
+    if match:
+        size = int(match.group(1))
+        kind = match.group(2)
+        if kind == "path":
+            return path_query(size)
+        if kind == "cycle":
+            return cycle_query(size)
+        if kind == "clique":
+            return clique_query(size)
+        if kind == "star":
+            return star_query(size)
+        probability = float(match.group(3) or 0.4)
+        return random_pattern_query(size, probability, seed=7)
+    return parse_query(spec)
+
+
+def resolve_dataset(name: str, scale: float) -> Database:
+    """Resolve a dataset name: a SNAP stand-in, ``imdb`` or an edge-list path."""
+    if name in SNAP_DATASETS:
+        return load_snap_standin(name, scale=scale)
+    if name == "imdb":
+        return imdb_database(scale=scale)
+    return Database([load_edge_list(name)], name=name)
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", required=True,
+                        help="SNAP stand-in name, 'imdb', or a path to an edge-list file")
+    parser.add_argument("--query", required=True,
+                        help="query spec, e.g. '5-cycle', 'lollipop' or a datalog body")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor (default 1.0)")
+    parser.add_argument("--cache-capacity", type=int, default=None,
+                        help="bound the adhesion cache (default: unbounded)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Flexible Caching in Trie Joins (EDBT 2017) — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one query with one algorithm")
+    _add_common_arguments(run)
+    run.add_argument("--algorithm", choices=ALGORITHMS, default="clftj")
+    run.add_argument("--mode", choices=("count", "evaluate"), default="count")
+    run.add_argument("--show-rows", type=int, default=0,
+                     help="print the first N result rows (evaluate mode)")
+
+    compare = subparsers.add_parser("compare", help="run one query with several algorithms")
+    _add_common_arguments(compare)
+    compare.add_argument("--algorithms", nargs="+", choices=ALGORITHMS,
+                         default=["lftj", "clftj", "ytd"])
+
+    plan = subparsers.add_parser("plan", help="show the decomposition and order CLFTJ would use")
+    _add_common_arguments(plan)
+
+    subparsers.add_parser("datasets", help="list the built-in dataset stand-ins")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    database = resolve_dataset(args.dataset, args.scale)
+    query = resolve_query(args.query)
+    engine = QueryEngine(database)
+    if args.mode == "count":
+        result = engine.count(query, algorithm=args.algorithm,
+                              cache_capacity=args.cache_capacity)
+    else:
+        result = engine.evaluate(query, algorithm=args.algorithm,
+                                 cache_capacity=args.cache_capacity)
+    print(format_results([result]))
+    if args.mode == "evaluate" and args.show_rows:
+        header = ", ".join(variable.name for variable in result.variable_order)
+        print(f"\nfirst {args.show_rows} rows ({header}):")
+        for row in result.rows[: args.show_rows]:
+            print("  ", row)
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    database = resolve_dataset(args.dataset, args.scale)
+    query = resolve_query(args.query)
+    engine = QueryEngine(database)
+    results = []
+    for algorithm in args.algorithms:
+        results.append(engine.count(query, algorithm=algorithm,
+                                    cache_capacity=args.cache_capacity))
+    counts = {result.count for result in results}
+    print(format_results(results))
+    if len(counts) > 1:
+        print("ERROR: algorithms disagree on the count!", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    database = resolve_dataset(args.dataset, args.scale)
+    query = resolve_query(args.query)
+    engine = QueryEngine(database)
+    plan = engine.plan(query, cache_capacity=args.cache_capacity)
+    print(plan.describe())
+    return 0
+
+
+def _command_datasets(_args: argparse.Namespace) -> int:
+    records = [
+        {
+            "name": spec.name,
+            "nodes": spec.num_nodes,
+            "edges": spec.num_edges,
+            "skewed": spec.skewed,
+            "description": spec.description,
+        }
+        for spec in dataset_specs().values()
+    ]
+    records.append(
+        {
+            "name": "imdb",
+            "nodes": "-",
+            "edges": "~1000",
+            "skewed": True,
+            "description": "cast_info stand-in: male_cast / female_cast with skewed person_id",
+        }
+    )
+    print(format_records(records))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "compare": _command_compare,
+        "plan": _command_plan,
+        "datasets": _command_datasets,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

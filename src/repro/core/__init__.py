@@ -1,0 +1,41 @@
+"""The paper's primary contribution and its direct building blocks.
+
+* :mod:`repro.core.instrumentation` -- operation counters (trie accesses,
+  cache hits, ...), the basis of the memory-traffic analysis.
+* :mod:`repro.core.leapfrog` -- the unary leapfrog intersection.
+* :mod:`repro.core.lftj` -- vanilla Leapfrog Trie Join (Figure 1).
+* :mod:`repro.core.cache` -- adhesion caches and caching policies.
+* :mod:`repro.core.factorized` -- factorised result representations.
+* :mod:`repro.core.clftj` -- Cached LFTJ, the paper's contribution (Figure 2).
+"""
+
+from repro.core.instrumentation import OperationCounter
+from repro.core.leapfrog import LeapfrogJoin
+from repro.core.lftj import LeapfrogTrieJoin
+from repro.core.cache import (
+    AdhesionCache,
+    AlwaysCachePolicy,
+    BoundedCachePolicy,
+    CachePolicy,
+    CompositePolicy,
+    NeverCachePolicy,
+    SupportThresholdPolicy,
+)
+from repro.core.factorized import FactorizedNode, expand_assignments
+from repro.core.clftj import CachedLeapfrogTrieJoin
+
+__all__ = [
+    "AdhesionCache",
+    "AlwaysCachePolicy",
+    "BoundedCachePolicy",
+    "CachePolicy",
+    "CachedLeapfrogTrieJoin",
+    "CompositePolicy",
+    "FactorizedNode",
+    "LeapfrogJoin",
+    "LeapfrogTrieJoin",
+    "NeverCachePolicy",
+    "OperationCounter",
+    "SupportThresholdPolicy",
+    "expand_assignments",
+]

@@ -1,0 +1,307 @@
+"""Cached Leapfrog Trie Join (CLFTJ) — the paper's primary contribution.
+
+``CachedLeapfrogTrieJoin`` implements the algorithm ``CachedTJCount`` of
+Figure 2 and its evaluation variant (Section 3.4).  It executes exactly like
+vanilla LFTJ, except that the variable order is *strongly compatible* with an
+ordered tree decomposition, and:
+
+* when the traversal enters a decomposition node ``v`` whose parent adhesion
+  is already assigned, the adhesion cache is consulted; a hit lets the
+  algorithm skip the entire contiguous block of variables owned by the
+  subtree ``t|v``, multiplying the running factor by the cached count (or
+  grafting the cached factorised representation during evaluation);
+* when the traversal leaves ``v`` (returning to the previous node), the
+  per-subtree intermediate result may be cached, subject to the caching
+  policy of :mod:`repro.core.cache`.
+
+With a :class:`~repro.core.cache.NeverCachePolicy` (or a zero-capacity cache)
+the algorithm performs exactly the same trie operations as LFTJ — the
+"coincide when no caching takes place" property of Section 3.2, covered by
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.cache import AdhesionCache, AlwaysCachePolicy, CachePolicy
+from repro.core.factorized import FactorizedNode, expand_assignments
+from repro.core.instrumentation import OperationCounter
+from repro.core.leapfrog import LeapfrogJoin
+from repro.core.lftj import TrieJoinBase
+from repro.decomposition.ordering import is_strongly_compatible, strongly_compatible_order
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.terms import Variable
+from repro.storage.database import Database
+
+
+class CachedLeapfrogTrieJoin(TrieJoinBase):
+    """CLFTJ: trie join with flexible, optional caching along a tree decomposition.
+
+    Parameters
+    ----------
+    query, database:
+        The full CQ and the database to evaluate it over.
+    decomposition:
+        An ordered tree decomposition of the query.  Non-root bags owning no
+        variables are contracted automatically.
+    variable_order:
+        A variable order strongly compatible with ``decomposition``.  When
+        omitted, one is derived with
+        :func:`repro.decomposition.ordering.strongly_compatible_order`.
+    policy:
+        The caching policy (default: cache everything).
+    cache:
+        The adhesion cache (default: a fresh unbounded cache).  Passing a
+        bounded cache reproduces the dynamic-cache-size behaviour of
+        Figure 10.  A cache must not be shared between ``count`` and
+        ``evaluate`` runs, because counts cache integers while evaluation
+        caches factorised representations.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        decomposition: TreeDecomposition,
+        variable_order: Optional[Sequence[Variable]] = None,
+        policy: Optional[CachePolicy] = None,
+        cache: Optional[AdhesionCache] = None,
+        counter: Optional[OperationCounter] = None,
+    ) -> None:
+        decomposition.validate(query)
+        decomposition = decomposition.contract_ownerless_bags()
+        if variable_order is None:
+            variable_order = strongly_compatible_order(decomposition)
+        if not is_strongly_compatible(decomposition, variable_order):
+            raise ValueError(
+                "the decomposition is not strongly compatible with the variable order"
+            )
+        super().__init__(query, database, variable_order, counter)
+        self.decomposition = decomposition
+        self.policy = policy if policy is not None else AlwaysCachePolicy()
+        self.cache = cache if cache is not None else AdhesionCache()
+        if self.cache.counter is None:
+            self.cache.counter = self.counter
+
+        order = self.variable_order
+        depth_of = {variable: depth for depth, variable in enumerate(order)}
+
+        self._owner_at_depth: List[int] = [
+            decomposition.owner(variable) for variable in order
+        ]
+        nodes = decomposition.preorder()
+        self._own_depths: Dict[int, Tuple[int, ...]] = {}
+        self._last_own_depth: Dict[int, int] = {}
+        self._subtree_last_depth: Dict[int, int] = {}
+        self._adhesion_vars: Dict[int, Tuple[Variable, ...]] = {}
+        self._adhesion_depths: Dict[int, Tuple[int, ...]] = {}
+        for node in nodes:
+            owned = decomposition.owned_variables(node)
+            own_depths = tuple(sorted(depth_of[variable] for variable in owned))
+            self._own_depths[node] = own_depths
+            if own_depths:
+                self._last_own_depth[node] = own_depths[-1]
+            subtree_vars = decomposition.subtree_variables(node)
+            self._subtree_last_depth[node] = max(
+                depth_of[variable] for variable in subtree_vars
+            )
+            adhesion = sorted(decomposition.adhesion(node), key=lambda v: depth_of[v])
+            self._adhesion_vars[node] = tuple(adhesion)
+            self._adhesion_depths[node] = tuple(depth_of[v] for v in adhesion)
+
+        # Per-node "maintain a factorised intermediate?" flag for evaluation:
+        # a node's representation is needed when the policy may cache at the
+        # node itself or at any of its ancestors (Section 3.4).
+        self._maintain_rep: Dict[int, bool] = {}
+        for node in nodes:
+            parent = decomposition.parent(node)
+            inherited = self._maintain_rep.get(parent, False) if parent is not None else False
+            wants = parent is not None and self.policy.wants_intermediates(node)
+            self._maintain_rep[node] = wants or inherited
+
+        # Mutable per-execution state.
+        self._total: int = 0
+        self._intrmd: Dict[int, int] = {}
+        self._builders: Dict[int, Optional[FactorizedNode]] = {}
+        self._pending: List[Tuple[int, FactorizedNode]] = []
+
+    # ------------------------------------------------------------------ keys
+    def _adhesion_key(self, node: int) -> Tuple[object, ...]:
+        return tuple(self._assignment[depth] for depth in self._adhesion_depths[node])
+
+    def _own_values(self, node: int) -> Tuple[object, ...]:
+        return tuple(self._assignment[depth] for depth in self._own_depths[node])
+
+    # ----------------------------------------------------------------- count
+    def count(self) -> int:
+        """Return ``|q(D)|`` — the algorithm ``CachedTJCount`` of Figure 2."""
+        self._prepare()
+        self._total = 0
+        self._intrmd = {node: 0 for node in self.decomposition.preorder()}
+        self._count_recursive(0, 1)
+        return self._total
+
+    def _count_recursive(self, depth: int, factor: int) -> None:
+        self.counter.record_recursive_call()
+        if depth == self.num_variables:
+            self._total += factor
+            self.counter.record_result(factor)
+            return
+
+        node = self._owner_at_depth[depth]
+        entering = depth == 0 or self._owner_at_depth[depth - 1] != node
+        consult_cache = entering and depth > 0
+        if entering:
+            self._intrmd[node] = 0
+        adhesion_key: Tuple[object, ...] = ()
+        if consult_cache:
+            adhesion_key = self._adhesion_key(node)
+            cached = self.cache.get(node, adhesion_key)
+            if cached is not None:
+                self._count_recursive(self._subtree_last_depth[node] + 1, factor * cached)
+                self._intrmd[node] = cached
+                return
+
+        participants = self._participants(depth)
+        for iterator in participants:
+            iterator.open()
+        join = LeapfrogJoin(participants)
+        is_last_own = depth == self._last_own_depth[node]
+        children = self.decomposition.children(node)
+        while not join.at_end:
+            self._assignment[depth] = join.key()
+            self._count_recursive(depth + 1, factor)
+            if is_last_own:
+                product = 1
+                for child in children:
+                    product *= self._intrmd[child]
+                    if product == 0:
+                        break
+                self._intrmd[node] += product
+            join.next()
+        self._assignment[depth] = None
+        for iterator in participants:
+            iterator.up()
+
+        if consult_cache:
+            intermediate = self._intrmd[node]
+            if self.policy.should_cache(
+                node, self._adhesion_vars[node], adhesion_key, intermediate
+            ):
+                if self.cache.put(node, adhesion_key, intermediate):
+                    self.counter.record_materialized(1)
+
+    # ------------------------------------------------------------- evaluation
+    def evaluate(self) -> Iterator[Tuple[object, ...]]:
+        """Yield every result tuple (values in variable-order positions).
+
+        Cached intermediates are factorised representations; on a cache hit
+        the subtree's assignments are grafted into the output without
+        re-traversing the tries.
+        """
+        self._prepare()
+        self._builders = {node: None for node in self.decomposition.preorder()}
+        self._pending = []
+        yield from self._evaluate_recursive(0)
+
+    def evaluate_all(self) -> List[Dict[Variable, object]]:
+        """Materialise all results as variable->value dictionaries."""
+        return [dict(zip(self.variable_order, row)) for row in self.evaluate()]
+
+    def _evaluate_recursive(self, depth: int) -> Iterator[Tuple[object, ...]]:
+        self.counter.record_recursive_call()
+        if depth == self.num_variables:
+            if self._pending:
+                prefix = {
+                    variable: value
+                    for variable, value in zip(self.variable_order, self._assignment)
+                    if value is not None
+                }
+                for row in expand_assignments(prefix, self._pending, self.variable_order):
+                    self.counter.record_result(1)
+                    yield row
+            else:
+                self.counter.record_result(1)
+                yield tuple(self._assignment)
+            return
+
+        node = self._owner_at_depth[depth]
+        entering = depth == 0 or self._owner_at_depth[depth - 1] != node
+        consult_cache = entering and depth > 0
+        maintain = self._maintain_rep[node]
+        if entering:
+            if maintain:
+                own_vars = tuple(
+                    self.variable_order[own_depth] for own_depth in self._own_depths[node]
+                )
+                self._builders[node] = FactorizedNode(own_vars)
+            else:
+                self._builders[node] = None
+        adhesion_key: Tuple[object, ...] = ()
+        if consult_cache:
+            adhesion_key = self._adhesion_key(node)
+            cached = self.cache.get(node, adhesion_key)
+            if cached is not None:
+                self._pending.append((depth, cached))
+                yield from self._evaluate_recursive(self._subtree_last_depth[node] + 1)
+                self._pending.pop()
+                self._builders[node] = cached
+                return
+
+        participants = self._participants(depth)
+        for iterator in participants:
+            iterator.open()
+        join = LeapfrogJoin(participants)
+        is_last_own = depth == self._last_own_depth[node]
+        children = self.decomposition.children(node)
+        while not join.at_end:
+            self._assignment[depth] = join.key()
+            yield from self._evaluate_recursive(depth + 1)
+            if is_last_own and maintain:
+                child_reps = tuple(self._builders[child] for child in children)
+                if all(rep is not None for rep in child_reps):
+                    if all(rep.entries for rep in child_reps):
+                        self._builders[node].add_entry(self._own_values(node), child_reps)
+            join.next()
+        self._assignment[depth] = None
+        for iterator in participants:
+            iterator.up()
+
+        if consult_cache and maintain:
+            builder = self._builders[node]
+            if self.policy.should_cache(
+                node, self._adhesion_vars[node], adhesion_key, builder
+            ):
+                if self.cache.put(node, adhesion_key, builder):
+                    self.counter.record_materialized(builder.memory_entries())
+
+    # --------------------------------------------------------------- reports
+    def cache_report(self) -> Dict[str, object]:
+        """A small report of cache behaviour after an execution."""
+        return {
+            "entries": len(self.cache),
+            "entries_per_node": self.cache.entries_per_node(),
+            "hits": self.counter.cache_hits,
+            "misses": self.counter.cache_misses,
+            "hit_rate": self.counter.cache_hit_rate,
+            "insertions": self.counter.cache_insertions,
+            "evictions": self.counter.cache_evictions,
+            "rejections": self.counter.cache_rejections,
+        }
+
+
+def clftj_count(
+    query: ConjunctiveQuery,
+    database: Database,
+    decomposition: TreeDecomposition,
+    variable_order: Optional[Sequence[Variable]] = None,
+    policy: Optional[CachePolicy] = None,
+    cache: Optional[AdhesionCache] = None,
+    counter: Optional[OperationCounter] = None,
+) -> int:
+    """One-shot convenience wrapper around :meth:`CachedLeapfrogTrieJoin.count`."""
+    return CachedLeapfrogTrieJoin(
+        query, database, decomposition, variable_order, policy, cache, counter
+    ).count()

@@ -1,0 +1,131 @@
+"""Factorised result representations.
+
+When CLFTJ evaluates a query (rather than counting), the cached value for an
+adhesion assignment is a *factorised representation* of the assignments to the
+variables owned by the corresponding subtree (Section 3.4 of the paper, after
+Olteanu & Zavodny).  A :class:`FactorizedNode` mirrors one tree-decomposition
+node: each entry pairs an assignment of the node's own variables with one
+factor per child subtree.  Counting and enumeration never flatten more than
+necessary, so the representation can be exponentially smaller than the
+materialised tuple set.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.query.terms import Variable
+
+
+class FactorizedNode:
+    """A factorised set of assignments for the variables of one TD subtree."""
+
+    __slots__ = ("own_variables", "entries")
+
+    def __init__(self, own_variables: Sequence[Variable]) -> None:
+        self.own_variables: Tuple[Variable, ...] = tuple(own_variables)
+        #: list of (own-values tuple, tuple of child FactorizedNode)
+        self.entries: List[Tuple[Tuple[object, ...], Tuple["FactorizedNode", ...]]] = []
+
+    def add_entry(
+        self,
+        own_values: Sequence[object],
+        children: Sequence["FactorizedNode"] = (),
+    ) -> None:
+        """Append one assignment of the node's own variables with its child factors."""
+        if len(own_values) != len(self.own_variables):
+            raise ValueError(
+                f"expected {len(self.own_variables)} values, got {len(own_values)}"
+            )
+        self.entries.append((tuple(own_values), tuple(children)))
+
+    # ---------------------------------------------------------------- queries
+    def count(self) -> int:
+        """Number of flat assignments represented (without expanding them)."""
+        total = 0
+        for _, children in self.entries:
+            factor = 1
+            for child in children:
+                factor *= child.count()
+                if factor == 0:
+                    break
+            total += factor
+        return total
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """All variables covered, own first then children in order (depth order)."""
+        collected: List[Variable] = list(self.own_variables)
+        if self.entries:
+            # all entries share the same child variable layout
+            for child in self.entries[0][1]:
+                collected.extend(child.variables())
+        return tuple(collected)
+
+    def enumerate(self) -> Iterator[Tuple[object, ...]]:
+        """Yield every flat assignment as a tuple following :meth:`variables`."""
+        for own_values, children in self.entries:
+            if not children:
+                yield own_values
+                continue
+            for combination in product(*(child.enumerate() for child in children)):
+                flat = own_values
+                for part in combination:
+                    flat = flat + part
+                yield flat
+
+    def enumerate_dicts(self) -> Iterator[Dict[Variable, object]]:
+        """Yield every flat assignment as a variable->value dictionary."""
+        layout = self.variables()
+        for values in self.enumerate():
+            yield dict(zip(layout, values))
+
+    def is_empty(self) -> bool:
+        """True when no assignment is represented."""
+        return self.count() == 0
+
+    def memory_entries(self) -> int:
+        """Number of stored entries across the whole factorisation (memory proxy)."""
+        total = len(self.entries)
+        seen = set()
+        for _, children in self.entries:
+            for child in children:
+                if id(child) not in seen:
+                    seen.add(id(child))
+                    total += child.memory_entries()
+        return total
+
+    def __repr__(self) -> str:
+        names = ",".join(v.name for v in self.own_variables)
+        return f"FactorizedNode([{names}], entries={len(self.entries)}, count={self.count()})"
+
+
+def expand_assignments(
+    prefix: Dict[Variable, object],
+    factors: Iterable[Tuple[int, FactorizedNode]],
+    variable_order: Sequence[Variable],
+) -> Iterator[Tuple[object, ...]]:
+    """Combine a directly-bound prefix with skipped-subtree factors.
+
+    ``prefix`` holds the values of variables that CLFTJ bound directly;
+    ``factors`` holds ``(start_depth, factorised node)`` pairs for the
+    subtrees that were skipped on cache hits.  The function yields complete
+    result tuples in ``variable_order`` positions.
+    """
+    order = list(variable_order)
+    depth_of = {variable: index for index, variable in enumerate(order)}
+    factor_list = sorted(factors, key=lambda item: item[0])
+    factor_nodes = [node for _, node in factor_list]
+    factor_layouts = [node.variables() for node in factor_nodes]
+
+    base: List[Optional[object]] = [prefix.get(variable) for variable in order]
+    if not factor_nodes:
+        yield tuple(base)
+        return
+
+    for combination in product(*(node.enumerate() for node in factor_nodes)):
+        row = list(base)
+        for layout, values in zip(factor_layouts, combination):
+            for variable, value in zip(layout, values):
+                row[depth_of[variable]] = value
+        yield tuple(row)

@@ -1,0 +1,96 @@
+"""The unary leapfrog intersection.
+
+Given ``k`` trie iterators, all open at the same level and each positioned at
+the start of a sorted sibling list, :class:`LeapfrogJoin` enumerates the keys
+present in *all* of them, in increasing order, by rotating through the
+iterators and seeking each to the current maximum (Veldhuizen's "leapfrog
+join").  The amortised cost is within a log factor of the smallest list,
+which is what gives LFTJ its worst-case optimality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.storage.trie import TrieIterator
+
+
+class LeapfrogJoin:
+    """Intersect the current sibling lists of several open trie iterators."""
+
+    def __init__(self, iterators: Sequence[TrieIterator]) -> None:
+        if not iterators:
+            raise ValueError("leapfrog join needs at least one iterator")
+        self._iters: List[TrieIterator] = list(iterators)
+        self.at_end = False
+        self._position = 0
+        self._key: Optional[object] = None
+        self._init()
+
+    # ----------------------------------------------------------------- setup
+    def _init(self) -> None:
+        if any(iterator.at_end() for iterator in self._iters):
+            self.at_end = True
+            return
+        self._iters.sort(key=lambda iterator: iterator.key())
+        self._position = 0
+        self._search()
+
+    def _search(self) -> None:
+        """Advance iterators until all agree on a key or one is exhausted."""
+        count = len(self._iters)
+        max_key = self._iters[(self._position - 1) % count].key()
+        while True:
+            iterator = self._iters[self._position]
+            key = iterator.key()
+            if key == max_key:
+                self._key = key
+                return
+            iterator.seek(max_key)
+            if iterator.at_end():
+                self.at_end = True
+                return
+            max_key = iterator.key()
+            self._position = (self._position + 1) % count
+
+    # ------------------------------------------------------------ navigation
+    def key(self) -> object:
+        """The current common key."""
+        if self.at_end:
+            raise RuntimeError("leapfrog join is at end; no current key")
+        return self._key
+
+    def next(self) -> None:
+        """Advance to the next common key (possibly reaching the end)."""
+        if self.at_end:
+            raise RuntimeError("leapfrog join is already at end")
+        iterator = self._iters[self._position]
+        iterator.next()
+        if iterator.at_end():
+            self.at_end = True
+            return
+        self._position = (self._position + 1) % len(self._iters)
+        self._search()
+
+    def seek(self, value: object) -> None:
+        """Advance to the least common key ``>= value``."""
+        if self.at_end:
+            raise RuntimeError("leapfrog join is already at end")
+        iterator = self._iters[self._position]
+        iterator.seek(value)
+        if iterator.at_end():
+            self.at_end = True
+            return
+        self._position = (self._position + 1) % len(self._iters)
+        self._search()
+
+    def __iter__(self) -> Iterator[object]:
+        """Iterate over all common keys from the current position."""
+        while not self.at_end:
+            yield self.key()
+            self.next()
+
+
+def leapfrog_intersection(iterators: Sequence[TrieIterator]) -> List[object]:
+    """Convenience helper: the full list of common keys (consumes the iterators)."""
+    return list(LeapfrogJoin(iterators))

@@ -1,0 +1,199 @@
+"""Leapfrog Trie Join (LFTJ) — the vanilla algorithm of Figure 1.
+
+LFTJ binds the query variables one by one along a global variable order.  At
+depth ``d`` the atoms containing variable ``x_d`` each expose a sorted list of
+candidate values (one trie level below their currently bound prefix); a
+leapfrog intersection enumerates the common values, and the algorithm recurses
+for each.  No intermediate result is ever materialised, which is both LFTJ's
+key advantage (tiny memory footprint) and the weakness the paper's CLFTJ
+addresses (recurring sub-joins are recomputed from scratch).
+
+:class:`LeapfrogTrieJoin` supports both the counting problem (``count``) and
+full evaluation (``evaluate``), and shares its plumbing with
+:class:`repro.core.clftj.CachedLeapfrogTrieJoin` through :class:`TrieJoinBase`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.instrumentation import OperationCounter
+from repro.core.leapfrog import LeapfrogJoin
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.terms import Variable
+from repro.storage.database import Database
+from repro.storage.trie import TrieIndex, TrieIterator
+from repro.storage.views import materialize_atom
+
+
+class TrieJoinBase:
+    """Shared machinery for LFTJ and CLFTJ.
+
+    Responsibilities:
+
+    * validate the variable order;
+    * materialise each atom into a view over its distinct variables and build
+      a trie whose level order follows the global variable order;
+    * precompute, for every depth, which atom iterators participate.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        variable_order: Optional[Sequence[Variable]] = None,
+        counter: Optional[OperationCounter] = None,
+    ) -> None:
+        self.query = query
+        self.database = database
+        self.counter = counter if counter is not None else OperationCounter()
+        order = tuple(variable_order) if variable_order is not None else tuple(query.variables)
+        self._validate_order(order)
+        self.variable_order: Tuple[Variable, ...] = order
+        self._depth_of: Dict[Variable, int] = {
+            variable: depth for depth, variable in enumerate(order)
+        }
+        self.num_variables = len(order)
+
+        self._atom_tries: List[TrieIndex] = []
+        self._atom_variables: List[Tuple[Variable, ...]] = []
+        for atom in query.atoms:
+            view = materialize_atom(database, atom)
+            ordered_attributes = sorted(
+                view.attributes, key=lambda name: self._depth_of[Variable(name)]
+            )
+            column_order = [view.attributes.index(name) for name in ordered_attributes]
+            self._atom_tries.append(TrieIndex.build(view, column_order))
+            self._atom_variables.append(tuple(Variable(name) for name in ordered_attributes))
+
+        self._atoms_at_depth: List[Tuple[int, ...]] = []
+        for depth, variable in enumerate(order):
+            participating = tuple(
+                atom_index
+                for atom_index, atom_vars in enumerate(self._atom_variables)
+                if variable in atom_vars
+            )
+            self._atoms_at_depth.append(participating)
+
+        self._iterators: List[TrieIterator] = []
+        self._assignment: List[Optional[object]] = []
+
+    # -------------------------------------------------------------- validation
+    def _validate_order(self, order: Sequence[Variable]) -> None:
+        query_vars = self.query.variable_set()
+        order_set = set(order)
+        if len(order) != len(order_set):
+            raise ValueError(f"variable order {order!r} contains duplicates")
+        if order_set != query_vars:
+            missing = query_vars - order_set
+            extra = order_set - query_vars
+            raise ValueError(
+                f"variable order does not match the query variables "
+                f"(missing={sorted(v.name for v in missing)!r}, "
+                f"extra={sorted(v.name for v in extra)!r})"
+            )
+
+    # -------------------------------------------------------------- execution
+    def _prepare(self) -> None:
+        """Create fresh iterators and a blank assignment for one execution."""
+        self._iterators = [trie.iterator(self.counter) for trie in self._atom_tries]
+        self._assignment = [None] * self.num_variables
+
+    def _participants(self, depth: int) -> List[TrieIterator]:
+        return [self._iterators[atom_index] for atom_index in self._atoms_at_depth[depth]]
+
+    def current_assignment(self) -> Dict[Variable, object]:
+        """The current partial assignment ``mu`` (used by tests and tracing)."""
+        return {
+            variable: value
+            for variable, value in zip(self.variable_order, self._assignment)
+            if value is not None
+        }
+
+    @property
+    def trie_statistics(self) -> Dict[str, int]:
+        """Sizes of the per-atom tries (distinct first-level keys and tuples)."""
+        return {
+            f"atom_{index}": trie.tuple_count()
+            for index, trie in enumerate(self._atom_tries)
+        }
+
+
+class LeapfrogTrieJoin(TrieJoinBase):
+    """Vanilla LFTJ: worst-case-optimal multiway join without caching."""
+
+    def count(self) -> int:
+        """Return ``|q(D)|`` (the algorithm ``TJCount`` of Figure 1)."""
+        self._prepare()
+        total = self._count_recursive(0)
+        self.counter.record_result(0)
+        return total
+
+    def _count_recursive(self, depth: int) -> int:
+        self.counter.record_recursive_call()
+        if depth == self.num_variables:
+            self.counter.results_emitted += 1
+            return 1
+        participants = self._participants(depth)
+        for iterator in participants:
+            iterator.open()
+        total = 0
+        join = LeapfrogJoin(participants)
+        while not join.at_end:
+            self._assignment[depth] = join.key()
+            total += self._count_recursive(depth + 1)
+            join.next()
+        self._assignment[depth] = None
+        for iterator in participants:
+            iterator.up()
+        return total
+
+    def evaluate(self) -> Iterator[Tuple[object, ...]]:
+        """Yield every result tuple, as values in variable-order positions."""
+        self._prepare()
+        yield from self._evaluate_recursive(0)
+
+    def _evaluate_recursive(self, depth: int) -> Iterator[Tuple[object, ...]]:
+        self.counter.record_recursive_call()
+        if depth == self.num_variables:
+            self.counter.results_emitted += 1
+            yield tuple(self._assignment)
+            return
+        participants = self._participants(depth)
+        for iterator in participants:
+            iterator.open()
+        join = LeapfrogJoin(participants)
+        while not join.at_end:
+            self._assignment[depth] = join.key()
+            yield from self._evaluate_recursive(depth + 1)
+            join.next()
+        self._assignment[depth] = None
+        for iterator in participants:
+            iterator.up()
+
+    def evaluate_all(self) -> List[Dict[Variable, object]]:
+        """Materialise all results as variable->value dictionaries."""
+        return [
+            dict(zip(self.variable_order, row))
+            for row in self.evaluate()
+        ]
+
+
+def lftj_count(
+    query: ConjunctiveQuery,
+    database: Database,
+    variable_order: Optional[Sequence[Variable]] = None,
+    counter: Optional[OperationCounter] = None,
+) -> int:
+    """One-shot convenience wrapper around :meth:`LeapfrogTrieJoin.count`."""
+    return LeapfrogTrieJoin(query, database, variable_order, counter).count()
+
+
+def lftj_evaluate(
+    query: ConjunctiveQuery,
+    database: Database,
+    variable_order: Optional[Sequence[Variable]] = None,
+    counter: Optional[OperationCounter] = None,
+) -> List[Tuple[object, ...]]:
+    """One-shot convenience wrapper returning all result tuples."""
+    return list(LeapfrogTrieJoin(query, database, variable_order, counter).evaluate())

@@ -1,0 +1,47 @@
+"""Synthetic datasets standing in for the paper's workloads.
+
+The paper evaluates on SNAP graphs (wiki-Vote, p2p-Gnutella04, ca-GrQc,
+ego-Facebook, ego-Twitter) and on IMDB's cast_info table split into male and
+female cast relations.  Those files cannot be downloaded in this offline
+environment, so :mod:`repro.datasets.snap` and :mod:`repro.datasets.imdb`
+generate deterministic synthetic graphs with the *shape* that matters for the
+paper's findings: heavy-tailed degree skew for the skewed datasets, a
+balanced degree distribution for p2p-Gnutella04, and per-attribute skew
+differences for IMDB.  Real files can still be loaded through
+:mod:`repro.storage.loaders`.
+"""
+
+from repro.datasets.generators import (
+    erdos_renyi_edges,
+    powerlaw_edges,
+    preferential_attachment_edges,
+    zipf_sampler,
+)
+from repro.datasets.snap import (
+    SNAP_DATASETS,
+    SnapDatasetSpec,
+    ca_grqc,
+    ego_facebook,
+    ego_twitter,
+    load_snap_standin,
+    p2p_gnutella04,
+    wiki_vote,
+)
+from repro.datasets.imdb import imdb_cast, ImdbSpec
+
+__all__ = [
+    "ImdbSpec",
+    "SNAP_DATASETS",
+    "SnapDatasetSpec",
+    "ca_grqc",
+    "ego_facebook",
+    "ego_twitter",
+    "erdos_renyi_edges",
+    "imdb_cast",
+    "load_snap_standin",
+    "p2p_gnutella04",
+    "powerlaw_edges",
+    "preferential_attachment_edges",
+    "wiki_vote",
+    "zipf_sampler",
+]

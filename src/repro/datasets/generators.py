@@ -1,0 +1,133 @@
+"""Low-level random-graph and skewed-value generators.
+
+Everything is seeded and deterministic: the same parameters always produce
+the same edge lists, so tests and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import Callable, List, Sequence, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def zipf_sampler(population: int, alpha: float, rng: random.Random) -> Callable[[], int]:
+    """A sampler of values in ``range(population)`` with Zipf-like skew.
+
+    Value ``i`` is drawn with probability proportional to ``1 / (i + 1)**alpha``.
+    ``alpha = 0`` is uniform; larger ``alpha`` concentrates the mass on the
+    first few values (heavy hitters), which is the property that makes the
+    SNAP graphs and IMDB person ids cache-friendly in the paper.
+    """
+    if population < 1:
+        raise ValueError("population must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    weights = [1.0 / ((index + 1) ** alpha) for index in range(population)]
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        cumulative.append(running)
+    total = cumulative[-1]
+
+    def sample() -> int:
+        point = rng.random() * total
+        return min(bisect_right(cumulative, point), population - 1)
+
+    return sample
+
+
+def erdos_renyi_edges(
+    num_nodes: int,
+    edge_probability: float,
+    seed: int = 0,
+    directed: bool = False,
+) -> List[Edge]:
+    """Erdős–Rényi ``G(n, p)`` edges without self loops (deterministic per seed)."""
+    if num_nodes < 2:
+        raise ValueError("need at least two nodes")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge probability must be in [0, 1]")
+    rng = random.Random(seed)
+    edges: List[Edge] = []
+    for source in range(num_nodes):
+        start = 0 if directed else source + 1
+        for target in range(start, num_nodes):
+            if source == target:
+                continue
+            if rng.random() < edge_probability:
+                edges.append((source, target))
+    return edges
+
+
+def powerlaw_edges(
+    num_nodes: int,
+    num_edges: int,
+    source_alpha: float = 1.0,
+    target_alpha: float = 0.5,
+    seed: int = 0,
+) -> List[Edge]:
+    """Directed edges with Zipf-skewed endpoints (no self loops, no duplicates).
+
+    ``source_alpha`` / ``target_alpha`` control how concentrated the out- and
+    in-degree distributions are.  This is the generator behind the skewed
+    SNAP stand-ins: it produces a few very-high-degree hubs and a long tail.
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least two nodes")
+    rng = random.Random(seed)
+    sample_source = zipf_sampler(num_nodes, source_alpha, rng)
+    sample_target = zipf_sampler(num_nodes, target_alpha, rng)
+    edges: Set[Edge] = set()
+    attempts = 0
+    max_attempts = num_edges * 50
+    while len(edges) < num_edges and attempts < max_attempts:
+        attempts += 1
+        source = sample_source()
+        target = sample_target()
+        if source == target:
+            continue
+        edges.add((source, target))
+    return sorted(edges)
+
+
+def preferential_attachment_edges(
+    num_nodes: int,
+    edges_per_node: int = 2,
+    seed: int = 0,
+) -> List[Edge]:
+    """Barabási–Albert-style preferential attachment (undirected edge list).
+
+    Every new node attaches to ``edges_per_node`` existing nodes chosen with
+    probability proportional to their current degree, producing the
+    heavy-tailed degree distribution typical of social graphs
+    (ego-Facebook / ego-Twitter stand-ins).
+    """
+    if num_nodes <= edges_per_node:
+        raise ValueError("num_nodes must exceed edges_per_node")
+    rng = random.Random(seed)
+    edges: Set[Edge] = set()
+    targets: List[int] = list(range(edges_per_node))
+    repeated: List[int] = list(range(edges_per_node))
+    for node in range(edges_per_node, num_nodes):
+        chosen: Set[int] = set()
+        while len(chosen) < edges_per_node:
+            chosen.add(rng.choice(repeated) if repeated and rng.random() < 0.9 else rng.randrange(node))
+        for target in chosen:
+            if target != node:
+                edge = (min(node, target), max(node, target))
+                edges.add(edge)
+                repeated.extend([node, target])
+    return sorted(edges)
+
+
+def degree_sequence(edges: Sequence[Edge]) -> List[int]:
+    """Total (in+out) degree per node id, for quick skew checks in tests."""
+    degrees: dict = {}
+    for source, target in edges:
+        degrees[source] = degrees.get(source, 0) + 1
+        degrees[target] = degrees.get(target, 0) + 1
+    return [degrees[node] for node in sorted(degrees)]

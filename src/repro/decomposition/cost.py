@@ -1,0 +1,187 @@
+"""Decomposition scoring and the attribute-order cost model (Section 4.3).
+
+Two cost components are combined when selecting a decomposition for CLFTJ:
+
+* :func:`td_heuristic_score` -- the structural heuristics the paper lists:
+  small adhesions are paramount (they are the cache dimensions), more bags
+  are better (more caches to exploit), and shallower trees are better.
+* :class:`ChuCostModel` -- an adaptation of the cost model of Chu, Balazinska
+  and Suciu (SIGMOD 2015) for estimating the cost of a variable order: the
+  expected number of iterator operations is accumulated depth by depth from
+  per-attribute cardinality statistics under an independence assumption.
+
+:func:`select_decomposition` enumerates candidate TDs, scores each together
+with its strongly compatible order, and returns the best pair — this is the
+planner used by :class:`repro.engine.QueryEngine`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.decomposition.generic import enumerate_tree_decompositions
+from repro.decomposition.ordering import strongly_compatible_order
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.terms import Variable
+from repro.storage.database import Database
+from repro.storage.statistics import StatisticsCatalog
+from repro.storage.views import atom_variables_in_order
+
+
+def td_heuristic_score(decomposition: TreeDecomposition) -> Tuple[int, int, int]:
+    """Structural score of a TD — smaller is better.
+
+    The components are, in priority order: maximum adhesion size, negated
+    number of bags (more bags preferred) and tree depth.  A single-bag
+    decomposition admits no caching at all, so it is ranked behind any
+    genuine decomposition by charging it an adhesion size larger than the
+    variable count.
+    """
+    if decomposition.num_nodes == 1:
+        adhesion_component = len(decomposition.all_variables()) + 1
+    else:
+        adhesion_component = decomposition.max_adhesion_size
+    return (
+        adhesion_component,
+        -decomposition.num_nodes,
+        decomposition.depth,
+    )
+
+
+class ChuCostModel:
+    """Estimate the cost of running a trie join with a given variable order.
+
+    The model walks the variable order and maintains an estimate of the
+    number of partial assignments alive at each depth.  For every depth it
+    adds ``partial_assignments * sum(log2 |R| for atoms containing the
+    variable)`` — the expected seek work — and multiplies the running
+    estimate by the expected number of matching values, computed from
+    per-attribute distinct counts under independence (the spirit of Chu et
+    al.'s tributary-join cost model, adapted to our statistics).
+    """
+
+    def __init__(self, database: Database, query: ConjunctiveQuery) -> None:
+        self.database = database
+        self.query = query
+        self._catalog = StatisticsCatalog(database)
+        # Pre-compute, per atom, per variable: the relation attribute backing it.
+        self._atom_attributes: List[Dict[Variable, str]] = []
+        for atom in query.atoms:
+            relation = database.relation(atom.relation)
+            mapping: Dict[Variable, str] = {}
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Variable) and term not in mapping:
+                    mapping[term] = relation.attributes[position]
+            self._atom_attributes.append(mapping)
+
+    def _atom_cardinality(self, atom_index: int) -> int:
+        relation = self.database.relation(self.query.atoms[atom_index].relation)
+        return max(len(relation), 1)
+
+    def _distinct(self, atom_index: int, variable: Variable) -> int:
+        atom = self.query.atoms[atom_index]
+        attribute = self._atom_attributes[atom_index][variable]
+        stats = self._catalog.relation(atom.relation)
+        return max(stats.distinct(attribute), 1)
+
+    def estimate_matches(
+        self, atom_index: int, variable: Variable, bound: Iterable[Variable]
+    ) -> float:
+        """Expected number of values of ``variable`` offered by one atom.
+
+        If none of the atom's variables are bound yet, the estimate is the
+        number of distinct values of the attribute; otherwise the atom's
+        cardinality divided by the product of distinct counts of the bound
+        attributes (independence assumption), floored at a small constant.
+        """
+        atom_vars = set(atom_variables_in_order(self.query.atoms[atom_index]))
+        bound_here = [v for v in bound if v in atom_vars]
+        if not bound_here:
+            return float(self._distinct(atom_index, variable))
+        cardinality = float(self._atom_cardinality(atom_index))
+        denominator = 1.0
+        for bound_variable in bound_here:
+            denominator *= float(self._distinct(atom_index, bound_variable))
+        return max(cardinality / denominator, 0.05)
+
+    def order_cost(self, order: Sequence[Variable]) -> float:
+        """The estimated total iterator work for ``order``."""
+        partial = 1.0
+        total = 0.0
+        bound: List[Variable] = []
+        for variable in order:
+            covering = [
+                index
+                for index, atom in enumerate(self.query.atoms)
+                if variable in atom.variable_set()
+            ]
+            if not covering:
+                continue
+            seek_work = sum(
+                math.log2(self._atom_cardinality(index) + 1) for index in covering
+            )
+            total += partial * seek_work
+            matches = min(
+                self.estimate_matches(index, variable, bound) for index in covering
+            )
+            partial *= max(matches, 0.05)
+            bound.append(variable)
+        return total
+
+
+@dataclass(frozen=True)
+class DecompositionChoice:
+    """A scored (decomposition, order) candidate."""
+
+    decomposition: TreeDecomposition
+    order: Tuple[Variable, ...]
+    structural_score: Tuple[int, int, int]
+    order_cost: float
+
+    @property
+    def sort_key(self) -> Tuple:
+        return (*self.structural_score, self.order_cost)
+
+
+def select_decomposition(
+    query: ConjunctiveQuery,
+    database: Database,
+    max_adhesion_size: int = 2,
+    max_candidates: int = 16,
+    cost_model: Optional[ChuCostModel] = None,
+) -> DecompositionChoice:
+    """Enumerate candidate TDs, score them, and return the best choice.
+
+    The score is lexicographic: structural heuristics first (small adhesions,
+    many bags, shallow), then the Chu-style order cost of the strongly
+    compatible order derived from the TD.
+    """
+    model = cost_model or ChuCostModel(database, query)
+    candidates: List[DecompositionChoice] = []
+    for decomposition in enumerate_tree_decompositions(
+        query,
+        max_adhesion_size=max_adhesion_size,
+        max_decompositions=max_candidates,
+    ):
+        order = strongly_compatible_order(decomposition)
+        candidates.append(
+            DecompositionChoice(
+                decomposition=decomposition,
+                order=order,
+                structural_score=td_heuristic_score(decomposition),
+                order_cost=model.order_cost(order),
+            )
+        )
+    if not candidates:
+        decomposition = TreeDecomposition.singleton(query.variables)
+        order = strongly_compatible_order(decomposition)
+        return DecompositionChoice(
+            decomposition=decomposition,
+            order=order,
+            structural_score=td_heuristic_score(decomposition),
+            order_cost=model.order_cost(order),
+        )
+    return min(candidates, key=lambda choice: choice.sort_key)

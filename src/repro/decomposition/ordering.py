@@ -1,0 +1,128 @@
+"""Variable orderings (strongly) compatible with an ordered tree decomposition.
+
+Section 2.3 defines two notions:
+
+* a TD is *compatible* with an order if, whenever ``owner(x_i)`` is the parent
+  of ``owner(x_j)``, then ``i < j``;
+* it is *strongly compatible* if, whenever ``owner(x_i)`` precedes
+  ``owner(x_j)`` in preorder, then ``i < j``.
+
+Strong compatibility is what CLFTJ needs: it guarantees that the variables
+owned by any subtree form a contiguous interval of the order, so a cache hit
+can skip the whole interval.  Ordering variables by the preorder rank of their
+owner (ties broken within a bag) yields a strongly compatible order by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.terms import Variable
+from repro.decomposition.tree_decomposition import TreeDecomposition
+
+#: Orders the variables owned by one bag; receives (variable, decomposition, node).
+WithinBagKey = Callable[[Variable, TreeDecomposition, int], object]
+
+
+def _default_within_bag_key(variable: Variable, decomposition: TreeDecomposition, node: int) -> object:
+    """Default tie-break inside a bag.
+
+    Variables that appear in some child's adhesion are placed *later* so that
+    when the traversal reaches the child, its adhesion was bound as recently
+    as possible (slightly better locality); remaining ties break on the name
+    for determinism.
+    """
+    in_child_adhesion = any(
+        variable in decomposition.adhesion(child)
+        for child in decomposition.children(node)
+    )
+    return (0 if not in_child_adhesion else 1, variable.name)
+
+
+def strongly_compatible_order(
+    decomposition: TreeDecomposition,
+    within_bag_key: Optional[WithinBagKey] = None,
+) -> Tuple[Variable, ...]:
+    """Derive a variable order strongly compatible with ``decomposition``.
+
+    Variables are grouped by their owner bag following the preorder of the
+    tree; inside a bag the ``within_bag_key`` decides the order (by default
+    adhesion-last, then name).
+    """
+    key = within_bag_key or _default_within_bag_key
+    order: List[Variable] = []
+    for node in decomposition.preorder():
+        owned = decomposition.owned_variables(node)
+        ordered = sorted(owned, key=lambda variable: key(variable, decomposition, node))
+        order.extend(ordered)
+    return tuple(order)
+
+
+def is_compatible(
+    decomposition: TreeDecomposition,
+    order: Sequence[Variable],
+) -> bool:
+    """True when ``decomposition`` is compatible with ``order`` (parent-before-child)."""
+    positions = {variable: index for index, variable in enumerate(order)}
+    if set(positions) != set(decomposition.all_variables()):
+        return False
+    for later in order:
+        for earlier in order:
+            owner_earlier = decomposition.owner(earlier)
+            owner_later = decomposition.owner(later)
+            if decomposition.parent(owner_later) == owner_earlier:
+                if positions[earlier] > positions[later] and owner_earlier != owner_later:
+                    return False
+    return True
+
+
+def is_strongly_compatible(
+    decomposition: TreeDecomposition,
+    order: Sequence[Variable],
+) -> bool:
+    """True when ``decomposition`` is strongly compatible with ``order``.
+
+    Equivalent to: the preorder rank of ``owner(x_i)`` is non-decreasing
+    along the order.
+    """
+    positions = {variable: index for index, variable in enumerate(order)}
+    if set(positions) != set(decomposition.all_variables()):
+        return False
+    previous_rank = -1
+    for variable in order:
+        rank = decomposition.preorder_rank(decomposition.owner(variable))
+        if rank < previous_rank:
+            return False
+        previous_rank = max(previous_rank, rank)
+    return True
+
+
+def subtree_interval(
+    decomposition: TreeDecomposition,
+    order: Sequence[Variable],
+    node: int,
+) -> Tuple[int, int]:
+    """The (first, last) order positions of the variables owned by ``t|node``.
+
+    Only meaningful for strongly compatible orders, where the owned variables
+    of a subtree are contiguous; raises ``ValueError`` if they are not.
+    """
+    positions = {variable: index for index, variable in enumerate(order)}
+    owned = decomposition.subtree_variables(node)
+    if not owned:
+        raise ValueError(f"subtree of node {node} owns no variables")
+    indices = sorted(positions[variable] for variable in owned)
+    first, last = indices[0], indices[-1]
+    if indices != list(range(first, last + 1)):
+        raise ValueError(
+            f"variables owned by the subtree of node {node} are not contiguous "
+            f"in the given order; the order is not strongly compatible"
+        )
+    return first, last
+
+
+def default_order(query: ConjunctiveQuery) -> Tuple[Variable, ...]:
+    """The query's textual variable order (first appearance), LFTJ's default."""
+    return tuple(query.variables)

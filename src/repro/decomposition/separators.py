@@ -1,0 +1,249 @@
+"""Constrained graph separators and their ranked enumeration (Section 4.2).
+
+The *side-constrained graph separation problem* asks, for an undirected graph
+``g`` and a node set ``C``, for a separating set ``S`` (``g - S`` is
+disconnected) such that at least one connected component of ``g - S`` is
+disjoint from ``C``.
+
+Two pieces are provided:
+
+* :func:`minimum_constrained_separator` -- the optimisation oracle: a minimum
+  C-constrained separating set under *membership constraints* ("S must
+  contain these nodes" / "S must avoid those nodes").  It reduces to a
+  minimum vertex cut via the standard node-splitting max-flow construction.
+* :func:`enumerate_constrained_separators` -- Lawler–Murty ranked enumeration
+  on top of the oracle, yielding all C-constrained separating sets by
+  non-decreasing size with polynomial delay (Theorem 4.4).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count as _counter
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+_INFINITY = float("inf")
+
+
+def is_separating_set(graph: nx.Graph, separator: Iterable, constraint: Iterable = ()) -> bool:
+    """Check whether ``separator`` is a C-constrained separating set of ``graph``.
+
+    ``separator`` must disconnect the graph and leave at least one connected
+    component disjoint from ``constraint``.
+    """
+    separator = set(separator)
+    constraint = set(constraint)
+    remaining = graph.copy()
+    remaining.remove_nodes_from(separator)
+    if remaining.number_of_nodes() == 0:
+        return False
+    components = list(nx.connected_components(remaining))
+    if len(components) < 2:
+        return False
+    return any(not (component & constraint) for component in components)
+
+
+def _vertex_cut(
+    graph: nx.Graph,
+    sources: Set,
+    target,
+    exclude: Set,
+) -> Optional[FrozenSet]:
+    """Minimum set of non-terminal nodes whose removal separates ``sources`` from ``target``.
+
+    Nodes in ``exclude`` (and the terminals themselves) may not be cut.
+    Returns ``None`` when no finite cut exists (e.g. the target is adjacent
+    to a source through non-cuttable nodes only).
+    """
+    flow_graph = nx.DiGraph()
+    source_label = ("S",)
+    target_label = ("T",)
+    for node in graph.nodes:
+        capacity = _INFINITY if node in exclude or node in sources or node == target else 1
+        flow_graph.add_edge(("in", node), ("out", node), capacity=capacity)
+    for left, right in graph.edges:
+        flow_graph.add_edge(("out", left), ("in", right), capacity=_INFINITY)
+        flow_graph.add_edge(("out", right), ("in", left), capacity=_INFINITY)
+    for node in sources:
+        flow_graph.add_edge(source_label, ("in", node), capacity=_INFINITY)
+    flow_graph.add_edge(("out", target), target_label, capacity=_INFINITY)
+
+    try:
+        cut_value, (reachable, _) = nx.minimum_cut(flow_graph, source_label, target_label)
+    except nx.NetworkXUnbounded:
+        # An infinite-capacity path between the terminals: no finite vertex cut.
+        return None
+    if cut_value == _INFINITY:
+        return None
+    separator = {
+        node
+        for node in graph.nodes
+        if ("in", node) in reachable and ("out", node) not in reachable
+    }
+    return frozenset(separator)
+
+
+def minimum_constrained_separator(
+    graph: nx.Graph,
+    constraint: Iterable = (),
+    include: Iterable = (),
+    exclude: Iterable = (),
+    max_size: Optional[int] = None,
+) -> Optional[FrozenSet]:
+    """A minimum C-constrained separating set honouring membership constraints.
+
+    ``include`` lists nodes that must belong to the separator, ``exclude``
+    lists nodes that must not.  Returns ``None`` when no valid separator
+    exists (or none within ``max_size``).
+    """
+    constraint = set(constraint)
+    include = frozenset(include)
+    exclude = frozenset(exclude)
+    if include & exclude:
+        return None
+    if not set(graph.nodes) >= include:
+        return None
+
+    residual = graph.copy()
+    residual.remove_nodes_from(include)
+    best: Optional[FrozenSet] = None
+
+    if is_separating_set(graph, include, constraint):
+        best = include
+
+    if best is None or len(best) > len(include):
+        remaining_constraint = constraint - include
+        terminal_pairs: List[Tuple[Set, object]] = []
+        if remaining_constraint:
+            # Separate C from every possible target node.
+            terminal_pairs.extend(
+                (set(remaining_constraint), target)
+                for target in residual.nodes
+                if target not in remaining_constraint
+            )
+        else:
+            # No side constraint left: any pair of nodes may end up on the
+            # two sides of the separator, so try every unordered pair.
+            ordered_nodes = sorted(residual.nodes, key=repr)
+            terminal_pairs.extend(
+                ({source}, target)
+                for index, source in enumerate(ordered_nodes)
+                for target in ordered_nodes[index + 1:]
+            )
+        for sources, target in terminal_pairs:
+            if not sources or target in sources:
+                continue
+            cut = _vertex_cut(residual, sources, target, exclude)
+            if cut is None:
+                continue
+            candidate = frozenset(cut | include)
+            if candidate & exclude:
+                continue
+            if not is_separating_set(graph, candidate, constraint):
+                continue
+            if best is None or len(candidate) < len(best):
+                best = candidate
+
+    if best is None:
+        return None
+    if max_size is not None and len(best) > max_size:
+        return None
+    return best
+
+
+def enumerate_constrained_separators(
+    graph: nx.Graph,
+    constraint: Iterable = (),
+    max_size: Optional[int] = None,
+    max_results: Optional[int] = None,
+    exclude: Iterable = (),
+) -> Iterator[FrozenSet]:
+    """Enumerate C-constrained separating sets by non-decreasing size.
+
+    Lawler–Murty's procedure: repeatedly solve the optimisation problem under
+    membership constraints, emit the best solution of the current region, and
+    split the region by including/excluding the solution's elements.  The
+    emission order is by increasing separator size (ties broken
+    deterministically); duplicates are suppressed.
+    """
+    constraint = frozenset(constraint)
+    base_exclude = frozenset(exclude)
+    emitted: Set[FrozenSet] = set()
+    tie_breaker = _counter()
+
+    heap: List[Tuple[int, Tuple, int, FrozenSet, FrozenSet, FrozenSet]] = []
+
+    def push(include: FrozenSet, excluded: FrozenSet) -> None:
+        solution = minimum_constrained_separator(
+            graph, constraint, include=include, exclude=excluded, max_size=max_size
+        )
+        if solution is None:
+            return
+        ordering_key = tuple(sorted(map(repr, solution)))
+        heapq.heappush(
+            heap, (len(solution), ordering_key, next(tie_breaker), solution, include, excluded)
+        )
+
+    push(frozenset(), base_exclude)
+
+    results = 0
+    while heap:
+        size, _, _, solution, include, excluded = heapq.heappop(heap)
+        if max_size is not None and size > max_size:
+            return
+        if solution not in emitted:
+            emitted.add(solution)
+            yield solution
+            results += 1
+            if max_results is not None and results >= max_results:
+                return
+        # Partition the remaining space (Lawler-Murty branching): the i-th
+        # child keeps the first i-1 elements and forbids the i-th.
+        free_elements = sorted(solution - include, key=repr)
+        forced = set(include)
+        for element in free_elements:
+            push(frozenset(forced), frozenset(excluded | {element}))
+            forced.add(element)
+
+
+def constrained_separator(
+    graph: nx.Graph,
+    constraint: Iterable = (),
+    max_size: Optional[int] = None,
+) -> Optional[Tuple[FrozenSet, FrozenSet]]:
+    """The paper's ``ConstrainedSep(g, C)``: a separator plus the C-side node set.
+
+    Returns ``(S, U)`` where ``S`` is a minimum C-constrained separating set
+    and ``U`` is the union of the connected components of ``g - S`` that
+    intersect ``C`` (or an arbitrary component when none does), so that
+    ``C ⊆ S ∪ U``.  Returns ``None`` when no (small enough) separator exists.
+    """
+    separator = minimum_constrained_separator(graph, constraint, max_size=max_size)
+    if separator is None:
+        return None
+    return separator, component_side(graph, separator, constraint)
+
+
+def component_side(graph: nx.Graph, separator: Iterable, constraint: Iterable) -> FrozenSet:
+    """The set ``U`` of Section 4.1 for a given separator.
+
+    ``U`` is the union of the connected components of ``g - S`` intersecting
+    ``C``; if no component intersects ``C`` (i.e. ``C ⊆ S``), an arbitrary
+    component is returned.
+    """
+    separator = set(separator)
+    constraint = set(constraint)
+    remaining = graph.copy()
+    remaining.remove_nodes_from(separator)
+    components = [frozenset(component) for component in nx.connected_components(remaining)]
+    if not components:
+        return frozenset()
+    intersecting = [component for component in components if component & constraint]
+    if intersecting:
+        union: Set = set()
+        for component in intersecting:
+            union |= component
+        return frozenset(union)
+    return min(components, key=lambda component: tuple(sorted(map(repr, component))))

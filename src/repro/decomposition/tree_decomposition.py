@@ -1,0 +1,417 @@
+"""Ordered tree decompositions (Section 2.3 of the paper).
+
+A tree decomposition of a full CQ maps each node of a rooted, ordered tree to
+a *bag* of variables such that (i) every atom's variables fit in some bag and
+(ii) the bags containing any given variable form a connected subtree.  The
+*adhesion* of a non-root node is the intersection of its bag with its
+parent's bag; adhesions are the cache keys of CLFTJ, so their size is the
+central quality measure of Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.terms import Variable
+
+
+BagSpec = Tuple[Iterable, Sequence]  # (bag variables, children specs) -- used by build()
+
+
+def _as_variable(value: object) -> Variable:
+    if isinstance(value, Variable):
+        return value
+    if isinstance(value, str):
+        return Variable(value)
+    raise TypeError(f"bag members must be variables or names, got {value!r}")
+
+
+class TreeDecomposition:
+    """A rooted, ordered tree decomposition over query variables.
+
+    Nodes are integers ``0..len-1`` in *preorder*; node 0 is the root.  The
+    class is immutable after construction.
+    """
+
+    def __init__(
+        self,
+        bags: Sequence[Iterable],
+        parents: Sequence[Optional[int]],
+        children: Optional[Mapping[int, Sequence[int]]] = None,
+    ) -> None:
+        self._bags: List[FrozenSet[Variable]] = [
+            frozenset(_as_variable(member) for member in bag) for bag in bags
+        ]
+        if not self._bags:
+            raise ValueError("a tree decomposition needs at least one bag")
+        self._parents: List[Optional[int]] = list(parents)
+        if len(self._parents) != len(self._bags):
+            raise ValueError("bags and parents must have the same length")
+        if self._parents[0] is not None:
+            raise ValueError("node 0 must be the root (parent None)")
+        if any(parent is None for parent in self._parents[1:]):
+            raise ValueError("only node 0 may be the root")
+        self._children: Dict[int, List[int]] = {index: [] for index in range(len(self._bags))}
+        if children is not None:
+            for node, child_list in children.items():
+                self._children[node] = list(child_list)
+        else:
+            for node, parent in enumerate(self._parents):
+                if parent is not None:
+                    self._children[parent].append(node)
+        self._check_tree()
+        self._preorder: Tuple[int, ...] = tuple(self._compute_preorder())
+        self._preorder_rank: Dict[int, int] = {
+            node: rank for rank, node in enumerate(self._preorder)
+        }
+        self._owner: Dict[Variable, int] = {}
+        for node in self._preorder:
+            for variable in sorted(self._bags[node]):
+                if variable not in self._owner:
+                    self._owner[variable] = node
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def build(cls, spec: BagSpec) -> "TreeDecomposition":
+        """Build a TD from a nested ``(bag, [child_spec, ...])`` structure.
+
+        Example (the TD of the paper's Figure 3)::
+
+            TreeDecomposition.build((
+                ["x1", "x2"],
+                [(["x2", "x3", "x4"], [
+                    (["x3", "x5"], []),
+                    (["x4", "x6"], []),
+                ])],
+            ))
+        """
+        bags: List[Iterable] = []
+        parents: List[Optional[int]] = []
+
+        def visit(node_spec: BagSpec, parent: Optional[int]) -> None:
+            bag, children = node_spec
+            index = len(bags)
+            bags.append(bag)
+            parents.append(parent)
+            for child in children:
+                visit(child, index)
+
+        visit(spec, None)
+        return cls(bags, parents)
+
+    @classmethod
+    def singleton(cls, variables: Iterable) -> "TreeDecomposition":
+        """The trivial decomposition with one bag holding every variable."""
+        return cls([list(variables)], [None])
+
+    @classmethod
+    def path(cls, bags: Sequence[Iterable]) -> "TreeDecomposition":
+        """A path-shaped decomposition: ``bags[0]`` is the root, each next bag a child."""
+        parents: List[Optional[int]] = [None] + list(range(len(bags) - 1))
+        return cls(bags, parents)
+
+    # ------------------------------------------------------------- inspection
+    def _check_tree(self) -> None:
+        seen = set()
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                raise ValueError("the decomposition tree contains a cycle")
+            seen.add(node)
+            frontier.extend(self._children[node])
+        if len(seen) != len(self._bags):
+            raise ValueError("the decomposition tree is not connected")
+
+    def _compute_preorder(self) -> List[int]:
+        order: List[int] = []
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(reversed(self._children[node]))
+        return order
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of bags."""
+        return len(self._bags)
+
+    @property
+    def root(self) -> int:
+        """The root node (always 0)."""
+        return 0
+
+    def bag(self, node: int) -> FrozenSet[Variable]:
+        """The bag ``chi(node)``."""
+        return self._bags[node]
+
+    @property
+    def bags(self) -> Tuple[FrozenSet[Variable], ...]:
+        """All bags, indexed by node."""
+        return tuple(self._bags)
+
+    def parent(self, node: int) -> Optional[int]:
+        """The parent of ``node`` (None for the root)."""
+        return self._parents[node]
+
+    def children(self, node: int) -> Tuple[int, ...]:
+        """The ordered children of ``node``."""
+        return tuple(self._children[node])
+
+    def preorder(self) -> Tuple[int, ...]:
+        """Nodes in preorder (root first, children in their given order)."""
+        return self._preorder
+
+    def preorder_rank(self, node: int) -> int:
+        """Position of ``node`` in the preorder."""
+        return self._preorder_rank[node]
+
+    def subtree(self, node: int) -> Tuple[int, ...]:
+        """All nodes of the subtree rooted at ``node``, in preorder."""
+        collected: List[int] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            collected.append(current)
+            stack.extend(reversed(self._children[current]))
+        return tuple(collected)
+
+    def adhesion(self, node: int) -> FrozenSet[Variable]:
+        """The parent adhesion ``chi(parent) ∩ chi(node)`` (empty for the root)."""
+        parent = self._parents[node]
+        if parent is None:
+            return frozenset()
+        return self._bags[node] & self._bags[parent]
+
+    def adhesions(self) -> Tuple[FrozenSet[Variable], ...]:
+        """Adhesions of all non-root nodes."""
+        return tuple(self.adhesion(node) for node in range(self.num_nodes) if node != 0)
+
+    def owner(self, variable: Variable) -> int:
+        """The owner bag of ``variable``: the preorder-minimal node containing it."""
+        try:
+            return self._owner[variable]
+        except KeyError as exc:
+            raise KeyError(f"variable {variable!r} does not appear in any bag") from exc
+
+    def owned_variables(self, node: int) -> FrozenSet[Variable]:
+        """Variables whose owner is ``node``."""
+        return frozenset(
+            variable for variable, owner in self._owner.items() if owner == node
+        )
+
+    def all_variables(self) -> FrozenSet[Variable]:
+        """Union of all bags."""
+        result: FrozenSet[Variable] = frozenset()
+        for bag in self._bags:
+            result |= bag
+        return result
+
+    def subtree_variables(self, node: int) -> FrozenSet[Variable]:
+        """Variables owned by nodes of the subtree rooted at ``node``."""
+        owned: FrozenSet[Variable] = frozenset()
+        for member in self.subtree(node):
+            owned |= self.owned_variables(member)
+        return owned
+
+    # --------------------------------------------------------------- measures
+    @property
+    def width(self) -> int:
+        """Treewidth measure: maximum bag size minus one."""
+        return max(len(bag) for bag in self._bags) - 1
+
+    @property
+    def max_adhesion_size(self) -> int:
+        """The largest adhesion cardinality (the cache dimension of Section 4)."""
+        adhesions = self.adhesions()
+        return max((len(adhesion) for adhesion in adhesions), default=0)
+
+    @property
+    def depth(self) -> int:
+        """Number of edges on the longest root-to-leaf path."""
+
+        def node_depth(node: int) -> int:
+            children = self._children[node]
+            if not children:
+                return 0
+            return 1 + max(node_depth(child) for child in children)
+
+        return node_depth(0)
+
+    # ------------------------------------------------------------- validation
+    def validate(self, query: Optional[ConjunctiveQuery] = None) -> None:
+        """Raise ``ValueError`` unless this is a valid (ordered) TD.
+
+        Checks the running-intersection property, and — when ``query`` is
+        given — that every atom's variables are contained in some bag and
+        that the bags cover exactly the query variables.
+        """
+        for variable in self.all_variables():
+            holders = [node for node in range(self.num_nodes) if variable in self._bags[node]]
+            if not self._is_connected_in_tree(holders):
+                raise ValueError(
+                    f"bags containing {variable} do not form a connected subtree"
+                )
+        if query is not None:
+            query_vars = query.variable_set()
+            td_vars = self.all_variables()
+            if td_vars != query_vars:
+                raise ValueError(
+                    f"decomposition variables {sorted(v.name for v in td_vars)!r} "
+                    f"differ from query variables {sorted(v.name for v in query_vars)!r}"
+                )
+            for atom in query.atoms:
+                atom_vars = atom.variable_set()
+                if not any(atom_vars <= bag for bag in self._bags):
+                    raise ValueError(f"no bag covers atom {atom}")
+
+    def is_valid(self, query: Optional[ConjunctiveQuery] = None) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(query)
+        except ValueError:
+            return False
+        return True
+
+    def _is_connected_in_tree(self, nodes: Sequence[int]) -> bool:
+        if not nodes:
+            return True
+        node_set = set(nodes)
+        seen = {nodes[0]}
+        frontier = [nodes[0]]
+        while frontier:
+            current = frontier.pop()
+            neighbours = list(self._children[current])
+            parent = self._parents[current]
+            if parent is not None:
+                neighbours.append(parent)
+            for neighbour in neighbours:
+                if neighbour in node_set and neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return seen == node_set
+
+    # ----------------------------------------------------------- manipulation
+    def remove_redundant_bags(self) -> "TreeDecomposition":
+        """Contract bags that are subsets of a neighbouring bag.
+
+        The generic decomposer can produce a child whose bag is contained in
+        its parent's (or vice versa); such bags add no constraint and only
+        deepen the tree, so they are merged into the larger neighbour.
+        """
+        bags = [set(bag) for bag in self._bags]
+        parents = list(self._parents)
+        children = {node: list(self._children[node]) for node in range(self.num_nodes)}
+        removed = set()
+
+        changed = True
+        while changed:
+            changed = False
+            for node in range(len(bags)):
+                if node in removed or node == 0:
+                    continue
+                parent = parents[node]
+                while parent in removed:
+                    parent = parents[parent]
+                if bags[node] <= bags[parent] or bags[parent] <= bags[node]:
+                    bags[parent] |= bags[node]
+                    if node in children[parent]:
+                        position = children[parent].index(node)
+                        children[parent].remove(node)
+                    else:
+                        position = len(children[parent])
+                    for offset, child in enumerate(children[node]):
+                        parents[child] = parent
+                        children[parent].insert(position + offset, child)
+                    children[node] = []
+                    removed.add(node)
+                    changed = True
+
+        kept = [node for node in range(len(bags)) if node not in removed]
+        remap = {node: index for index, node in enumerate(kept)}
+        new_bags = [bags[node] for node in kept]
+        new_parents: List[Optional[int]] = []
+        for node in kept:
+            parent = parents[node]
+            while parent in removed:
+                parent = parents[parent]
+            new_parents.append(None if parent is None else remap[parent])
+        return TreeDecomposition(new_bags, new_parents)
+
+    def contract_ownerless_bags(self) -> "TreeDecomposition":
+        """Contract non-root bags that own no variable into their parent.
+
+        A non-root bag all of whose variables are owned by earlier (preorder)
+        nodes is necessarily a subset of its parent's bag, so contracting it
+        (re-attaching its children to the parent) preserves validity.  CLFTJ
+        requires every non-root node to own at least one variable so that the
+        per-node intermediate counters are well defined.
+        """
+        current = self
+        while True:
+            ownerless = [
+                node
+                for node in current.preorder()
+                if node != current.root and not current.owned_variables(node)
+            ]
+            if not ownerless:
+                return current
+            target = ownerless[0]
+            parent = current.parent(target)
+            bags: List[FrozenSet[Variable]] = []
+            parents: List[Optional[int]] = []
+            remap: Dict[int, int] = {}
+            for node in range(current.num_nodes):
+                if node == target:
+                    continue
+                remap[node] = len(bags)
+                bags.append(current.bag(node))
+                node_parent = current.parent(node)
+                if node_parent == target:
+                    node_parent = parent
+                parents.append(node_parent)
+            remapped_parents = [
+                None if value is None else remap[value] for value in parents
+            ]
+            current = TreeDecomposition(bags, remapped_parents)
+
+    # -------------------------------------------------------------- canonical
+    def canonical_form(self) -> Tuple:
+        """A hashable structural fingerprint (used to deduplicate enumerated TDs)."""
+
+        def canon(node: int) -> Tuple:
+            bag = tuple(sorted(variable.name for variable in self._bags[node]))
+            return (bag, tuple(sorted(canon(child) for child in self._children[node])))
+
+        return canon(0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TreeDecomposition):
+            return NotImplemented
+        return self.canonical_form() == other.canonical_form()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_form())
+
+    def describe(self) -> str:
+        """A multi-line human-readable rendering of the tree."""
+        lines: List[str] = []
+
+        def visit(node: int, indent: int) -> None:
+            bag = "{" + ", ".join(sorted(v.name for v in self._bags[node])) + "}"
+            adhesion = "{" + ", ".join(sorted(v.name for v in self.adhesion(node))) + "}"
+            prefix = "  " * indent
+            lines.append(f"{prefix}node {node}: bag={bag} adhesion={adhesion}")
+            for child in self._children[node]:
+                visit(child, indent + 1)
+
+        visit(0, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        rendered = [
+            "{" + ",".join(sorted(v.name for v in bag)) + "}" for bag in self._bags
+        ]
+        return f"TreeDecomposition(bags={rendered!r})"

@@ -1,0 +1,14 @@
+"""High-level public API: plan and execute conjunctive queries.
+
+:class:`QueryEngine` is the entry point most users need: it owns a database,
+plans queries (choosing a tree decomposition, a strongly compatible variable
+order and a caching policy) and executes them with any of the implemented
+algorithms, returning an :class:`~repro.engine.results.ExecutionResult` that
+bundles the answer with the operation counters.
+"""
+
+from repro.engine.planner import ExecutionPlan, Planner
+from repro.engine.results import ExecutionResult
+from repro.engine.engine import QueryEngine, ALGORITHMS
+
+__all__ = ["ALGORITHMS", "ExecutionPlan", "ExecutionResult", "Planner", "QueryEngine"]

@@ -1,0 +1,202 @@
+"""The query engine facade.
+
+``QueryEngine`` wires together the planner, the join algorithms and the
+instrumentation so that a single call runs any of the paper's algorithms over
+a query and returns the answer plus its cost profile.  This is the interface
+the examples and the benchmark harness use.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.binary_join import PairwiseHashJoin
+from repro.baselines.generic_join import GenericJoin
+from repro.baselines.yannakakis import YannakakisTreeJoin
+from repro.core.cache import AdhesionCache, CachePolicy
+from repro.core.clftj import CachedLeapfrogTrieJoin
+from repro.core.instrumentation import OperationCounter
+from repro.core.lftj import LeapfrogTrieJoin
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.engine.planner import ExecutionPlan, Planner
+from repro.engine.results import ExecutionResult
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.terms import Variable
+from repro.storage.database import Database
+
+#: Names accepted by :meth:`QueryEngine.count` / :meth:`QueryEngine.evaluate`.
+ALGORITHMS: Tuple[str, ...] = ("lftj", "clftj", "ytd", "generic_join", "pairwise")
+
+
+class QueryEngine:
+    """Plan and execute conjunctive queries over one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        max_adhesion_size: int = 2,
+        support_threshold: Optional[int] = None,
+    ) -> None:
+        self.database = database
+        self.planner = Planner(
+            database,
+            max_adhesion_size=max_adhesion_size,
+            support_threshold=support_threshold,
+        )
+
+    # ------------------------------------------------------------------ plans
+    def plan(
+        self,
+        query: ConjunctiveQuery,
+        decomposition: Optional[TreeDecomposition] = None,
+        variable_order: Optional[Sequence[Variable]] = None,
+        cache_capacity: Optional[int] = None,
+        policy: Optional[CachePolicy] = None,
+    ) -> ExecutionPlan:
+        """Produce the execution plan CLFTJ/YTD would use for ``query``."""
+        return self.planner.plan(
+            query,
+            decomposition=decomposition,
+            variable_order=variable_order,
+            cache_capacity=cache_capacity,
+            policy=policy,
+        )
+
+    # ------------------------------------------------------------------ counts
+    def count(
+        self,
+        query: ConjunctiveQuery,
+        algorithm: str = "clftj",
+        decomposition: Optional[TreeDecomposition] = None,
+        variable_order: Optional[Sequence[Variable]] = None,
+        cache_capacity: Optional[int] = None,
+        policy: Optional[CachePolicy] = None,
+        cache: Optional[AdhesionCache] = None,
+    ) -> ExecutionResult:
+        """Run a count query with the chosen algorithm and return the result."""
+        executor, plan = self._build_executor(
+            query, algorithm, decomposition, variable_order, cache_capacity, policy, cache
+        )
+        started = time.perf_counter()
+        value = executor.count()
+        elapsed = time.perf_counter() - started
+        return self._result(query, algorithm, value, elapsed, executor, plan)
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        algorithm: str = "clftj",
+        decomposition: Optional[TreeDecomposition] = None,
+        variable_order: Optional[Sequence[Variable]] = None,
+        cache_capacity: Optional[int] = None,
+        policy: Optional[CachePolicy] = None,
+        cache: Optional[AdhesionCache] = None,
+    ) -> ExecutionResult:
+        """Run a full evaluation and return the materialised result rows.
+
+        Rows are reported as tuples following the plan's variable order (the
+        query's textual order for the non-decomposition algorithms).
+        """
+        executor, plan = self._build_executor(
+            query, algorithm, decomposition, variable_order, cache_capacity, policy, cache
+        )
+        started = time.perf_counter()
+        order: Tuple[Variable, ...]
+        if isinstance(executor, (LeapfrogTrieJoin, CachedLeapfrogTrieJoin, GenericJoin)):
+            order = tuple(executor.variable_order)
+            rows = [tuple(row) for row in executor.evaluate()]
+        else:
+            order = tuple(query.variables)
+            rows = executor.evaluate_tuples(order)
+        elapsed = time.perf_counter() - started
+        result = self._result(query, algorithm, len(rows), elapsed, executor, plan)
+        result.rows = rows
+        result.variable_order = order
+        return result
+
+    # -------------------------------------------------------------- comparison
+    def compare(
+        self,
+        query: ConjunctiveQuery,
+        algorithms: Sequence[str] = ("lftj", "clftj", "ytd"),
+        mode: str = "count",
+    ) -> Dict[str, ExecutionResult]:
+        """Run ``query`` with several algorithms and return results keyed by name."""
+        results: Dict[str, ExecutionResult] = {}
+        for algorithm in algorithms:
+            if mode == "count":
+                results[algorithm] = self.count(query, algorithm=algorithm)
+            elif mode == "evaluate":
+                results[algorithm] = self.evaluate(query, algorithm=algorithm)
+            else:
+                raise ValueError(f"unknown mode {mode!r}; use 'count' or 'evaluate'")
+        return results
+
+    # --------------------------------------------------------------- internals
+    def _build_executor(
+        self,
+        query: ConjunctiveQuery,
+        algorithm: str,
+        decomposition: Optional[TreeDecomposition],
+        variable_order: Optional[Sequence[Variable]],
+        cache_capacity: Optional[int],
+        policy: Optional[CachePolicy],
+        cache: Optional[AdhesionCache],
+    ):
+        if algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {algorithm!r}; choose one of {ALGORITHMS}")
+        counter = OperationCounter()
+        plan: Optional[ExecutionPlan] = None
+        if algorithm in ("clftj", "ytd"):
+            plan = self.plan(
+                query,
+                decomposition=decomposition,
+                variable_order=variable_order,
+                cache_capacity=cache_capacity,
+                policy=policy,
+            )
+        if algorithm == "lftj":
+            executor = LeapfrogTrieJoin(query, self.database, variable_order, counter)
+        elif algorithm == "clftj":
+            executor = CachedLeapfrogTrieJoin(
+                query,
+                self.database,
+                plan.decomposition,
+                plan.variable_order,
+                policy=plan.policy,
+                cache=cache if cache is not None else plan.make_cache(),
+                counter=counter,
+            )
+        elif algorithm == "ytd":
+            executor = YannakakisTreeJoin(query, self.database, plan.decomposition, counter)
+        elif algorithm == "generic_join":
+            executor = GenericJoin(query, self.database, variable_order, counter)
+        else:
+            executor = PairwiseHashJoin(query, self.database, counter)
+        return executor, plan
+
+    def _result(
+        self,
+        query: ConjunctiveQuery,
+        algorithm: str,
+        count: int,
+        elapsed: float,
+        executor,
+        plan: Optional[ExecutionPlan],
+    ) -> ExecutionResult:
+        metadata: Dict[str, object] = {}
+        if plan is not None:
+            metadata["num_bags"] = plan.decomposition.num_nodes
+            metadata["max_adhesion_size"] = plan.decomposition.max_adhesion_size
+        if isinstance(executor, CachedLeapfrogTrieJoin):
+            metadata["cache_entries"] = len(executor.cache)
+        return ExecutionResult(
+            algorithm=algorithm,
+            query_name=query.name,
+            count=count,
+            elapsed_seconds=elapsed,
+            counter=executor.counter,
+            variable_order=tuple(getattr(executor, "variable_order", query.variables)),
+            metadata=metadata,
+        )

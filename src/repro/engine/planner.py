@@ -1,0 +1,101 @@
+"""Query planning: choose a decomposition, an order and a caching policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.core.cache import AdhesionCache, AlwaysCachePolicy, CachePolicy, SupportThresholdPolicy
+from repro.decomposition.cost import ChuCostModel, select_decomposition
+from repro.decomposition.ordering import strongly_compatible_order
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.terms import Variable
+from repro.storage.database import Database
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything CLFTJ (and YTD) need to run: decomposition, order, cache setup."""
+
+    query: ConjunctiveQuery
+    decomposition: TreeDecomposition
+    variable_order: Tuple[Variable, ...]
+    policy: CachePolicy = field(default_factory=AlwaysCachePolicy)
+    cache_capacity: Optional[int] = None
+
+    def make_cache(self) -> AdhesionCache:
+        """A fresh adhesion cache honouring the plan's capacity bound."""
+        if self.cache_capacity is None:
+            return AdhesionCache()
+        return AdhesionCache(capacity=self.cache_capacity, eviction="lru")
+
+    def describe(self) -> str:
+        """A human-readable plan summary."""
+        order = ", ".join(variable.name for variable in self.variable_order)
+        lines = [
+            f"query: {self.query.name}",
+            f"variable order: {order}",
+            f"decomposition ({self.decomposition.num_nodes} bags, "
+            f"max adhesion {self.decomposition.max_adhesion_size}):",
+            self.decomposition.describe(),
+        ]
+        if self.cache_capacity is not None:
+            lines.append(f"cache capacity: {self.cache_capacity}")
+        return "\n".join(lines)
+
+
+class Planner:
+    """Chooses decompositions/orders for a database (Section 4.3's selection step)."""
+
+    def __init__(
+        self,
+        database: Database,
+        max_adhesion_size: int = 2,
+        max_candidates: int = 16,
+        support_threshold: Optional[int] = None,
+    ) -> None:
+        self.database = database
+        self.max_adhesion_size = max_adhesion_size
+        self.max_candidates = max_candidates
+        self.support_threshold = support_threshold
+
+    def plan(
+        self,
+        query: ConjunctiveQuery,
+        decomposition: Optional[TreeDecomposition] = None,
+        variable_order: Optional[Sequence[Variable]] = None,
+        cache_capacity: Optional[int] = None,
+        policy: Optional[CachePolicy] = None,
+    ) -> ExecutionPlan:
+        """Build an execution plan, reusing caller-provided pieces when given."""
+        if decomposition is None:
+            choice = select_decomposition(
+                query,
+                self.database,
+                max_adhesion_size=self.max_adhesion_size,
+                max_candidates=self.max_candidates,
+                cost_model=ChuCostModel(self.database, query),
+            )
+            decomposition = choice.decomposition
+            order = choice.order if variable_order is None else tuple(variable_order)
+        else:
+            order = (
+                tuple(variable_order)
+                if variable_order is not None
+                else strongly_compatible_order(decomposition.contract_ownerless_bags())
+            )
+        if policy is None:
+            if self.support_threshold is not None:
+                policy = SupportThresholdPolicy(
+                    self.database, query, threshold=self.support_threshold
+                )
+            else:
+                policy = AlwaysCachePolicy()
+        return ExecutionPlan(
+            query=query,
+            decomposition=decomposition,
+            variable_order=order,
+            policy=policy,
+            cache_capacity=cache_capacity,
+        )

@@ -1,0 +1,56 @@
+"""Execution results: the answer plus everything measured while computing it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.instrumentation import OperationCounter
+from repro.query.terms import Variable
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of one query execution.
+
+    ``count`` is always populated; ``rows`` only for evaluation runs.
+    ``counter`` carries the abstract operation counts (memory accesses, cache
+    hits, ...) and ``elapsed_seconds`` the wall-clock time.
+    """
+
+    algorithm: str
+    query_name: str
+    count: int
+    elapsed_seconds: float
+    counter: OperationCounter
+    variable_order: Tuple[Variable, ...] = ()
+    rows: Optional[List[Tuple[object, ...]]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def memory_accesses(self) -> int:
+        """Abstract memory accesses recorded during the execution."""
+        return self.counter.memory_accesses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Adhesion-cache hit rate (0.0 for algorithms without a cache)."""
+        return self.counter.cache_hit_rate
+
+    def as_record(self) -> Dict[str, object]:
+        """Flatten into a dictionary suitable for tabular reporting."""
+        record: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "query": self.query_name,
+            "count": self.count,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        record.update(self.counter.as_dict())
+        record.update(self.metadata)
+        return record
+
+    def speedup_over(self, other: "ExecutionResult") -> float:
+        """Wall-clock speedup of this execution relative to ``other``."""
+        if self.elapsed_seconds == 0:
+            return float("inf")
+        return other.elapsed_seconds / self.elapsed_seconds

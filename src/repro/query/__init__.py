@@ -1,0 +1,45 @@
+"""Conjunctive-query model.
+
+This subpackage provides the query-side substrate of the reproduction:
+
+* :mod:`repro.query.terms` -- variables and constants.
+* :mod:`repro.query.atoms` -- relational atoms and full conjunctive queries.
+* :mod:`repro.query.gaifman` -- the Gaifman (primal) graph of a query.
+* :mod:`repro.query.parser` -- a small datalog-like text syntax.
+* :mod:`repro.query.patterns` -- generators for the query families used in
+  the paper's evaluation (paths, cycles, cliques, lollipops, stars and
+  random-graph patterns).
+"""
+
+from repro.query.terms import Constant, Term, Variable
+from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.query.gaifman import gaifman_graph
+from repro.query.parser import parse_query, parse_atom, QueryParseError
+from repro.query.patterns import (
+    clique_query,
+    cycle_query,
+    graph_pattern_query,
+    lollipop_query,
+    path_query,
+    random_pattern_query,
+    star_query,
+)
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "ConjunctiveQuery",
+    "QueryParseError",
+    "Term",
+    "Variable",
+    "clique_query",
+    "cycle_query",
+    "gaifman_graph",
+    "graph_pattern_query",
+    "lollipop_query",
+    "parse_atom",
+    "parse_query",
+    "path_query",
+    "random_pattern_query",
+    "star_query",
+]

@@ -1,0 +1,178 @@
+"""Relational atoms and full conjunctive queries.
+
+A *full CQ* (Section 2.2 of the paper) is a sequence of subgoals
+``R(t_1, ..., t_k)`` where each ``t_j`` is a variable or a constant, and the
+query has no projection: every variable appearing in the body is part of the
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.query.terms import Constant, Term, Variable, as_term
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A subgoal ``relation(terms...)`` of a conjunctive query."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Sequence[object]) -> None:
+        if not relation:
+            raise ValueError("atom relation name must be non-empty")
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(as_term(t) for t in terms))
+
+    @property
+    def arity(self) -> int:
+        """Number of terms in the atom."""
+        return len(self.terms)
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """The variables of the atom, in positional order, with duplicates."""
+        return tuple(t for t in self.terms if isinstance(t, Variable))
+
+    def variable_set(self) -> frozenset:
+        """The set ``vars(atom)`` of distinct variables."""
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    def variable_positions(self) -> Dict[Variable, List[int]]:
+        """Map each variable to the list of positions where it occurs."""
+        positions: Dict[Variable, List[int]] = {}
+        for index, term in enumerate(self.terms):
+            if isinstance(term, Variable):
+                positions.setdefault(term, []).append(index)
+        return positions
+
+    def constants(self) -> Dict[int, object]:
+        """Map positions holding constants to their values."""
+        return {
+            index: term.value
+            for index, term in enumerate(self.terms)
+            if isinstance(term, Constant)
+        }
+
+    def substitute(self, assignment: Mapping[Variable, object]) -> "Atom":
+        """Return the atom with assigned variables replaced by constants.
+
+        Variables mapped to ``None`` (or absent from ``assignment``) are left
+        intact; this mirrors the paper's ``q[mu]`` notation for partial
+        assignments.
+        """
+        new_terms: List[object] = []
+        for term in self.terms:
+            if isinstance(term, Variable):
+                value = assignment.get(term)
+                new_terms.append(term if value is None else Constant(value))
+            else:
+                new_terms.append(term)
+        return Atom(self.relation, new_terms)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}({rendered})"
+
+
+class ConjunctiveQuery:
+    """A full conjunctive query: an ordered sequence of atoms.
+
+    The class is immutable after construction.  It exposes the pieces of the
+    query the join algorithms and the decomposition machinery need: the
+    variable set, the atoms covering a given variable, and the Gaifman edges.
+    """
+
+    def __init__(self, atoms: Iterable[Atom], name: Optional[str] = None) -> None:
+        self._atoms: Tuple[Atom, ...] = tuple(atoms)
+        if not self._atoms:
+            raise ValueError("a conjunctive query must contain at least one atom")
+        self.name = name or "query"
+        seen: List[Variable] = []
+        for atom in self._atoms:
+            for variable in atom.variables:
+                if variable not in seen:
+                    seen.append(variable)
+        self._variables: Tuple[Variable, ...] = tuple(seen)
+        self._atoms_by_variable: Dict[Variable, Tuple[int, ...]] = {}
+        for variable in self._variables:
+            covering = tuple(
+                index
+                for index, atom in enumerate(self._atoms)
+                if variable in atom.variable_set()
+            )
+            self._atoms_by_variable[variable] = covering
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        """The atoms of the query, in the order given at construction."""
+        return self._atoms
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """All variables, in order of first appearance."""
+        return self._variables
+
+    def variable_set(self) -> frozenset:
+        """The set ``vars(q)``."""
+        return frozenset(self._variables)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """Distinct relation names referenced by the query, in first-use order."""
+        names: List[str] = []
+        for atom in self._atoms:
+            if atom.relation not in names:
+                names.append(atom.relation)
+        return tuple(names)
+
+    def atoms_with_variable(self, variable: Variable) -> Tuple[int, ...]:
+        """Indices of the atoms whose variable set contains ``variable``."""
+        return self._atoms_by_variable.get(variable, ())
+
+    def gaifman_edges(self) -> Iterator[Tuple[Variable, Variable]]:
+        """Yield each unordered pair of variables co-occurring in an atom once."""
+        emitted = set()
+        for atom in self._atoms:
+            atom_vars = sorted(atom.variable_set())
+            for i, left in enumerate(atom_vars):
+                for right in atom_vars[i + 1:]:
+                    if (left, right) not in emitted:
+                        emitted.add((left, right))
+                        yield left, right
+
+    def substitute(self, assignment: Mapping[Variable, object]) -> "ConjunctiveQuery":
+        """Apply a partial assignment, producing ``q[mu]``."""
+        return ConjunctiveQuery(
+            (atom.substitute(assignment) for atom in self._atoms),
+            name=self.name,
+        )
+
+    def is_graph_query(self) -> bool:
+        """True when every atom is binary — the setting of the paper's Section 4."""
+        return all(atom.arity == 2 for atom in self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        return hash(self._atoms)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self._atoms)
+        head_vars = ", ".join(str(v) for v in self._variables)
+        return f"{self.name}({head_vars}) :- {body}"
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({list(self._atoms)!r}, name={self.name!r})"

@@ -1,0 +1,41 @@
+"""Gaifman (primal) graph construction for conjunctive queries.
+
+The Gaifman graph of a full CQ has the query variables as nodes and an edge
+between every pair of variables that co-occur in some atom (Section 2.2 of
+the paper).  The tree-decomposition machinery in
+:mod:`repro.decomposition` operates on this graph.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.query.atoms import ConjunctiveQuery
+
+
+def gaifman_graph(query: ConjunctiveQuery) -> nx.Graph:
+    """Build the Gaifman graph of ``query`` as a :class:`networkx.Graph`.
+
+    Every variable becomes a node even if it never co-occurs with another
+    variable (e.g. a unary atom), so isolated variables are preserved.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(query.variables)
+    graph.add_edges_from(query.gaifman_edges())
+    return graph
+
+
+def is_chordal_query(query: ConjunctiveQuery) -> bool:
+    """Return True when the Gaifman graph of ``query`` is chordal.
+
+    Chordal Gaifman graphs admit tree decompositions whose bags are exactly
+    the maximal cliques; the paper cites chordal graphs as the one special
+    case with a known decomposition-enumeration algorithm.
+    """
+    return nx.is_chordal(gaifman_graph(query))
+
+
+def treewidth_upper_bound(query: ConjunctiveQuery) -> int:
+    """A quick min-degree-heuristic upper bound on the treewidth of the query."""
+    width, _ = nx.algorithms.approximation.treewidth_min_degree(gaifman_graph(query))
+    return width

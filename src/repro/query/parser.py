@@ -1,0 +1,118 @@
+"""A small datalog-like parser for conjunctive queries.
+
+Syntax::
+
+    q(x, y, z) :- E(x, y), E(y, z), E(z, x)
+
+or simply a comma-separated body::
+
+    E(x, y), E(y, z), E(z, 5)
+
+Identifiers starting with a letter or underscore are variables; integer
+literals and single-/double-quoted strings are constants.  The head, when
+present, is only used for the query name (full CQs have no projection).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.query.terms import Constant, Term, Variable
+
+
+class QueryParseError(ValueError):
+    """Raised when a query string cannot be parsed."""
+
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*)\s*\(([^()]*)\)\s*")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+_INT_RE = re.compile(r"^-?\d+$")
+_STRING_RE = re.compile(r"""^(['"])(.*)\1$""")
+
+
+def _parse_term(token: str) -> Term:
+    token = token.strip()
+    if not token:
+        raise QueryParseError("empty term")
+    if _INT_RE.match(token):
+        return Constant(int(token))
+    string_match = _STRING_RE.match(token)
+    if string_match:
+        return Constant(string_match.group(2))
+    if _IDENT_RE.match(token):
+        return Variable(token)
+    raise QueryParseError(f"cannot parse term {token!r}")
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``E(x, y)`` or ``R(x, 3, 'abc')``."""
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise QueryParseError(f"cannot parse atom {text!r}")
+    relation, body = match.group(1), match.group(2)
+    if not body.strip():
+        raise QueryParseError(f"atom {relation!r} has no terms")
+    terms = [_parse_term(part) for part in body.split(",")]
+    return Atom(relation, terms)
+
+
+def _split_atoms(body: str) -> List[str]:
+    """Split a query body on commas that are not nested inside parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in body:
+        if char == "(":
+            depth += 1
+            current.append(char)
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise QueryParseError(f"unbalanced parentheses in {body!r}")
+            current.append(char)
+        elif char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise QueryParseError(f"unbalanced parentheses in {body!r}")
+    if current:
+        parts.append("".join(current))
+    return [part for part in parts if part.strip()]
+
+
+def parse_query(text: str, name: str | None = None) -> ConjunctiveQuery:
+    """Parse a full conjunctive query from its textual form.
+
+    Both the headed form (``q(x,y) :- E(x,y), E(y,x)``) and the bare body
+    form (``E(x,y), E(y,x)``) are accepted.
+    """
+    text = text.strip()
+    if not text:
+        raise QueryParseError("empty query string")
+    head_name = name
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+        head_text = head_text.strip()
+        if head_text:
+            head_match = _ATOM_RE.fullmatch(head_text) or re.fullmatch(
+                r"\s*([A-Za-z_][A-Za-z_0-9]*)\s*", head_text
+            )
+            if not head_match:
+                raise QueryParseError(f"cannot parse query head {head_text!r}")
+            head_name = head_name or head_match.group(1)
+    else:
+        body_text = text
+    atom_texts = _split_atoms(body_text)
+    if not atom_texts:
+        raise QueryParseError(f"query {text!r} has an empty body")
+    atoms = [parse_atom(part) for part in atom_texts]
+    return ConjunctiveQuery(atoms, name=head_name)
+
+
+def format_query(query: ConjunctiveQuery) -> str:
+    """Render ``query`` back into the textual syntax accepted by :func:`parse_query`."""
+    return str(query)

@@ -1,0 +1,220 @@
+"""Generators for the query families used in the paper's evaluation.
+
+Section 5.2.2 of the paper evaluates on three query families over a single
+binary edge relation ``E``:
+
+* ``{3-7}-path``   -- chains ``E(x1,x2), E(x2,x3), ...``
+* ``{3-6}-cycle``  -- closed chains.
+* ``N-rand(P)``    -- the pattern graph is an Erdős–Rényi graph ``G(N, P)``.
+
+Section 5.3.4 additionally uses a ``{3,2}-lollipop`` query (a triangle with a
+pendant path) and 4-/6-cycle queries over the IMDB male/female cast tables.
+All of these generators live here so that tests, examples and benchmarks
+construct identical queries.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.query.terms import Variable
+
+DEFAULT_EDGE_RELATION = "E"
+
+
+def _vars(count: int, prefix: str = "x") -> List[Variable]:
+    return [Variable(f"{prefix}{index}") for index in range(1, count + 1)]
+
+
+def path_query(length: int, relation: str = DEFAULT_EDGE_RELATION) -> ConjunctiveQuery:
+    """Build a ``length``-path query: ``length`` edge atoms over a chain.
+
+    A 4-path, for example, is ``E(x1,x2), E(x2,x3), E(x3,x4), E(x4,x5)``;
+    the paper's "k-path" counts edges, so the query has ``k + 1`` variables.
+    """
+    if length < 1:
+        raise ValueError("path length must be at least 1")
+    variables = _vars(length + 1)
+    atoms = [
+        Atom(relation, (variables[i], variables[i + 1])) for i in range(length)
+    ]
+    return ConjunctiveQuery(atoms, name=f"{length}-path")
+
+
+def cycle_query(length: int, relation: str = DEFAULT_EDGE_RELATION) -> ConjunctiveQuery:
+    """Build a ``length``-cycle query (``length`` edge atoms forming a ring)."""
+    if length < 3:
+        raise ValueError("cycle length must be at least 3")
+    variables = _vars(length)
+    atoms = [
+        Atom(relation, (variables[i], variables[(i + 1) % length]))
+        for i in range(length)
+    ]
+    return ConjunctiveQuery(atoms, name=f"{length}-cycle")
+
+
+def clique_query(size: int, relation: str = DEFAULT_EDGE_RELATION) -> ConjunctiveQuery:
+    """Build a ``size``-clique query: one atom per ordered pair ``i < j``.
+
+    Cliques cannot be decomposed into multiple bags, so CLFTJ degenerates to
+    LFTJ on them — the paper excludes them from the evaluation for this
+    reason, but they are useful in tests for exactly that degeneracy.
+    """
+    if size < 2:
+        raise ValueError("clique size must be at least 2")
+    variables = _vars(size)
+    atoms = [
+        Atom(relation, (variables[i], variables[j]))
+        for i in range(size)
+        for j in range(i + 1, size)
+    ]
+    return ConjunctiveQuery(atoms, name=f"{size}-clique")
+
+
+def star_query(rays: int, relation: str = DEFAULT_EDGE_RELATION) -> ConjunctiveQuery:
+    """Build a star query with a hub variable joined to ``rays`` leaves."""
+    if rays < 1:
+        raise ValueError("a star query needs at least one ray")
+    hub = Variable("x1")
+    leaves = [Variable(f"x{index}") for index in range(2, rays + 2)]
+    atoms = [Atom(relation, (hub, leaf)) for leaf in leaves]
+    return ConjunctiveQuery(atoms, name=f"{rays}-star")
+
+
+def lollipop_query(
+    clique_size: int = 3,
+    tail_length: int = 2,
+    relation: str = DEFAULT_EDGE_RELATION,
+) -> ConjunctiveQuery:
+    """Build the ``{clique_size, tail_length}-lollipop`` query of Section 5.3.4.
+
+    The default ``{3,2}-lollipop`` is a triangle on ``x1,x2,x3`` with a path
+    ``x3 - x4 - x5`` hanging off it (Figure 12 of the paper, with the paper's
+    0-based variable labels shifted to 1-based).
+    """
+    if clique_size < 3:
+        raise ValueError("the lollipop head must be a clique of size >= 3")
+    if tail_length < 1:
+        raise ValueError("the lollipop tail must have at least one edge")
+    head_vars = _vars(clique_size)
+    atoms = [
+        Atom(relation, (head_vars[i], head_vars[j]))
+        for i in range(clique_size)
+        for j in range(i + 1, clique_size)
+    ]
+    previous = head_vars[-1]
+    for offset in range(tail_length):
+        nxt = Variable(f"x{clique_size + offset + 1}")
+        atoms.append(Atom(relation, (previous, nxt)))
+        previous = nxt
+    return ConjunctiveQuery(atoms, name=f"{{{clique_size},{tail_length}}}-lollipop")
+
+
+def graph_pattern_query(
+    edges: Sequence[Tuple[int, int]],
+    relation: str = DEFAULT_EDGE_RELATION,
+    name: Optional[str] = None,
+) -> ConjunctiveQuery:
+    """Build a pattern query from an explicit edge list over integer node ids.
+
+    Node ``i`` of the pattern becomes variable ``x{i}``; each pattern edge
+    ``(i, j)`` becomes an atom ``relation(x{i}, x{j})``.
+    """
+    if not edges:
+        raise ValueError("a pattern query needs at least one edge")
+    atoms = [
+        Atom(relation, (Variable(f"x{u}"), Variable(f"x{v}")))
+        for u, v in edges
+    ]
+    return ConjunctiveQuery(atoms, name=name or f"pattern-{len(edges)}-edges")
+
+
+def random_pattern_query(
+    num_nodes: int,
+    edge_probability: float,
+    seed: Optional[int] = None,
+    relation: str = DEFAULT_EDGE_RELATION,
+    require_connected: bool = True,
+    max_attempts: int = 1000,
+) -> ConjunctiveQuery:
+    """Build an ``N-rand(P)`` query: an Erdős–Rényi pattern graph.
+
+    The generated pattern is undirected, has no self loops and at most one
+    edge per node pair, matching Section 5.2.2.  When ``require_connected``
+    is set (the paper only uses connected patterns), generation is retried
+    until a connected pattern is produced.
+    """
+    if num_nodes < 2:
+        raise ValueError("a random pattern needs at least two nodes")
+    if not 0.0 < edge_probability <= 1.0:
+        raise ValueError("edge probability must be in (0, 1]")
+    rng = random.Random(seed)
+    for _ in range(max_attempts):
+        edges = [
+            (i, j)
+            for i in range(1, num_nodes + 1)
+            for j in range(i + 1, num_nodes + 1)
+            if rng.random() < edge_probability
+        ]
+        if not edges:
+            continue
+        if not require_connected or _is_connected(num_nodes, edges):
+            name = f"{num_nodes}-rand({edge_probability})"
+            return graph_pattern_query(edges, relation=relation, name=name)
+    raise RuntimeError(
+        "failed to generate a connected random pattern; "
+        "increase edge_probability or max_attempts"
+    )
+
+
+def _is_connected(num_nodes: int, edges: Sequence[Tuple[int, int]]) -> bool:
+    adjacency: dict = {node: set() for node in range(1, num_nodes + 1)}
+    for u, v in edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    seen = {1}
+    frontier = [1]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency[node]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return len(seen) == num_nodes
+
+
+def bipartite_cycle_query(
+    length: int,
+    relations: Sequence[str] = ("male_cast", "female_cast"),
+    person_prefix: str = "p",
+    movie_prefix: str = "m",
+) -> ConjunctiveQuery:
+    """Build the IMDB-style cycle queries of Figures 13–14.
+
+    The paper's 4-cycle and 6-cycle queries over IMDB alternate between the
+    ``male_cast(person, movie)`` and ``female_cast(person, movie)`` relations
+    so that the cycle alternates person and movie variables.  ``length`` is
+    the number of atoms and must be even.
+    """
+    if length < 4 or length % 2 != 0:
+        raise ValueError("bipartite cycles need an even length of at least 4")
+    half = length // 2
+    people = [Variable(f"{person_prefix}{index}") for index in range(1, half + 1)]
+    movies = [Variable(f"{movie_prefix}{index}") for index in range(1, half + 1)]
+    # Each person variable is bound to one cast relation (people alternate
+    # between the two tables around the cycle), and every edge incident to a
+    # person uses that person's relation — as in the real data, where a
+    # person appears in exactly one of male_cast / female_cast.
+    person_relation = {
+        person: relations[index % len(relations)] for index, person in enumerate(people)
+    }
+    atoms: List[Atom] = []
+    for index in range(half):
+        first_person = people[index]
+        second_person = people[(index + 1) % half]
+        movie = movies[index]
+        atoms.append(Atom(person_relation[first_person], (first_person, movie)))
+        atoms.append(Atom(person_relation[second_person], (second_person, movie)))
+    return ConjunctiveQuery(atoms, name=f"{length}-cycle-bipartite")

@@ -1,0 +1,79 @@
+"""Terms appearing in conjunctive-query atoms: variables and constants.
+
+Both term kinds are small immutable value objects so they can be used as
+dictionary keys (partial assignments map variables to values) and inside
+frozensets (adhesions, bags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, identified by its name.
+
+    Variables compare and hash by name only, so two ``Variable("x")`` objects
+    constructed independently are interchangeable.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be a non-empty string")
+        if not isinstance(self.name, str):
+            raise TypeError(f"variable name must be a string, got {type(self.name)!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A constant value appearing in a query atom.
+
+    The wrapped value is typically an ``int`` (graph vertex identifiers) or a
+    ``str``; any hashable value is accepted.
+    """
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+#: A term is either a variable or a constant.
+Term = Union[Variable, Constant]
+
+
+def as_term(value: object) -> Term:
+    """Coerce ``value`` into a :class:`Term`.
+
+    Strings are interpreted as variable names (matching the textual query
+    syntax, where bare identifiers are variables); existing terms pass
+    through; everything else becomes a :class:`Constant`.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str):
+        return Variable(value)
+    return Constant(value)
+
+
+def is_variable(term: object) -> bool:
+    """Return True if ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: object) -> bool:
+    """Return True if ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)

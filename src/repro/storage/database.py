@@ -1,0 +1,81 @@
+"""The database: a catalog of named relations plus trie-index management."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.storage.relation import Relation
+from repro.storage.trie import TrieIndex
+
+
+class Database:
+    """A named catalog of :class:`~repro.storage.relation.Relation` objects.
+
+    The database also memoises trie indices per ``(relation, attribute-order)``
+    pair so that repeated executions of the same query plan do not rebuild
+    indices; the join algorithms ask for tries through
+    :meth:`trie_index`.
+    """
+
+    def __init__(self, relations: Iterable[Relation] = (), name: str = "db") -> None:
+        self.name = name
+        self._relations: Dict[str, Relation] = {}
+        self._trie_cache: Dict[Tuple[str, Tuple[int, ...]], TrieIndex] = {}
+        for relation in relations:
+            self.add_relation(relation)
+
+    def add_relation(self, relation: Relation, replace: bool = False) -> None:
+        """Register ``relation``; refuses to silently overwrite unless ``replace``."""
+        if relation.name in self._relations and not replace:
+            raise ValueError(f"relation {relation.name!r} already exists in {self.name!r}")
+        self._relations[relation.name] = relation
+        stale = [key for key in self._trie_cache if key[0] == relation.name]
+        for key in stale:
+            del self._trie_cache[key]
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise KeyError(f"database {self.name!r} has no relation {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of all registered relations."""
+        return tuple(self._relations)
+
+    def trie_index(self, relation_name: str, attribute_order: Sequence[int]) -> TrieIndex:
+        """Return (and memoise) a trie over ``relation_name`` in the given column order.
+
+        ``attribute_order`` is a permutation of the relation's column
+        positions; level ``i`` of the trie holds the values of column
+        ``attribute_order[i]``.
+        """
+        key = (relation_name, tuple(attribute_order))
+        index = self._trie_cache.get(key)
+        if index is None:
+            relation = self.relation(relation_name)
+            index = TrieIndex.build(relation, attribute_order)
+            self._trie_cache[key] = index
+        return index
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def summary(self) -> Dict[str, int]:
+        """Cardinality of every relation, keyed by name."""
+        return {name: len(relation) for name, relation in self._relations.items()}
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, relations={self.summary()!r})"

@@ -1,0 +1,119 @@
+"""Loaders for external data: SNAP edge lists, CSV files, and edge iterables.
+
+The paper's evaluation uses SNAP graph datasets stored as whitespace-separated
+edge lists (lines of ``source target``, with ``#`` comment lines) and the
+IMDB ``cast_info`` table.  Real files can be loaded with the functions here;
+the synthetic stand-ins in :mod:`repro.datasets` produce the same
+:class:`~repro.storage.relation.Relation` objects.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.storage.relation import Relation
+
+PathLike = Union[str, Path]
+
+
+def relation_from_edges(
+    edges: Iterable[Tuple[object, object]],
+    name: str = "E",
+    attributes: Sequence[str] = ("src", "dst"),
+    symmetric: bool = False,
+    drop_self_loops: bool = True,
+) -> Relation:
+    """Build a binary edge relation from an iterable of pairs.
+
+    When ``symmetric`` is set the reverse of every edge is added too, which is
+    how the paper treats the undirected SNAP graphs (a path/cycle pattern can
+    traverse an edge in either direction).
+    """
+    rows: List[Tuple[object, object]] = []
+    for source, target in edges:
+        if drop_self_loops and source == target:
+            continue
+        rows.append((source, target))
+        if symmetric:
+            rows.append((target, source))
+    return Relation(name, attributes, rows)
+
+
+def load_edge_list(
+    path: PathLike,
+    name: str = "E",
+    symmetric: bool = False,
+    comment_prefix: str = "#",
+    value_type: Callable[[str], object] = int,
+    max_edges: Optional[int] = None,
+) -> Relation:
+    """Load a SNAP-style whitespace-separated edge list into a binary relation.
+
+    Lines starting with ``comment_prefix`` are skipped; the first two fields
+    of every other line are parsed with ``value_type``.  ``max_edges`` allows
+    scaled-down loading of very large files.
+    """
+    edges: List[Tuple[object, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(comment_prefix):
+                continue
+            fields = line.split()
+            if len(fields) < 2:
+                raise ValueError(f"malformed edge line {line!r} in {path}")
+            edges.append((value_type(fields[0]), value_type(fields[1])))
+            if max_edges is not None and len(edges) >= max_edges:
+                break
+    return relation_from_edges(edges, name=name, symmetric=symmetric)
+
+
+def load_csv_relation(
+    path: PathLike,
+    name: str,
+    attributes: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+    has_header: bool = True,
+    value_type: Callable[[str], object] = str,
+    max_rows: Optional[int] = None,
+) -> Relation:
+    """Load a CSV file into a relation.
+
+    When ``has_header`` is set, the header row supplies attribute names unless
+    ``attributes`` overrides them.  Every field is converted with
+    ``value_type`` (``str`` by default; pass ``int`` for id columns).
+    """
+    rows: List[Tuple[object, ...]] = []
+    header: Optional[List[str]] = None
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for index, record in enumerate(reader):
+            if index == 0 and has_header:
+                header = [field.strip() for field in record]
+                continue
+            if not record:
+                continue
+            rows.append(tuple(value_type(field.strip()) for field in record))
+            if max_rows is not None and len(rows) >= max_rows:
+                break
+    if attributes is None:
+        if header is not None:
+            attributes = header
+        elif rows:
+            attributes = [f"c{i}" for i in range(len(rows[0]))]
+        else:
+            raise ValueError(f"cannot infer attributes for empty CSV {path}")
+    return Relation(name, attributes, rows)
+
+
+def save_edge_list(relation: Relation, path: PathLike, comment: Optional[str] = None) -> None:
+    """Write a binary relation back out as a SNAP-style edge list."""
+    if relation.arity != 2:
+        raise ValueError("only binary relations can be written as edge lists")
+    with open(path, "w", encoding="utf-8") as handle:
+        if comment:
+            handle.write(f"# {comment}\n")
+        for source, target in relation.tuples:
+            handle.write(f"{source}\t{target}\n")

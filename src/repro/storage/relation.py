@@ -1,0 +1,129 @@
+"""Immutable relations: named, schema'd, duplicate-free tuple sets.
+
+Relations are stored as sorted tuples of hashable values.  The trie index in
+:mod:`repro.storage.trie` is built over a *permutation* of the attributes
+(the variable order restricted to an atom), so the relation itself stays
+order-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class Relation:
+    """A named relation with a fixed attribute schema and a set of tuples."""
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        tuples: Iterable[Sequence[object]] = (),
+    ) -> None:
+        if not name:
+            raise ValueError("relation name must be non-empty")
+        if not attributes:
+            raise ValueError("relation must have at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise ValueError(f"duplicate attribute names in {attributes!r}")
+        self.name = name
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        arity = len(self.attributes)
+        deduplicated = set()
+        for row in tuples:
+            row_tuple = tuple(row)
+            if len(row_tuple) != arity:
+                raise ValueError(
+                    f"tuple {row_tuple!r} does not match arity {arity} "
+                    f"of relation {name!r}"
+                )
+            deduplicated.add(row_tuple)
+        self._tuples: Tuple[Tuple[object, ...], ...] = tuple(sorted(deduplicated))
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def tuples(self) -> Tuple[Tuple[object, ...], ...]:
+        """The tuples of the relation in sorted order."""
+        return self._tuples
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple[object, ...]]:
+        return iter(self._tuples)
+
+    def __contains__(self, row: Sequence[object]) -> bool:
+        return tuple(row) in set(self._tuples) if len(self._tuples) < 32 else (
+            tuple(row) in self._tuple_set()
+        )
+
+    def _tuple_set(self) -> frozenset:
+        cached = getattr(self, "_cached_tuple_set", None)
+        if cached is None:
+            cached = frozenset(self._tuples)
+            self._cached_tuple_set = cached
+        return cached
+
+    def attribute_index(self, attribute: str) -> int:
+        """Position of ``attribute`` in the schema."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError as exc:
+            raise KeyError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from exc
+
+    def column(self, attribute: str) -> List[object]:
+        """All values (with duplicates) of one attribute."""
+        index = self.attribute_index(attribute)
+        return [row[index] for row in self._tuples]
+
+    def project(self, attributes: Sequence[str], name: Optional[str] = None) -> "Relation":
+        """Project onto ``attributes`` (duplicates removed)."""
+        indices = [self.attribute_index(attribute) for attribute in attributes]
+        projected = {tuple(row[i] for i in indices) for row in self._tuples}
+        return Relation(name or f"{self.name}_proj", attributes, projected)
+
+    def select_equal(self, attribute: str, value: object, name: Optional[str] = None) -> "Relation":
+        """Select the tuples whose ``attribute`` equals ``value``."""
+        index = self.attribute_index(attribute)
+        selected = [row for row in self._tuples if row[index] == value]
+        return Relation(name or f"{self.name}_sel", self.attributes, selected)
+
+    def rename(self, name: str) -> "Relation":
+        """Return a copy of the relation under a different name."""
+        return Relation(name, self.attributes, self._tuples)
+
+    def with_attributes(self, attributes: Sequence[str]) -> "Relation":
+        """Return a copy with a different schema of the same arity."""
+        return Relation(self.name, attributes, self._tuples)
+
+    def value_counts(self, attribute: str) -> Dict[object, int]:
+        """Frequency of each value of ``attribute`` (the basis of skew measures)."""
+        counts: Dict[object, int] = {}
+        index = self.attribute_index(attribute)
+        for row in self._tuples:
+            counts[row[index]] = counts.get(row[index], 0) + 1
+        return counts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.attributes == other.attributes
+            and self._tuples == other._tuples
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes, self._tuples))
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self.name!r}, attributes={list(self.attributes)!r}, "
+            f"cardinality={len(self._tuples)})"
+        )

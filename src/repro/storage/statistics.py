@@ -1,0 +1,141 @@
+"""Relation and attribute statistics.
+
+The caching policies (support thresholds, Section 3.4) and the attribute-order
+cost model (Section 4.3, after Chu et al.) both need simple per-attribute
+statistics: cardinality, number of distinct values, maximum and average
+frequency, and a skew measure.  This module computes them once per relation
+and keeps them in small dataclasses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+@dataclass(frozen=True)
+class AttributeStatistics:
+    """Statistics for one attribute of one relation."""
+
+    attribute: str
+    cardinality: int
+    distinct: int
+    max_frequency: int
+    mean_frequency: float
+    skew: float
+    top_values: Tuple[Tuple[object, int], ...] = ()
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of distinct values relative to tuples (1.0 == key-like)."""
+        if self.cardinality == 0:
+            return 1.0
+        return self.distinct / self.cardinality
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Statistics for a whole relation."""
+
+    name: str
+    cardinality: int
+    attributes: Mapping[str, AttributeStatistics]
+
+    def attribute(self, name: str) -> AttributeStatistics:
+        """Statistics of one attribute."""
+        try:
+            return self.attributes[name]
+        except KeyError as exc:
+            raise KeyError(f"no statistics for attribute {name!r} of {self.name!r}") from exc
+
+    def distinct(self, attribute: str) -> int:
+        """Number of distinct values of ``attribute``."""
+        return self.attribute(attribute).distinct
+
+
+def _skew_measure(counts: Iterable[int], total: int) -> float:
+    """Normalised skew in [0, 1]: 0 = perfectly uniform, 1 = single value.
+
+    The measure is ``1 - H / H_max`` where ``H`` is the Shannon entropy of the
+    value-frequency distribution: heavy-tailed SNAP-style attributes score
+    high, balanced attributes (e.g. p2p-Gnutella04 endpoints) score low.
+    """
+    counts = list(counts)
+    if total == 0 or len(counts) <= 1:
+        return 0.0 if len(counts) <= 1 and total == 0 else (1.0 if len(counts) == 1 else 0.0)
+    entropy = 0.0
+    for count in counts:
+        p = count / total
+        entropy -= p * math.log2(p)
+    max_entropy = math.log2(len(counts))
+    if max_entropy == 0:
+        return 1.0
+    return max(0.0, min(1.0, 1.0 - entropy / max_entropy))
+
+
+def attribute_statistics(relation: Relation, attribute: str, top_k: int = 5) -> AttributeStatistics:
+    """Compute statistics for one attribute of ``relation``."""
+    counts = relation.value_counts(attribute)
+    cardinality = len(relation)
+    distinct = len(counts)
+    max_frequency = max(counts.values(), default=0)
+    mean_frequency = cardinality / distinct if distinct else 0.0
+    skew = _skew_measure(counts.values(), cardinality)
+    top_values = tuple(
+        sorted(counts.items(), key=lambda item: (-item[1], repr(item[0])))[:top_k]
+    )
+    return AttributeStatistics(
+        attribute=attribute,
+        cardinality=cardinality,
+        distinct=distinct,
+        max_frequency=max_frequency,
+        mean_frequency=mean_frequency,
+        skew=skew,
+        top_values=top_values,
+    )
+
+
+def relation_statistics(relation: Relation, top_k: int = 5) -> RelationStatistics:
+    """Compute statistics for every attribute of ``relation``."""
+    per_attribute = {
+        attribute: attribute_statistics(relation, attribute, top_k=top_k)
+        for attribute in relation.attributes
+    }
+    return RelationStatistics(
+        name=relation.name,
+        cardinality=len(relation),
+        attributes=per_attribute,
+    )
+
+
+def collect_statistics(database: Database, top_k: int = 5) -> Dict[str, RelationStatistics]:
+    """Compute statistics for every relation in ``database``, keyed by name."""
+    return {
+        relation.name: relation_statistics(relation, top_k=top_k)
+        for relation in database
+    }
+
+
+class StatisticsCatalog:
+    """Lazily-computed statistics for a database, shared by planner components."""
+
+    def __init__(self, database: Database, top_k: int = 5) -> None:
+        self._database = database
+        self._top_k = top_k
+        self._cache: Dict[str, RelationStatistics] = {}
+
+    def relation(self, name: str) -> RelationStatistics:
+        """Statistics of ``name`` (computed on first use)."""
+        stats = self._cache.get(name)
+        if stats is None:
+            stats = relation_statistics(self._database.relation(name), top_k=self._top_k)
+            self._cache[name] = stats
+        return stats
+
+    def attribute(self, relation_name: str, attribute: str) -> AttributeStatistics:
+        """Statistics of one attribute of one relation."""
+        return self.relation(relation_name).attribute(attribute)

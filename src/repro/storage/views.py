@@ -1,0 +1,77 @@
+"""Materialised atom views.
+
+A query atom such as ``E(x, y)``, ``E(x, x)`` or ``R(x, 3, y)`` induces a view
+over its *distinct variables*: constants become selections and repeated
+variables become equality filters.  All join algorithms in this repository
+work over these views, which keeps the trie/index logic free of per-term
+special cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.query.atoms import Atom
+from repro.query.terms import Constant, Variable
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+def materialize_atom(database: Database, atom: Atom, name: Optional[str] = None) -> Relation:
+    """Return the relation over the atom's distinct variables.
+
+    The resulting relation has one attribute per distinct variable of the
+    atom (named after the variable), in first-occurrence order.  Tuples are
+    those of the base relation that satisfy the atom's constants and repeated
+    variables.
+
+    Raises ``ValueError`` for atoms without any variable (fully ground atoms
+    are not part of the paper's query classes).
+    """
+    base = database.relation(atom.relation)
+    if base.arity != atom.arity:
+        raise ValueError(
+            f"atom {atom} has arity {atom.arity} but relation "
+            f"{base.name!r} has arity {base.arity}"
+        )
+
+    constant_checks: List[Tuple[int, object]] = []
+    first_position: Dict[Variable, int] = {}
+    equality_checks: List[Tuple[int, int]] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            constant_checks.append((position, term.value))
+        else:
+            if term in first_position:
+                equality_checks.append((first_position[term], position))
+            else:
+                first_position[term] = position
+
+    if not first_position:
+        raise ValueError(f"atom {atom} has no variables; ground atoms are unsupported")
+
+    projection = [first_position[variable] for variable in first_position]
+    attributes = [variable.name for variable in first_position]
+
+    rows = []
+    for row in base.tuples:
+        if any(row[pos] != value for pos, value in constant_checks):
+            continue
+        if any(row[left] != row[right] for left, right in equality_checks):
+            continue
+        rows.append(tuple(row[pos] for pos in projection))
+
+    view_name = name or f"{atom.relation}_view_{'_'.join(attributes)}"
+    return Relation(view_name, attributes, rows)
+
+
+def atom_variables_in_order(atom: Atom) -> Tuple[Variable, ...]:
+    """The distinct variables of ``atom`` in first-occurrence order.
+
+    Matches the attribute order of :func:`materialize_atom`.
+    """
+    seen: List[Variable] = []
+    for term in atom.terms:
+        if isinstance(term, Variable) and term not in seen:
+            seen.append(term)
+    return tuple(seen)

@@ -1,0 +1,100 @@
+"""Tests for atoms and conjunctive queries."""
+
+import pytest
+
+from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.query.terms import Constant, Variable
+
+
+class TestAtom:
+    def test_terms_are_coerced(self):
+        atom = Atom("E", ("x", 5))
+        assert atom.terms == (Variable("x"), Constant(5))
+
+    def test_arity(self):
+        assert Atom("R", ("x", "y", "z")).arity == 3
+
+    def test_variables_preserve_order_and_duplicates(self):
+        atom = Atom("R", ("x", "y", "x"))
+        assert atom.variables == (Variable("x"), Variable("y"), Variable("x"))
+
+    def test_variable_set_deduplicates(self):
+        atom = Atom("R", ("x", "y", "x"))
+        assert atom.variable_set() == {Variable("x"), Variable("y")}
+
+    def test_variable_positions(self):
+        atom = Atom("R", ("x", "y", "x"))
+        assert atom.variable_positions()[Variable("x")] == [0, 2]
+
+    def test_constants_positions(self):
+        atom = Atom("R", ("x", 3, "y"))
+        assert atom.constants() == {1: 3}
+
+    def test_substitute_full(self):
+        atom = Atom("E", ("x", "y"))
+        ground = atom.substitute({Variable("x"): 1, Variable("y"): 2})
+        assert ground.terms == (Constant(1), Constant(2))
+
+    def test_substitute_partial_leaves_null_variables(self):
+        atom = Atom("E", ("x", "y"))
+        partial = atom.substitute({Variable("x"): 1, Variable("y"): None})
+        assert partial.terms == (Constant(1), Variable("y"))
+
+    def test_str(self):
+        assert str(Atom("E", ("x", "y"))) == "E(x, y)"
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", ("x",))
+
+
+class TestConjunctiveQuery:
+    def _triangle(self) -> ConjunctiveQuery:
+        return ConjunctiveQuery(
+            [Atom("E", ("x", "y")), Atom("E", ("y", "z")), Atom("E", ("z", "x"))],
+            name="triangle",
+        )
+
+    def test_variables_in_first_appearance_order(self):
+        query = self._triangle()
+        assert query.variables == (Variable("x"), Variable("y"), Variable("z"))
+
+    def test_variable_set(self):
+        assert self._triangle().variable_set() == {Variable("x"), Variable("y"), Variable("z")}
+
+    def test_relation_names(self):
+        assert self._triangle().relation_names == ("E",)
+
+    def test_atoms_with_variable(self):
+        query = self._triangle()
+        assert query.atoms_with_variable(Variable("y")) == (0, 1)
+
+    def test_gaifman_edges_unique(self):
+        edges = list(self._triangle().gaifman_edges())
+        assert len(edges) == 3
+        assert len(set(edges)) == 3
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery([])
+
+    def test_is_graph_query(self):
+        assert self._triangle().is_graph_query()
+        assert not ConjunctiveQuery([Atom("R", ("x", "y", "z"))]).is_graph_query()
+
+    def test_substitute(self):
+        query = self._triangle().substitute({Variable("x"): 1})
+        assert query.atoms[0].terms[0] == Constant(1)
+        assert query.atoms[2].terms[1] == Constant(1)
+
+    def test_len_and_iter(self):
+        query = self._triangle()
+        assert len(query) == 3
+        assert [atom.relation for atom in query] == ["E", "E", "E"]
+
+    def test_equality_and_hash(self):
+        assert self._triangle() == self._triangle()
+        assert hash(self._triangle()) == hash(self._triangle())
+
+    def test_str_contains_body(self):
+        assert "E(x, y)" in str(self._triangle())

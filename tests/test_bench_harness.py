@@ -1,0 +1,110 @@
+"""Tests for the benchmark harness and reporting utilities."""
+
+import pytest
+
+from repro.bench.harness import BenchmarkCell, consistency_check, run_cell, run_grid, speedup_table
+from repro.bench.reporting import format_records, format_results, print_records, results_to_records
+from repro.engine.results import ExecutionResult
+from repro.core.instrumentation import OperationCounter
+from repro.query.patterns import cycle_query, path_query
+
+from tests.conftest import random_edge_database
+
+
+@pytest.fixture
+def databases():
+    return {
+        "g1": random_edge_database(seed=1, num_edges=40),
+        "g2": random_edge_database(seed=2, num_edges=40),
+    }
+
+
+class TestRunCell:
+    def test_count_cell(self, databases):
+        cell = BenchmarkCell("g1", databases["g1"], path_query(3), "clftj")
+        result = run_cell(cell)
+        assert result.metadata["dataset"] == "g1"
+        assert result.metadata["mode"] == "count"
+        assert result.count >= 0
+
+    def test_evaluate_cell(self, databases):
+        cell = BenchmarkCell("g1", databases["g1"], path_query(2), "lftj", mode="evaluate")
+        result = run_cell(cell)
+        assert result.rows is not None
+
+    def test_invalid_mode_rejected(self, databases):
+        cell = BenchmarkCell("g1", databases["g1"], path_query(2), "lftj", mode="explain")
+        with pytest.raises(ValueError):
+            run_cell(cell)
+
+
+class TestRunGrid:
+    def test_grid_covers_all_combinations(self, databases):
+        results = run_grid(databases, [path_query(2), cycle_query(3)], ["lftj", "clftj"])
+        assert len(results) == 2 * 2 * 2
+
+    def test_grid_counts_agree_across_algorithms(self, databases):
+        results = run_grid(databases, [cycle_query(4)], ["lftj", "clftj", "ytd"])
+        consistency_check(results)
+
+    def test_consistency_check_detects_mismatch(self):
+        counter = OperationCounter()
+        good = ExecutionResult("lftj", "q", 5, 0.1, counter, metadata={"dataset": "d"})
+        bad = ExecutionResult("clftj", "q", 6, 0.1, counter, metadata={"dataset": "d"})
+        with pytest.raises(AssertionError):
+            consistency_check([good, bad])
+
+
+class TestSpeedupTable:
+    def test_speedups_relative_to_baseline(self, databases):
+        results = run_grid(databases, [path_query(3)], ["lftj", "clftj"])
+        rows = speedup_table(results, baseline="lftj")
+        assert len(rows) == len(databases)
+        assert all("speedup_clftj" in row for row in rows)
+        assert all(row["speedup_clftj"] > 0 for row in rows)
+
+    def test_memory_metric(self, databases):
+        results = run_grid(databases, [path_query(3)], ["lftj", "clftj"])
+        rows = speedup_table(results, baseline="lftj", metric="memory_accesses")
+        assert all(row["speedup_clftj"] > 0 for row in rows)
+
+    def test_unknown_metric_rejected(self, databases):
+        results = run_grid(databases, [path_query(2)], ["lftj", "clftj"])
+        with pytest.raises(ValueError):
+            speedup_table(results, metric="joules")
+
+    def test_missing_baseline_rows_skipped(self, databases):
+        results = run_grid(databases, [path_query(2)], ["clftj"])
+        assert speedup_table(results, baseline="lftj") == []
+
+
+class TestReporting:
+    def test_format_records_aligns_columns(self):
+        table = format_records([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_records_empty(self):
+        assert format_records([]) == "(no records)"
+
+    def test_format_records_explicit_columns(self):
+        table = format_records([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_float_formatting(self):
+        table = format_records([{"v": 0.000012345}, {"v": 123456.0}])
+        assert "e-05" in table or "1.234e-05" in table
+
+    def test_results_to_records_and_format(self, databases):
+        results = run_grid(databases, [path_query(2)], ["lftj"])
+        records = results_to_records(results)
+        assert all("dataset" in record for record in records)
+        assert "lftj" in format_results(results)
+
+    def test_print_records(self, capsys, databases):
+        results = run_grid(databases, [path_query(2)], ["lftj"])
+        print_records(results_to_records(results), title="demo")
+        captured = capsys.readouterr().out
+        assert "demo" in captured
+        assert "lftj" in captured

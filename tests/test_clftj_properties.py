@@ -1,0 +1,119 @@
+"""Property-based tests: CLFTJ agrees with brute force on random data and queries.
+
+These are the strongest correctness guarantees in the suite: hypothesis
+generates random edge sets and random (connected) pattern queries, and for
+every enumerated tree decomposition, every caching policy and both execution
+modes, CLFTJ must agree with the brute-force oracle and with vanilla LFTJ.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import AdhesionCache, NeverCachePolicy, SupportThresholdPolicy
+from repro.core.clftj import CachedLeapfrogTrieJoin
+from repro.core.lftj import LeapfrogTrieJoin
+from repro.decomposition.generic import enumerate_tree_decompositions, generic_decompose
+from repro.query.patterns import cycle_query, graph_pattern_query, path_query
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+from tests.conftest import brute_force_count, brute_force_evaluate
+
+edge_sets = st.sets(
+    st.tuples(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8)),
+    min_size=1,
+    max_size=40,
+).map(lambda edges: {(a, b) for a, b in edges if a != b})
+
+
+def _database(edges) -> Database:
+    if not edges:
+        edges = {(1, 2)}
+    return Database([Relation("E", ("src", "dst"), edges)])
+
+
+@given(edge_sets, st.integers(min_value=2, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_clftj_path_counts_match_brute_force(edges, length):
+    database = _database(edges)
+    query = path_query(length)
+    expected = brute_force_count(query, database)
+    decomposition = generic_decompose(query)
+    assert CachedLeapfrogTrieJoin(query, database, decomposition).count() == expected
+    assert LeapfrogTrieJoin(query, database).count() == expected
+
+
+@given(edge_sets, st.integers(min_value=3, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_clftj_cycle_counts_match_brute_force(edges, length):
+    database = _database(edges)
+    query = cycle_query(length)
+    expected = brute_force_count(query, database)
+    decomposition = generic_decompose(query)
+    assert CachedLeapfrogTrieJoin(query, database, decomposition).count() == expected
+
+
+@given(edge_sets)
+@settings(max_examples=20, deadline=None)
+def test_all_enumerated_decompositions_agree(edges):
+    database = _database(edges)
+    query = cycle_query(4)
+    expected = brute_force_count(query, database)
+    for decomposition in enumerate_tree_decompositions(query, max_decompositions=4):
+        assert CachedLeapfrogTrieJoin(query, database, decomposition).count() == expected
+
+
+@given(edge_sets, st.sampled_from(["always", "never", "support", "bounded"]))
+@settings(max_examples=30, deadline=None)
+def test_policies_never_change_the_answer(edges, policy_name):
+    database = _database(edges)
+    query = path_query(3)
+    expected = brute_force_count(query, database)
+    decomposition = generic_decompose(query)
+    policy = None
+    cache = None
+    if policy_name == "never":
+        policy = NeverCachePolicy()
+    elif policy_name == "support":
+        policy = SupportThresholdPolicy(database, query, threshold=1)
+    elif policy_name == "bounded":
+        cache = AdhesionCache(capacity=3, eviction="lru")
+    joiner = CachedLeapfrogTrieJoin(
+        query, database, decomposition, policy=policy, cache=cache
+    )
+    assert joiner.count() == expected
+
+
+@given(edge_sets)
+@settings(max_examples=25, deadline=None)
+def test_evaluation_matches_brute_force_tuples(edges):
+    database = _database(edges)
+    query = path_query(3)
+    decomposition = generic_decompose(query)
+    joiner = CachedLeapfrogTrieJoin(query, database, decomposition)
+    produced = {
+        tuple(row[variable] for variable in query.variables)
+        for row in joiner.evaluate_all()
+    }
+    assert produced == brute_force_evaluate(query, database)
+
+
+@given(
+    edge_sets,
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5)),
+        min_size=2,
+        max_size=6,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_random_pattern_queries_match_brute_force(edges, pattern_edges):
+    pattern_edges = [(a, b) for a, b in pattern_edges if a != b]
+    if not pattern_edges:
+        return
+    database = _database(edges)
+    query = graph_pattern_query(pattern_edges)
+    expected = brute_force_count(query, database)
+    decomposition = generic_decompose(query)
+    assert CachedLeapfrogTrieJoin(query, database, decomposition).count() == expected
+    assert LeapfrogTrieJoin(query, database).count() == expected

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, resolve_dataset, resolve_query
+from repro.query.parser import QueryParseError
+
+
+class TestResolveQuery:
+    def test_path_spec(self):
+        assert resolve_query("4-path").name == "4-path"
+
+    def test_cycle_spec(self):
+        assert resolve_query("5-cycle").name == "5-cycle"
+
+    def test_clique_and_star(self):
+        assert len(resolve_query("4-clique")) == 6
+        assert len(resolve_query("3-star")) == 3
+
+    def test_random_spec_with_probability(self):
+        query = resolve_query("5-rand(0.6)")
+        assert "5-rand" in query.name
+
+    def test_lollipop(self):
+        assert resolve_query("lollipop").name == "{3,2}-lollipop"
+
+    def test_imdb_cycles(self):
+        assert len(resolve_query("imdb-4-cycle")) == 4
+        assert len(resolve_query("imdb-6-cycle")) == 6
+
+    def test_datalog_body(self):
+        query = resolve_query("E(x,y), E(y,z)")
+        assert len(query) == 2
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryParseError):
+            resolve_query("17-nonsense&&&")
+
+
+class TestResolveDataset:
+    def test_snap_standin(self):
+        database = resolve_dataset("wiki-Vote", scale=0.3)
+        assert "E" in database
+
+    def test_imdb(self):
+        database = resolve_dataset("imdb", scale=0.3)
+        assert "male_cast" in database
+
+    def test_edge_list_path(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\n2 3\n")
+        database = resolve_dataset(str(path), scale=1.0)
+        assert len(database.relation("E")) == 2
+
+
+class TestCommands:
+    def test_run_count(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--query", "3-cycle",
+                     "--scale", "0.3", "--algorithm", "clftj"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "clftj" in output
+        assert "3-cycle" in output
+
+    def test_run_evaluate_with_rows(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--query", "2-path",
+                     "--scale", "0.3", "--mode", "evaluate", "--show-rows", "2"])
+        assert code == 0
+        assert "first 2 rows" in capsys.readouterr().out
+
+    def test_run_with_cache_capacity(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--query", "4-path",
+                     "--scale", "0.3", "--cache-capacity", "10"])
+        assert code == 0
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--dataset", "wiki-Vote", "--query", "3-path",
+                     "--scale", "0.3", "--algorithms", "lftj", "clftj"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "lftj" in output and "clftj" in output
+
+    def test_plan(self, capsys):
+        code = main(["plan", "--dataset", "wiki-Vote", "--query", "5-cycle",
+                     "--scale", "0.3"])
+        assert code == 0
+        assert "variable order" in capsys.readouterr().out
+
+    def test_datasets_listing(self, capsys):
+        code = main(["datasets"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "wiki-Vote" in output
+        assert "imdb" in output
+
+    def test_parser_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_algorithm_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "wiki-Vote", "--query", "3-path", "--algorithm", "magic"]
+            )

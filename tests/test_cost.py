@@ -1,0 +1,98 @@
+"""Tests for TD scoring heuristics and the attribute-order cost model."""
+
+import pytest
+
+from repro.decomposition.cost import ChuCostModel, select_decomposition, td_heuristic_score
+from repro.decomposition.generic import generic_decompose
+from repro.decomposition.ordering import is_strongly_compatible
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.query.patterns import clique_query, cycle_query, path_query
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+from tests.conftest import skewed_edge_database
+
+
+@pytest.fixture
+def db() -> Database:
+    return skewed_edge_database()
+
+
+class TestHeuristicScore:
+    def test_smaller_adhesion_scores_better(self):
+        path_td = generic_decompose(path_query(5))
+        cycle_td = generic_decompose(cycle_query(5))
+        assert td_heuristic_score(path_td) < td_heuristic_score(cycle_td)
+
+    def test_more_bags_score_better_at_equal_adhesion(self):
+        two_bags = TreeDecomposition.path([["x1", "x2"], ["x2", "x3"]])
+        three_bags = TreeDecomposition.path([["x1", "x2"], ["x2", "x3"], ["x3", "x4"]])
+        assert td_heuristic_score(three_bags) < td_heuristic_score(two_bags)
+
+    def test_singleton_scores_worst_on_bag_count(self):
+        query = path_query(4)
+        singleton = TreeDecomposition.singleton(query.variables)
+        decomposed = generic_decompose(query)
+        assert td_heuristic_score(decomposed) < td_heuristic_score(singleton)
+
+
+class TestChuCostModel:
+    def test_cost_positive(self, db):
+        query = path_query(4)
+        model = ChuCostModel(db, query)
+        assert model.order_cost(query.variables) > 0
+
+    def test_cost_monotone_in_query_size(self, db):
+        model_small = ChuCostModel(db, path_query(2))
+        model_large = ChuCostModel(db, path_query(5))
+        assert model_large.order_cost(path_query(5).variables) > model_small.order_cost(
+            path_query(2).variables
+        )
+
+    def test_estimate_matches_without_bound_vars_is_distinct_count(self, db):
+        query = path_query(2)
+        model = ChuCostModel(db, query)
+        distinct_src = len({row[0] for row in db.relation("E").tuples})
+        assert model.estimate_matches(0, query.variables[0], []) == pytest.approx(
+            float(distinct_src)
+        )
+
+    def test_estimate_matches_with_bound_vars_uses_fanout(self, db):
+        query = path_query(2)
+        model = ChuCostModel(db, query)
+        bound_estimate = model.estimate_matches(0, query.variables[1], [query.variables[0]])
+        relation = db.relation("E")
+        distinct_src = len({row[0] for row in relation.tuples})
+        assert bound_estimate == pytest.approx(len(relation) / distinct_src)
+
+    def test_different_orders_can_have_different_costs(self):
+        # One hub with high out-degree: starting from the hub side is cheaper.
+        rows = [(0, target) for target in range(1, 30)] + [(target, 100 + target) for target in range(1, 5)]
+        database = Database([Relation("E", ("src", "dst"), rows)])
+        query = path_query(2)
+        model = ChuCostModel(database, query)
+        forward = model.order_cost(query.variables)
+        backward = model.order_cost(tuple(reversed(query.variables)))
+        assert forward != backward
+
+
+class TestSelectDecomposition:
+    def test_returns_valid_choice(self, db):
+        query = cycle_query(5)
+        choice = select_decomposition(query, db)
+        choice.decomposition.validate(query)
+        assert is_strongly_compatible(choice.decomposition, choice.order)
+
+    def test_prefers_small_adhesions_for_paths(self, db):
+        choice = select_decomposition(path_query(5), db)
+        assert choice.decomposition.max_adhesion_size == 1
+
+    def test_clique_falls_back_to_singleton(self, db):
+        choice = select_decomposition(clique_query(4), db)
+        assert choice.decomposition.num_nodes == 1
+
+    def test_sort_key_orders_choices(self, db):
+        query = cycle_query(4)
+        choice = select_decomposition(query, db)
+        assert isinstance(choice.sort_key, tuple)
+        assert choice.order_cost >= 0

@@ -1,0 +1,64 @@
+"""Tests for the Database catalog."""
+
+import pytest
+
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database(
+        [
+            Relation("E", ("src", "dst"), [(1, 2), (2, 3)]),
+            Relation("R", ("a", "b"), [(5, 6)]),
+        ],
+        name="test",
+    )
+
+
+class TestCatalog:
+    def test_lookup(self, db):
+        assert len(db.relation("E")) == 2
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(KeyError):
+            db.relation("missing")
+
+    def test_contains(self, db):
+        assert "E" in db
+        assert "missing" not in db
+
+    def test_len_and_names(self, db):
+        assert len(db) == 2
+        assert set(db.relation_names) == {"E", "R"}
+
+    def test_duplicate_add_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.add_relation(Relation("E", ("src", "dst"), []))
+
+    def test_replace_allowed(self, db):
+        db.add_relation(Relation("E", ("src", "dst"), [(9, 9)]), replace=True)
+        assert len(db.relation("E")) == 1
+
+    def test_total_tuples(self, db):
+        assert db.total_tuples() == 3
+
+    def test_summary(self, db):
+        assert db.summary() == {"E": 2, "R": 1}
+
+
+class TestTrieCache:
+    def test_trie_index_memoised(self, db):
+        first = db.trie_index("E", (0, 1))
+        second = db.trie_index("E", (0, 1))
+        assert first is second
+
+    def test_different_orders_distinct(self, db):
+        assert db.trie_index("E", (0, 1)) is not db.trie_index("E", (1, 0))
+
+    def test_replace_invalidates_cache(self, db):
+        stale = db.trie_index("E", (0, 1))
+        db.add_relation(Relation("E", ("src", "dst"), [(7, 8)]), replace=True)
+        fresh = db.trie_index("E", (0, 1))
+        assert stale is not fresh

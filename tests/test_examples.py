@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs end to end and prints its headline output."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "5-cycle count results",
+    "motif_counting.py": "speedups over LFTJ",
+    "cache_budgeting.py": "cache-capacity sweep",
+    "decomposition_explorer.py": "enumerating decompositions",
+    "weighted_aggregates.py": "semiring aggregate results",
+}
+
+
+@pytest.mark.parametrize("script_name", sorted(EXPECTED_SNIPPETS))
+def test_example_runs_and_prints_expected_output(capsys, script_name):
+    script = EXAMPLES_DIR / script_name
+    assert script.exists(), f"example {script_name} is missing"
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert EXPECTED_SNIPPETS[script_name] in output
+    assert "Traceback" not in output
+
+
+def test_every_example_has_a_docstring_with_run_instructions():
+    for script in sorted(EXAMPLES_DIR.glob("*.py")):
+        text = script.read_text(encoding="utf-8")
+        assert text.lstrip().startswith('"""'), f"{script.name} lacks a module docstring"
+        assert "python examples/" in text, f"{script.name} lacks run instructions"

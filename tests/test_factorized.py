@@ -1,0 +1,122 @@
+"""Tests for factorised result representations."""
+
+import pytest
+
+from repro.core.factorized import FactorizedNode, expand_assignments
+from repro.query.terms import Variable
+
+
+def _vars(*names):
+    return tuple(Variable(name) for name in names)
+
+
+class TestFactorizedNode:
+    def test_flat_node_counts_entries(self):
+        node = FactorizedNode(_vars("x"))
+        node.add_entry((1,))
+        node.add_entry((2,))
+        assert node.count() == 2
+
+    def test_entry_arity_checked(self):
+        node = FactorizedNode(_vars("x", "y"))
+        with pytest.raises(ValueError):
+            node.add_entry((1,))
+
+    def test_count_multiplies_children(self):
+        left = FactorizedNode(_vars("y"))
+        left.add_entry((10,))
+        left.add_entry((11,))
+        right = FactorizedNode(_vars("z"))
+        right.add_entry((20,))
+        parent = FactorizedNode(_vars("x"))
+        parent.add_entry((1,), (left, right))
+        parent.add_entry((2,), (left, right))
+        assert parent.count() == 4  # 2 entries * (2 * 1)
+
+    def test_count_zero_when_child_empty(self):
+        empty = FactorizedNode(_vars("y"))
+        parent = FactorizedNode(_vars("x"))
+        parent.add_entry((1,), (empty,))
+        assert parent.count() == 0
+        assert parent.is_empty()
+
+    def test_variables_layout_depth_order(self):
+        child = FactorizedNode(_vars("y", "z"))
+        child.add_entry((5, 6))
+        parent = FactorizedNode(_vars("x"))
+        parent.add_entry((1,), (child,))
+        assert parent.variables() == _vars("x", "y", "z")
+
+    def test_enumerate_expands_cross_product(self):
+        left = FactorizedNode(_vars("y"))
+        left.add_entry((10,))
+        left.add_entry((11,))
+        right = FactorizedNode(_vars("z"))
+        right.add_entry((20,))
+        right.add_entry((21,))
+        parent = FactorizedNode(_vars("x"))
+        parent.add_entry((1,), (left, right))
+        rows = set(parent.enumerate())
+        assert rows == {(1, 10, 20), (1, 10, 21), (1, 11, 20), (1, 11, 21)}
+
+    def test_enumerate_count_consistency(self):
+        child = FactorizedNode(_vars("b"))
+        for value in range(3):
+            child.add_entry((value,))
+        parent = FactorizedNode(_vars("a"))
+        for value in range(4):
+            parent.add_entry((value,), (child,))
+        assert len(list(parent.enumerate())) == parent.count() == 12
+
+    def test_enumerate_dicts(self):
+        node = FactorizedNode(_vars("x", "y"))
+        node.add_entry((1, 2))
+        assert list(node.enumerate_dicts()) == [{Variable("x"): 1, Variable("y"): 2}]
+
+    def test_memory_entries_counts_shared_children_once(self):
+        shared = FactorizedNode(_vars("y"))
+        shared.add_entry((1,))
+        parent = FactorizedNode(_vars("x"))
+        parent.add_entry((1,), (shared,))
+        parent.add_entry((2,), (shared,))
+        assert parent.memory_entries() == 3  # two parent entries + one shared child entry
+
+    def test_repr_mentions_count(self):
+        node = FactorizedNode(_vars("x"))
+        node.add_entry((1,))
+        assert "count=1" in repr(node)
+
+
+class TestExpandAssignments:
+    def test_no_factors_returns_prefix(self):
+        order = _vars("x", "y")
+        rows = list(expand_assignments({Variable("x"): 1, Variable("y"): 2}, [], order))
+        assert rows == [(1, 2)]
+
+    def test_single_factor_fills_gap(self):
+        order = _vars("x", "y", "z")
+        factor = FactorizedNode(_vars("y"))
+        factor.add_entry((7,))
+        factor.add_entry((8,))
+        rows = set(
+            expand_assignments({Variable("x"): 1, Variable("z"): 3}, [(1, factor)], order)
+        )
+        assert rows == {(1, 7, 3), (1, 8, 3)}
+
+    def test_two_factors_cross_product(self):
+        order = _vars("a", "b", "c")
+        left = FactorizedNode(_vars("a"))
+        left.add_entry((1,))
+        left.add_entry((2,))
+        right = FactorizedNode(_vars("c"))
+        right.add_entry((9,))
+        rows = set(
+            expand_assignments({Variable("b"): 5}, [(0, left), (2, right)], order)
+        )
+        assert rows == {(1, 5, 9), (2, 5, 9)}
+
+    def test_empty_factor_yields_nothing(self):
+        order = _vars("x", "y")
+        factor = FactorizedNode(_vars("y"))
+        rows = list(expand_assignments({Variable("x"): 1}, [(1, factor)], order))
+        assert rows == []

@@ -1,0 +1,50 @@
+"""Tests for Gaifman-graph construction."""
+
+import networkx as nx
+
+from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.query.gaifman import gaifman_graph, is_chordal_query, treewidth_upper_bound
+from repro.query.patterns import clique_query, cycle_query, path_query
+from repro.query.terms import Variable
+
+
+class TestGaifmanGraph:
+    def test_path_query_gaifman_is_a_path(self):
+        graph = gaifman_graph(path_query(4))
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 4
+        assert nx.is_connected(graph)
+
+    def test_cycle_query_gaifman_is_a_cycle(self):
+        graph = gaifman_graph(cycle_query(5))
+        assert graph.number_of_edges() == 5
+        assert nx.cycle_basis(graph)
+
+    def test_ternary_atom_becomes_a_triangle(self):
+        query = ConjunctiveQuery([Atom("R", ("x", "y", "z"))])
+        graph = gaifman_graph(query)
+        assert graph.number_of_edges() == 3
+
+    def test_isolated_variable_kept(self):
+        query = ConjunctiveQuery([Atom("U", ("x",)), Atom("E", ("y", "z"))])
+        graph = gaifman_graph(query)
+        assert Variable("x") in graph.nodes
+        assert graph.degree(Variable("x")) == 0
+
+    def test_repeated_cooccurrence_single_edge(self):
+        query = ConjunctiveQuery([Atom("E", ("x", "y")), Atom("F", ("x", "y"))])
+        assert gaifman_graph(query).number_of_edges() == 1
+
+
+class TestGaifmanMeasures:
+    def test_path_is_chordal(self):
+        assert is_chordal_query(path_query(5))
+
+    def test_long_cycle_is_not_chordal(self):
+        assert not is_chordal_query(cycle_query(5))
+
+    def test_treewidth_bound_path(self):
+        assert treewidth_upper_bound(path_query(5)) == 1
+
+    def test_treewidth_bound_clique(self):
+        assert treewidth_upper_bound(clique_query(4)) == 3

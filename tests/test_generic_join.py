@@ -1,0 +1,83 @@
+"""Tests for the GenericJoin baseline."""
+
+import pytest
+
+from repro.baselines.generic_join import GenericJoin, generic_join_count
+from repro.core.instrumentation import OperationCounter
+from repro.core.lftj import LeapfrogTrieJoin
+from repro.query.parser import parse_query
+from repro.query.patterns import clique_query, cycle_query, path_query, star_query
+
+from tests.conftest import brute_force_count, brute_force_evaluate
+
+
+class TestCounts:
+    @pytest.mark.parametrize("query_factory", [
+        lambda: path_query(2),
+        lambda: path_query(4),
+        lambda: cycle_query(3),
+        lambda: cycle_query(5),
+        lambda: star_query(3),
+        lambda: clique_query(3),
+    ])
+    def test_matches_brute_force(self, small_graph_db, query_factory):
+        query = query_factory()
+        assert GenericJoin(query, small_graph_db).count() == brute_force_count(
+            query, small_graph_db
+        )
+
+    def test_matches_lftj(self, skewed_graph_db):
+        query = cycle_query(4)
+        assert GenericJoin(query, skewed_graph_db).count() == LeapfrogTrieJoin(
+            query, skewed_graph_db
+        ).count()
+
+    def test_multi_relation(self, two_relation_db):
+        query = parse_query("R(x, y), S(y, z)")
+        assert GenericJoin(query, two_relation_db).count() == brute_force_count(
+            query, two_relation_db
+        )
+
+    def test_query_with_constant(self, small_graph_db):
+        query = parse_query("E(x, y), E(y, 3)")
+        assert GenericJoin(query, small_graph_db).count() == brute_force_count(
+            query, small_graph_db
+        )
+
+    def test_convenience_wrapper(self, small_graph_db):
+        query = path_query(3)
+        assert generic_join_count(query, small_graph_db) == brute_force_count(
+            query, small_graph_db
+        )
+
+
+class TestEvaluation:
+    def test_tuples_match_brute_force(self, small_graph_db):
+        query = path_query(3)
+        produced = set(GenericJoin(query, small_graph_db).evaluate())
+        assert produced == brute_force_evaluate(query, small_graph_db)
+
+    def test_count_matches_evaluation_length(self, small_graph_db):
+        query = cycle_query(4)
+        join = GenericJoin(query, small_graph_db)
+        assert join.count() == len(list(GenericJoin(query, small_graph_db).evaluate()))
+
+
+class TestConfiguration:
+    def test_custom_variable_order(self, small_graph_db):
+        query = cycle_query(4)
+        reversed_order = tuple(reversed(query.variables))
+        assert GenericJoin(query, small_graph_db, reversed_order).count() == GenericJoin(
+            query, small_graph_db
+        ).count()
+
+    def test_invalid_order_rejected(self, small_graph_db):
+        query = path_query(3)
+        with pytest.raises(ValueError):
+            GenericJoin(query, small_graph_db, query.variables[:-1])
+
+    def test_hash_probes_counted(self, small_graph_db):
+        counter = OperationCounter()
+        GenericJoin(path_query(3), small_graph_db, counter=counter).count()
+        assert counter.hash_probes > 0
+        assert counter.memory_accesses > 0

@@ -1,0 +1,79 @@
+"""Tests for the operation counters."""
+
+import pytest
+
+from repro.core.instrumentation import OperationCounter
+
+
+class TestRecording:
+    def test_trie_recording(self):
+        counter = OperationCounter()
+        counter.record_trie(accesses=3, seeks=1, nexts=1, opens=1)
+        assert counter.trie_accesses == 3
+        assert counter.trie_seeks == 1
+        assert counter.trie_nexts == 1
+        assert counter.trie_opens == 1
+
+    def test_cache_recording(self):
+        counter = OperationCounter()
+        counter.record_cache_hit()
+        counter.record_cache_miss()
+        counter.record_cache_miss()
+        counter.record_cache_insertion()
+        counter.record_cache_eviction()
+        counter.record_cache_rejection()
+        assert counter.cache_hits == 1
+        assert counter.cache_misses == 2
+        assert counter.cache_lookups == 3
+        assert counter.cache_insertions == 1
+        assert counter.cache_evictions == 1
+        assert counter.cache_rejections == 1
+
+    def test_hit_rate(self):
+        counter = OperationCounter()
+        assert counter.cache_hit_rate == 0.0
+        counter.record_cache_hit()
+        counter.record_cache_miss()
+        assert counter.cache_hit_rate == pytest.approx(0.5)
+
+    def test_memory_accesses_aggregates_sources(self):
+        counter = OperationCounter()
+        counter.record_trie(accesses=5)
+        counter.record_hash_probe(3)
+        counter.record_materialized(2)
+        assert counter.memory_accesses == 10
+
+    def test_results_and_recursion(self):
+        counter = OperationCounter()
+        counter.record_result(4)
+        counter.record_recursive_call()
+        assert counter.results_emitted == 4
+        assert counter.recursive_calls == 1
+
+
+class TestLifecycle:
+    def test_reset(self):
+        counter = OperationCounter()
+        counter.record_trie(accesses=5, seeks=2)
+        counter.record_cache_hit()
+        counter.reset()
+        assert counter.trie_accesses == 0
+        assert counter.cache_hits == 0
+        assert counter.memory_accesses == 0
+
+    def test_merge(self):
+        left = OperationCounter()
+        right = OperationCounter()
+        left.record_trie(accesses=2)
+        right.record_trie(accesses=3)
+        right.record_cache_hit()
+        left.merge(right)
+        assert left.trie_accesses == 5
+        assert left.cache_hits == 1
+
+    def test_as_dict_contains_derived_metrics(self):
+        counter = OperationCounter()
+        counter.record_trie(accesses=1)
+        report = counter.as_dict()
+        assert report["memory_accesses"] == 1
+        assert "cache_hit_rate" in report

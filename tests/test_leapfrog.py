@@ -1,0 +1,81 @@
+"""Tests for the unary leapfrog intersection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.leapfrog import LeapfrogJoin, leapfrog_intersection
+from repro.storage.trie import TrieIndex
+
+
+def _open_iterator(values):
+    trie = TrieIndex.from_tuples([(value,) for value in values])
+    iterator = trie.iterator()
+    iterator.open()
+    return iterator
+
+
+class TestLeapfrogJoin:
+    def test_two_way_intersection(self):
+        left = _open_iterator([1, 3, 5, 7])
+        right = _open_iterator([2, 3, 5, 8])
+        assert list(LeapfrogJoin([left, right])) == [3, 5]
+
+    def test_three_way_intersection(self):
+        iterators = [
+            _open_iterator([1, 2, 3, 4, 5]),
+            _open_iterator([2, 3, 5, 9]),
+            _open_iterator([3, 5, 7]),
+        ]
+        assert list(LeapfrogJoin(iterators)) == [3, 5]
+
+    def test_single_iterator_passthrough(self):
+        iterator = _open_iterator([4, 6, 8])
+        assert list(LeapfrogJoin([iterator])) == [4, 6, 8]
+
+    def test_empty_intersection(self):
+        join = LeapfrogJoin([_open_iterator([1, 2]), _open_iterator([3, 4])])
+        assert join.at_end
+
+    def test_empty_iterator_short_circuits(self):
+        trie = TrieIndex.from_tuples([(1,)])
+        iterator = trie.iterator()
+        iterator.open()
+        iterator.seek(10)  # exhaust it
+        join = LeapfrogJoin([iterator, _open_iterator([1, 2, 3])])
+        assert join.at_end
+
+    def test_key_raises_at_end(self):
+        join = LeapfrogJoin([_open_iterator([1]), _open_iterator([2])])
+        with pytest.raises(RuntimeError):
+            join.key()
+
+    def test_next_raises_at_end(self):
+        join = LeapfrogJoin([_open_iterator([1]), _open_iterator([2])])
+        with pytest.raises(RuntimeError):
+            join.next()
+
+    def test_seek_skips_forward(self):
+        join = LeapfrogJoin([_open_iterator([1, 4, 6, 9]), _open_iterator([1, 4, 6, 9])])
+        join.seek(5)
+        assert join.key() == 6
+
+    def test_no_iterators_rejected(self):
+        with pytest.raises(ValueError):
+            LeapfrogJoin([])
+
+    def test_helper_function(self):
+        assert leapfrog_intersection(
+            [_open_iterator([1, 2, 3]), _open_iterator([2, 3, 4])]
+        ) == [2, 3]
+
+
+@given(
+    st.lists(st.sets(st.integers(min_value=0, max_value=50), min_size=1, max_size=30),
+             min_size=1, max_size=4)
+)
+@settings(max_examples=80, deadline=None)
+def test_leapfrog_matches_set_intersection(value_sets):
+    iterators = [_open_iterator(sorted(values)) for values in value_sets]
+    expected = sorted(set.intersection(*[set(values) for values in value_sets]))
+    assert list(LeapfrogJoin(iterators)) == expected

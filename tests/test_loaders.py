@@ -1,0 +1,90 @@
+"""Tests for edge-list / CSV loaders."""
+
+import pytest
+
+from repro.storage.loaders import (
+    load_csv_relation,
+    load_edge_list,
+    relation_from_edges,
+    save_edge_list,
+)
+from repro.storage.relation import Relation
+
+
+class TestRelationFromEdges:
+    def test_basic(self):
+        relation = relation_from_edges([(1, 2), (2, 3)])
+        assert len(relation) == 2
+        assert relation.attributes == ("src", "dst")
+
+    def test_self_loops_dropped_by_default(self):
+        relation = relation_from_edges([(1, 1), (1, 2)])
+        assert len(relation) == 1
+
+    def test_self_loops_kept_when_requested(self):
+        relation = relation_from_edges([(1, 1)], drop_self_loops=False)
+        assert (1, 1) in relation
+
+    def test_symmetric_adds_reverse_edges(self):
+        relation = relation_from_edges([(1, 2)], symmetric=True)
+        assert (2, 1) in relation
+        assert len(relation) == 2
+
+
+class TestEdgeListFiles:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        original = relation_from_edges([(1, 2), (3, 4), (5, 6)])
+        save_edge_list(original, path, comment="test graph")
+        loaded = load_edge_list(path)
+        assert loaded.tuples == original.tuples
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# SNAP style header\n\n1\t2\n3 4\n")
+        loaded = load_edge_list(path)
+        assert set(loaded) == {(1, 2), (3, 4)}
+
+    def test_max_edges(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("\n".join(f"{i} {i + 1}" for i in range(10)))
+        loaded = load_edge_list(path, max_edges=3)
+        assert len(loaded) == 3
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+    def test_save_requires_binary_relation(self, tmp_path):
+        ternary = Relation("T", ("a", "b", "c"), [(1, 2, 3)])
+        with pytest.raises(ValueError):
+            save_edge_list(ternary, tmp_path / "t.txt")
+
+
+class TestCsvLoader:
+    def test_with_header(self, tmp_path):
+        path = tmp_path / "cast.csv"
+        path.write_text("person_id,movie_id\n1,10\n2,20\n")
+        relation = load_csv_relation(path, "cast", value_type=int)
+        assert relation.attributes == ("person_id", "movie_id")
+        assert (1, 10) in relation
+
+    def test_without_header(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1,10\n2,20\n")
+        relation = load_csv_relation(path, "data", has_header=False, value_type=int)
+        assert relation.attributes == ("c0", "c1")
+
+    def test_explicit_attributes_override_header(self, tmp_path):
+        path = tmp_path / "cast.csv"
+        path.write_text("a,b\n1,2\n")
+        relation = load_csv_relation(path, "cast", attributes=("x", "y"), value_type=int)
+        assert relation.attributes == ("x", "y")
+
+    def test_max_rows(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n" + "\n".join(f"{i},{i}" for i in range(20)))
+        relation = load_csv_relation(path, "data", value_type=int, max_rows=5)
+        assert len(relation) == 5

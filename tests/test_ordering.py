@@ -1,0 +1,111 @@
+"""Tests for (strongly) compatible variable orderings."""
+
+import pytest
+
+from repro.decomposition.ordering import (
+    default_order,
+    is_compatible,
+    is_strongly_compatible,
+    strongly_compatible_order,
+    subtree_interval,
+)
+from repro.decomposition.generic import generic_decompose
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.query.patterns import cycle_query, lollipop_query, path_query
+from repro.query.terms import Variable
+
+
+@pytest.fixture
+def figure3_td() -> TreeDecomposition:
+    return TreeDecomposition.build(
+        (
+            ["x1", "x2"],
+            [
+                (
+                    ["x2", "x3", "x4"],
+                    [
+                        (["x3", "x5"], []),
+                        (["x4", "x6"], []),
+                    ],
+                )
+            ],
+        )
+    )
+
+
+class TestStronglyCompatibleOrder:
+    def test_derived_order_is_strongly_compatible(self, figure3_td):
+        order = strongly_compatible_order(figure3_td)
+        assert is_strongly_compatible(figure3_td, order)
+
+    def test_derived_order_covers_all_variables(self, figure3_td):
+        order = strongly_compatible_order(figure3_td)
+        assert set(order) == figure3_td.all_variables()
+
+    def test_owner_preorder_ranks_non_decreasing(self, figure3_td):
+        order = strongly_compatible_order(figure3_td)
+        ranks = [figure3_td.preorder_rank(figure3_td.owner(v)) for v in order]
+        assert ranks == sorted(ranks)
+
+    def test_custom_within_bag_key(self, figure3_td):
+        order = strongly_compatible_order(
+            figure3_td, within_bag_key=lambda v, td, node: v.name
+        )
+        assert is_strongly_compatible(figure3_td, order)
+
+    def test_works_for_generated_decompositions(self):
+        for query in (path_query(5), cycle_query(5), lollipop_query()):
+            decomposition = generic_decompose(query)
+            order = strongly_compatible_order(decomposition)
+            assert is_strongly_compatible(decomposition, order)
+
+
+class TestCompatibilityPredicates:
+    def test_paper_order_is_strongly_compatible_with_figure3(self, figure3_td):
+        order = tuple(Variable(f"x{i}") for i in range(1, 7))
+        assert is_strongly_compatible(figure3_td, order)
+        assert is_compatible(figure3_td, order)
+
+    def test_strong_compatibility_implies_compatibility(self, figure3_td):
+        order = strongly_compatible_order(figure3_td)
+        assert is_compatible(figure3_td, order)
+
+    def test_swapping_subtree_blocks_breaks_strong_compatibility(self, figure3_td):
+        # x5 (owned by node 2) before x3/x4 (owned by node 1) breaks strength.
+        order = tuple(Variable(name) for name in ("x1", "x2", "x5", "x3", "x4", "x6"))
+        assert not is_strongly_compatible(figure3_td, order)
+
+    def test_compatible_but_not_strongly_compatible(self, figure3_td):
+        # Interleaving the two leaves' variables keeps parent-before-child
+        # (compatibility) but violates the preorder (strong compatibility).
+        order = tuple(Variable(name) for name in ("x1", "x2", "x3", "x4", "x6", "x5"))
+        assert is_compatible(figure3_td, order)
+        assert not is_strongly_compatible(figure3_td, order)
+
+    def test_order_missing_variables_is_not_compatible(self, figure3_td):
+        order = tuple(Variable(f"x{i}") for i in range(1, 6))
+        assert not is_compatible(figure3_td, order)
+        assert not is_strongly_compatible(figure3_td, order)
+
+
+class TestSubtreeInterval:
+    def test_interval_of_child_subtree(self, figure3_td):
+        order = tuple(Variable(f"x{i}") for i in range(1, 7))
+        assert subtree_interval(figure3_td, order, 1) == (2, 5)
+
+    def test_interval_of_leaf(self, figure3_td):
+        order = tuple(Variable(f"x{i}") for i in range(1, 7))
+        assert subtree_interval(figure3_td, order, 2) == (4, 4)
+
+    def test_non_contiguous_interval_rejected(self, figure3_td):
+        # x1 sits in the middle of the variables owned by node 1's subtree,
+        # so that subtree no longer maps to a contiguous interval.
+        order = tuple(Variable(name) for name in ("x2", "x3", "x1", "x4", "x5", "x6"))
+        with pytest.raises(ValueError):
+            subtree_interval(figure3_td, order, 1)
+
+
+class TestDefaultOrder:
+    def test_default_order_is_textual(self):
+        query = path_query(3)
+        assert default_order(query) == query.variables

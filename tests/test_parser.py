@@ -1,0 +1,75 @@
+"""Tests for the datalog-like query parser."""
+
+import pytest
+
+from repro.query.parser import QueryParseError, format_query, parse_atom, parse_query
+from repro.query.terms import Constant, Variable
+
+
+class TestParseAtom:
+    def test_simple_atom(self):
+        atom = parse_atom("E(x, y)")
+        assert atom.relation == "E"
+        assert atom.terms == (Variable("x"), Variable("y"))
+
+    def test_integer_constant(self):
+        atom = parse_atom("R(x, 42)")
+        assert atom.terms[1] == Constant(42)
+
+    def test_negative_integer_constant(self):
+        assert parse_atom("R(x, -3)").terms[1] == Constant(-3)
+
+    def test_quoted_string_constant(self):
+        assert parse_atom("R(x, 'abc')").terms[1] == Constant("abc")
+
+    def test_double_quoted_string_constant(self):
+        assert parse_atom('R(x, "abc")').terms[1] == Constant("abc")
+
+    def test_whitespace_tolerated(self):
+        atom = parse_atom("  E ( x ,  y )  ")
+        assert atom.relation == "E"
+
+    def test_no_terms_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_atom("E()")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_atom("E(x, y")
+
+
+class TestParseQuery:
+    def test_bare_body(self):
+        query = parse_query("E(x, y), E(y, z)")
+        assert len(query) == 2
+        assert query.variables == (Variable("x"), Variable("y"), Variable("z"))
+
+    def test_headed_form_sets_name(self):
+        query = parse_query("q(x, y) :- E(x, y), E(y, x)")
+        assert query.name == "q"
+        assert len(query) == 2
+
+    def test_explicit_name_overrides_head(self):
+        query = parse_query("q(x) :- E(x, y)", name="custom")
+        assert query.name == "custom"
+
+    def test_constants_in_body(self):
+        query = parse_query("E(x, 3), E(3, y)")
+        assert query.atoms[0].terms[1] == Constant(3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("   ")
+
+    def test_unbalanced_parentheses_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("E(x, y), E(y")
+
+    def test_round_trip_through_format(self):
+        query = parse_query("E(x, y), E(y, z)", name="p")
+        reparsed = parse_query(format_query(query))
+        assert reparsed == query
+
+    def test_triangle(self):
+        query = parse_query("E(a,b), E(b,c), E(c,a)")
+        assert {v.name for v in query.variables} == {"a", "b", "c"}

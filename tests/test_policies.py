@@ -1,0 +1,139 @@
+"""Tests for the extended caching policies (admission, skew-aware, adaptive)."""
+
+import pytest
+
+from repro.core.cache import AdhesionCache
+from repro.core.clftj import CachedLeapfrogTrieJoin
+from repro.core.policies import (
+    AdaptivePolicy,
+    FrequencyAdmissionPolicy,
+    SkewAwarePolicy,
+    policy_suite,
+)
+from repro.decomposition.generic import generic_decompose
+from repro.query.patterns import cycle_query, path_query
+from repro.query.terms import Variable
+
+from tests.conftest import brute_force_count
+
+
+class TestFrequencyAdmissionPolicy:
+    def test_first_touch_not_admitted(self):
+        policy = FrequencyAdmissionPolicy(min_occurrences=2)
+        assert not policy.should_cache(1, (), (5,), 10)
+        assert policy.should_cache(1, (), (5,), 10)
+
+    def test_min_occurrences_one_behaves_like_always(self):
+        policy = FrequencyAdmissionPolicy(min_occurrences=1)
+        assert policy.should_cache(1, (), (5,), 10)
+
+    def test_counts_are_per_key(self):
+        policy = FrequencyAdmissionPolicy(min_occurrences=2)
+        policy.should_cache(1, (), (5,), 10)
+        assert not policy.should_cache(1, (), (6,), 10)
+        assert not policy.should_cache(2, (), (5,), 10)
+
+    def test_invalid_parameter(self):
+        with pytest.raises(ValueError):
+            FrequencyAdmissionPolicy(min_occurrences=0)
+
+    def test_correctness_under_clftj(self, skewed_graph_db):
+        query = path_query(4)
+        decomposition = generic_decompose(query)
+        joiner = CachedLeapfrogTrieJoin(
+            query, skewed_graph_db, decomposition,
+            policy=FrequencyAdmissionPolicy(min_occurrences=2),
+        )
+        assert joiner.count() == brute_force_count(query, skewed_graph_db)
+
+
+class TestSkewAwarePolicy:
+    def test_skewed_adhesion_enabled(self, skewed_graph_db):
+        query = path_query(4)
+        decomposition = generic_decompose(query)
+        policy = SkewAwarePolicy(skewed_graph_db, query, decomposition, min_skew=0.01)
+        cached_nodes = [
+            node for node in decomposition.preorder()
+            if node != decomposition.root and policy.node_enabled(node)
+        ]
+        assert cached_nodes
+
+    def test_impossible_threshold_disables_everything(self, skewed_graph_db):
+        query = path_query(3)
+        decomposition = generic_decompose(query)
+        policy = SkewAwarePolicy(skewed_graph_db, query, decomposition, min_skew=1.0)
+        assert not any(
+            policy.node_enabled(node) for node in decomposition.preorder()
+        )
+
+    def test_root_never_enabled(self, skewed_graph_db):
+        query = path_query(3)
+        decomposition = generic_decompose(query)
+        policy = SkewAwarePolicy(skewed_graph_db, query, decomposition)
+        assert not policy.node_enabled(decomposition.root)
+
+    def test_invalid_threshold(self, skewed_graph_db):
+        query = path_query(3)
+        decomposition = generic_decompose(query)
+        with pytest.raises(ValueError):
+            SkewAwarePolicy(skewed_graph_db, query, decomposition, min_skew=2.0)
+
+    def test_correctness_under_clftj(self, skewed_graph_db):
+        query = cycle_query(4)
+        decomposition = generic_decompose(query)
+        policy = SkewAwarePolicy(skewed_graph_db, query, decomposition)
+        joiner = CachedLeapfrogTrieJoin(query, skewed_graph_db, decomposition, policy=policy)
+        assert joiner.count() == brute_force_count(query, skewed_graph_db)
+
+
+class TestAdaptivePolicy:
+    def test_budget_enforced(self):
+        policy = AdaptivePolicy(max_entries_per_node=2)
+        assert policy.should_cache(1, (), (1,), 0)
+        assert policy.should_cache(1, (), (2,), 0)
+        assert not policy.should_cache(1, (), (3,), 0)
+        assert policy.admitted(1) == 2
+
+    def test_budgets_are_per_node(self):
+        policy = AdaptivePolicy(max_entries_per_node=1)
+        assert policy.should_cache(1, (), (1,), 0)
+        assert policy.should_cache(2, (), (1,), 0)
+
+    def test_zero_budget_disables_intermediates(self):
+        assert not AdaptivePolicy(max_entries_per_node=0).wants_intermediates(3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptivePolicy(max_entries_per_node=-1)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(warmup=-1)
+
+    def test_correctness_under_clftj(self, skewed_graph_db):
+        query = path_query(4)
+        decomposition = generic_decompose(query)
+        joiner = CachedLeapfrogTrieJoin(
+            query, skewed_graph_db, decomposition,
+            policy=AdaptivePolicy(max_entries_per_node=3),
+        )
+        assert joiner.count() == brute_force_count(query, skewed_graph_db)
+
+
+class TestPolicySuite:
+    def test_suite_contains_all_named_policies(self, skewed_graph_db):
+        query = path_query(4)
+        decomposition = generic_decompose(query)
+        suite = policy_suite(skewed_graph_db, query, decomposition)
+        assert set(suite) == {
+            "always", "never", "support>=2", "second-touch", "skew-aware", "adaptive-1k"
+        }
+
+    def test_every_policy_in_the_suite_is_correct(self, skewed_graph_db):
+        query = path_query(4)
+        decomposition = generic_decompose(query)
+        expected = brute_force_count(query, skewed_graph_db)
+        for name, policy in policy_suite(skewed_graph_db, query, decomposition).items():
+            joiner = CachedLeapfrogTrieJoin(
+                query, skewed_graph_db, decomposition,
+                policy=policy, cache=AdhesionCache(),
+            )
+            assert joiner.count() == expected, name

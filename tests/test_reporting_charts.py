@@ -1,0 +1,38 @@
+"""Tests for the ASCII bar-chart renderer."""
+
+import pytest
+
+from repro.bench.reporting import format_bar_chart
+
+
+class TestFormatBarChart:
+    def test_largest_value_gets_the_longest_bar(self):
+        chart = format_bar_chart({"lftj": 100.0, "clftj": 10.0})
+        lines = chart.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_values_rendered_next_to_bars(self):
+        chart = format_bar_chart({"a": 2.0, "b": 4.0})
+        assert "2" in chart and "4" in chart
+
+    def test_log_scale_compresses_ratios(self):
+        linear = format_bar_chart({"big": 1000.0, "small": 1.0}, width=40)
+        logarithmic = format_bar_chart({"big": 1000.0, "small": 1.0}, width=40, log_scale=True)
+        small_linear = linear.splitlines()[1].count("#")
+        small_log = logarithmic.splitlines()[1].count("#")
+        assert small_log > small_linear
+
+    def test_unit_suffix(self):
+        chart = format_bar_chart({"a": 1.5}, unit="s")
+        assert "s" in chart
+
+    def test_empty_input(self):
+        assert format_bar_chart({}) == "(no data)"
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart({"a": -1.0})
+
+    def test_zero_values_supported(self):
+        chart = format_bar_chart({"a": 0.0, "b": 0.0})
+        assert chart.count("|") == 2

@@ -1,0 +1,90 @@
+"""Tests for relation/attribute statistics."""
+
+import pytest
+
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.storage.statistics import (
+    StatisticsCatalog,
+    attribute_statistics,
+    collect_statistics,
+    relation_statistics,
+)
+
+
+@pytest.fixture
+def skewed() -> Relation:
+    rows = [(1, value) for value in range(10)] + [(2, 11), (3, 12)]
+    return Relation("E", ("src", "dst"), rows)
+
+
+class TestAttributeStatistics:
+    def test_cardinality_and_distinct(self, skewed):
+        stats = attribute_statistics(skewed, "src")
+        assert stats.cardinality == 12
+        assert stats.distinct == 3
+
+    def test_max_and_mean_frequency(self, skewed):
+        stats = attribute_statistics(skewed, "src")
+        assert stats.max_frequency == 10
+        assert stats.mean_frequency == pytest.approx(4.0)
+
+    def test_skew_ordering(self, skewed):
+        skew_src = attribute_statistics(skewed, "src").skew
+        skew_dst = attribute_statistics(skewed, "dst").skew
+        assert skew_src > skew_dst
+
+    def test_uniform_attribute_has_zero_skew(self):
+        rows = [(value, value) for value in range(10)]
+        relation = Relation("U", ("a", "b"), rows)
+        assert attribute_statistics(relation, "a").skew == pytest.approx(0.0)
+
+    def test_single_value_attribute_has_full_skew(self):
+        relation = Relation("S", ("a", "b"), [(1, i) for i in range(5)])
+        assert attribute_statistics(relation, "a").skew == pytest.approx(1.0)
+
+    def test_top_values(self, skewed):
+        stats = attribute_statistics(skewed, "src", top_k=2)
+        assert stats.top_values[0] == (1, 10)
+        assert len(stats.top_values) == 2
+
+    def test_selectivity(self, skewed):
+        assert attribute_statistics(skewed, "dst").selectivity == 1.0
+
+    def test_empty_relation(self):
+        relation = Relation("E", ("a", "b"), [])
+        stats = attribute_statistics(relation, "a")
+        assert stats.cardinality == 0
+        assert stats.distinct == 0
+        assert stats.max_frequency == 0
+
+
+class TestRelationStatistics:
+    def test_all_attributes_covered(self, skewed):
+        stats = relation_statistics(skewed)
+        assert set(stats.attributes) == {"src", "dst"}
+
+    def test_distinct_shortcut(self, skewed):
+        assert relation_statistics(skewed).distinct("src") == 3
+
+    def test_unknown_attribute(self, skewed):
+        with pytest.raises(KeyError):
+            relation_statistics(skewed).attribute("missing")
+
+
+class TestCatalog:
+    def test_collect_statistics(self, skewed):
+        database = Database([skewed])
+        stats = collect_statistics(database)
+        assert stats["E"].cardinality == 12
+
+    def test_catalog_lazy_and_cached(self, skewed):
+        database = Database([skewed])
+        catalog = StatisticsCatalog(database)
+        first = catalog.relation("E")
+        second = catalog.relation("E")
+        assert first is second
+
+    def test_catalog_attribute_access(self, skewed):
+        catalog = StatisticsCatalog(Database([skewed]))
+        assert catalog.attribute("E", "src").distinct == 3

@@ -1,0 +1,73 @@
+"""Tests for variables, constants and term coercion."""
+
+import pytest
+
+from repro.query.terms import Constant, Variable, as_term, is_constant, is_variable
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+
+    def test_inequality_for_different_names(self):
+        assert Variable("x") != Variable("y")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_ordering_is_by_name(self):
+        assert Variable("a") < Variable("b")
+
+    def test_str_is_the_name(self):
+        assert str(Variable("x3")) == "x3"
+
+    def test_repr_round_trips_the_name(self):
+        assert "x3" in repr(Variable("x3"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_is_immutable(self):
+        variable = Variable("x")
+        with pytest.raises(AttributeError):
+            variable.name = "y"
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(5) == Constant(5)
+
+    def test_inequality(self):
+        assert Constant(5) != Constant(6)
+
+    def test_hashable(self):
+        assert len({Constant(1), Constant(1), Constant("1")}) == 2
+
+    def test_string_constant_str(self):
+        assert str(Constant("abc")) == "'abc'"
+
+    def test_variable_and_constant_never_equal(self):
+        assert Variable("x") != Constant("x")
+
+
+class TestAsTerm:
+    def test_string_becomes_variable(self):
+        assert as_term("x") == Variable("x")
+
+    def test_int_becomes_constant(self):
+        assert as_term(7) == Constant(7)
+
+    def test_existing_variable_passes_through(self):
+        variable = Variable("v")
+        assert as_term(variable) is variable
+
+    def test_existing_constant_passes_through(self):
+        constant = Constant(3)
+        assert as_term(constant) is constant
+
+    def test_predicates(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable(Constant(1))
+        assert is_constant(Constant(1))
+        assert not is_constant("x")

@@ -1,0 +1,197 @@
+"""Tests for the ordered tree-decomposition structure."""
+
+import pytest
+
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.query.parser import parse_query
+from repro.query.patterns import clique_query, cycle_query, path_query
+from repro.query.terms import Variable
+
+
+@pytest.fixture
+def figure3_td() -> TreeDecomposition:
+    """The TD on the right of the paper's Figure 3."""
+    return TreeDecomposition.build(
+        (
+            ["x1", "x2"],
+            [
+                (
+                    ["x2", "x3", "x4"],
+                    [
+                        (["x3", "x5"], []),
+                        (["x4", "x6"], []),
+                    ],
+                )
+            ],
+        )
+    )
+
+
+class TestConstruction:
+    def test_build_nested_spec(self, figure3_td):
+        assert figure3_td.num_nodes == 4
+        assert figure3_td.root == 0
+
+    def test_singleton(self):
+        td = TreeDecomposition.singleton(["x", "y"])
+        assert td.num_nodes == 1
+        assert td.bag(0) == {Variable("x"), Variable("y")}
+
+    def test_path_constructor(self):
+        td = TreeDecomposition.path([["a", "b"], ["b", "c"], ["c", "d"]])
+        assert td.num_nodes == 3
+        assert td.parent(2) == 1
+
+    def test_string_members_coerced_to_variables(self):
+        td = TreeDecomposition([["x"]], [None])
+        assert td.bag(0) == {Variable("x")}
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            TreeDecomposition([["x"], ["y"]], [None])
+
+    def test_non_root_without_parent_rejected(self):
+        with pytest.raises(ValueError):
+            TreeDecomposition([["x"], ["y"]], [None, None])
+
+    def test_cycle_in_tree_rejected(self):
+        with pytest.raises(ValueError):
+            TreeDecomposition([["x"], ["y"]], [None, 1], children={0: [1], 1: [1]})
+
+    def test_empty_decomposition_rejected(self):
+        with pytest.raises(ValueError):
+            TreeDecomposition([], [])
+
+
+class TestStructure:
+    def test_preorder(self, figure3_td):
+        assert figure3_td.preorder() == (0, 1, 2, 3)
+
+    def test_children_order_preserved(self, figure3_td):
+        assert figure3_td.children(1) == (2, 3)
+
+    def test_subtree(self, figure3_td):
+        assert figure3_td.subtree(1) == (1, 2, 3)
+
+    def test_adhesion(self, figure3_td):
+        assert figure3_td.adhesion(1) == {Variable("x2")}
+        assert figure3_td.adhesion(2) == {Variable("x3")}
+        assert figure3_td.adhesion(0) == frozenset()
+
+    def test_adhesions_listing(self, figure3_td):
+        assert len(figure3_td.adhesions()) == 3
+
+    def test_owner_is_preorder_minimal(self, figure3_td):
+        assert figure3_td.owner(Variable("x2")) == 0
+        assert figure3_td.owner(Variable("x3")) == 1
+        assert figure3_td.owner(Variable("x5")) == 2
+
+    def test_owner_unknown_variable(self, figure3_td):
+        with pytest.raises(KeyError):
+            figure3_td.owner(Variable("zzz"))
+
+    def test_owned_variables(self, figure3_td):
+        assert figure3_td.owned_variables(0) == {Variable("x1"), Variable("x2")}
+        assert figure3_td.owned_variables(1) == {Variable("x3"), Variable("x4")}
+
+    def test_subtree_variables(self, figure3_td):
+        assert figure3_td.subtree_variables(1) == {
+            Variable("x3"), Variable("x4"), Variable("x5"), Variable("x6")
+        }
+
+    def test_all_variables(self, figure3_td):
+        assert len(figure3_td.all_variables()) == 6
+
+
+class TestMeasures:
+    def test_width(self, figure3_td):
+        assert figure3_td.width == 2
+
+    def test_max_adhesion_size(self, figure3_td):
+        assert figure3_td.max_adhesion_size == 1
+
+    def test_depth(self, figure3_td):
+        assert figure3_td.depth == 2
+
+    def test_singleton_measures(self):
+        td = TreeDecomposition.singleton(["a", "b", "c"])
+        assert td.width == 2
+        assert td.max_adhesion_size == 0
+        assert td.depth == 0
+
+
+class TestValidation:
+    def test_figure3_td_is_valid_for_its_query(self, figure3_td):
+        query = parse_query(
+            "R(x1, x2), R(x2, x3), R(x2, x4), R(x3, x4), R(x3, x5), R(x4, x6)"
+        )
+        figure3_td.validate(query)
+
+    def test_atom_coverage_violation_detected(self, figure3_td):
+        query = parse_query("R(x1, x6)")
+        with pytest.raises(ValueError):
+            figure3_td.validate(query)
+
+    def test_variable_mismatch_detected(self, figure3_td):
+        query = parse_query("R(x1, x2)")
+        with pytest.raises(ValueError):
+            figure3_td.validate(query)
+
+    def test_running_intersection_violation_detected(self):
+        # x appears in two bags that are not adjacent (middle bag misses it).
+        td = TreeDecomposition.path([["x", "y"], ["y", "z"], ["z", "x"]])
+        with pytest.raises(ValueError):
+            td.validate()
+
+    def test_is_valid_boolean_form(self, figure3_td):
+        assert figure3_td.is_valid()
+        broken = TreeDecomposition.path([["x", "y"], ["y", "z"], ["z", "x"]])
+        assert not broken.is_valid()
+
+
+class TestManipulation:
+    def test_remove_redundant_bags(self):
+        td = TreeDecomposition.path([["x", "y", "z"], ["y", "z"], ["z", "w"]])
+        cleaned = td.remove_redundant_bags()
+        assert cleaned.num_nodes == 2
+        assert cleaned.is_valid()
+
+    def test_remove_redundant_keeps_non_redundant(self):
+        td = TreeDecomposition.path([["x", "y"], ["y", "z"]])
+        assert td.remove_redundant_bags().num_nodes == 2
+
+    def test_contract_ownerless_bags(self):
+        td = TreeDecomposition.build(
+            (["x", "y", "z"], [(["y", "z"], [(["z", "w"], [])])])
+        )
+        contracted = td.contract_ownerless_bags()
+        assert contracted.num_nodes == 2
+        assert all(contracted.owned_variables(node) for node in contracted.preorder())
+
+    def test_contract_preserves_validity(self):
+        td = TreeDecomposition.build(
+            (["x", "y", "z"], [(["y", "z"], [(["z", "w"], [])])])
+        )
+        query = parse_query("R(x, y), R(y, z), R(z, w)")
+        td.contract_ownerless_bags().validate(query)
+
+
+class TestCanonicalForm:
+    def test_equal_structures_equal(self):
+        left = TreeDecomposition.path([["a", "b"], ["b", "c"]])
+        right = TreeDecomposition.path([["a", "b"], ["b", "c"]])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_different_structures_differ(self):
+        left = TreeDecomposition.path([["a", "b"], ["b", "c"]])
+        right = TreeDecomposition.singleton(["a", "b", "c"])
+        assert left != right
+
+    def test_describe_mentions_bags(self, figure3_td):
+        description = figure3_td.describe()
+        assert "x2" in description
+        assert "adhesion" in description
+
+    def test_repr(self, figure3_td):
+        assert "TreeDecomposition" in repr(figure3_td)

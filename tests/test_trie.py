@@ -1,0 +1,181 @@
+"""Tests for the trie index and its LFTJ-style iterator."""
+
+import pytest
+
+from repro.core.instrumentation import OperationCounter
+from repro.storage.relation import Relation
+from repro.storage.trie import TrieIndex, TrieIterator
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation("E", ("src", "dst"), [(1, 2), (1, 5), (2, 2), (3, 1), (3, 4)])
+
+
+@pytest.fixture
+def trie(relation) -> TrieIndex:
+    return TrieIndex.build(relation, (0, 1))
+
+
+class TestBuild:
+    def test_depth(self, trie):
+        assert trie.depth == 2
+
+    def test_root_key_count(self, trie):
+        assert len(trie) == 3
+
+    def test_tuple_count(self, trie):
+        assert trie.tuple_count() == 5
+
+    def test_reversed_order(self, relation):
+        reversed_trie = TrieIndex.build(relation, (1, 0))
+        assert reversed_trie.tuple_count() == 5
+        iterator = reversed_trie.iterator()
+        iterator.open()
+        assert iterator.key() == 1  # smallest dst value
+
+    def test_invalid_permutation_rejected(self, relation):
+        with pytest.raises(ValueError):
+            TrieIndex.build(relation, (0, 0))
+
+    def test_from_tuples(self):
+        trie = TrieIndex.from_tuples([(1, 2), (1, 3)])
+        assert trie.tuple_count() == 2
+
+    def test_from_tuples_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrieIndex.from_tuples([])
+
+    def test_empty_relation(self):
+        empty = TrieIndex.build(Relation("E", ("a", "b"), []), (0, 1))
+        iterator = empty.iterator()
+        iterator.open()
+        assert iterator.at_end()
+
+
+class TestIteratorNavigation:
+    def test_first_level_keys(self, trie):
+        iterator = trie.iterator()
+        iterator.open()
+        keys = []
+        while not iterator.at_end():
+            keys.append(iterator.key())
+            iterator.next()
+        assert keys == [1, 2, 3]
+
+    def test_open_descends_to_children(self, trie):
+        iterator = trie.iterator()
+        iterator.open()
+        iterator.open()
+        assert iterator.key() == 2  # children of 1 are [2, 5]
+
+    def test_up_returns_to_parent(self, trie):
+        iterator = trie.iterator()
+        iterator.open()
+        iterator.open()
+        iterator.up()
+        assert iterator.key() == 1
+
+    def test_seek_lands_on_least_upper_bound(self, trie):
+        iterator = trie.iterator()
+        iterator.open()
+        iterator.seek(2)
+        assert iterator.key() == 2
+        iterator.seek(3)
+        assert iterator.key() == 3
+
+    def test_seek_past_end(self, trie):
+        iterator = trie.iterator()
+        iterator.open()
+        iterator.seek(99)
+        assert iterator.at_end()
+
+    def test_seek_never_moves_backwards(self, trie):
+        iterator = trie.iterator()
+        iterator.open()
+        iterator.seek(3)
+        iterator.seek(1)
+        assert iterator.key() == 3
+
+    def test_current_prefix(self, trie):
+        iterator = trie.iterator()
+        iterator.open()
+        iterator.next()
+        iterator.open()
+        assert iterator.current_prefix() == (2, 2)
+
+    def test_full_enumeration_matches_relation(self, trie, relation):
+        iterator = trie.iterator()
+        tuples = []
+        iterator.open()
+        while not iterator.at_end():
+            first = iterator.key()
+            iterator.open()
+            while not iterator.at_end():
+                tuples.append((first, iterator.key()))
+                iterator.next()
+            iterator.up()
+            iterator.next()
+        assert tuples == list(relation.tuples)
+
+    def test_reset(self, trie):
+        iterator = trie.iterator()
+        iterator.open()
+        iterator.open()
+        iterator.reset()
+        assert iterator.depth == 0
+
+
+class TestIteratorGuards:
+    def test_key_before_open(self, trie):
+        with pytest.raises(RuntimeError):
+            trie.iterator().key()
+
+    def test_up_at_root(self, trie):
+        with pytest.raises(RuntimeError):
+            trie.iterator().up()
+
+    def test_open_past_leaves(self, trie):
+        iterator = trie.iterator()
+        iterator.open()
+        iterator.open()
+        with pytest.raises(RuntimeError):
+            iterator.open()
+
+    def test_next_at_end(self, trie):
+        iterator = trie.iterator()
+        iterator.open()
+        iterator.seek(99)
+        with pytest.raises(RuntimeError):
+            iterator.next()
+
+    def test_key_at_end(self, trie):
+        iterator = trie.iterator()
+        iterator.open()
+        iterator.seek(99)
+        with pytest.raises(RuntimeError):
+            iterator.key()
+
+
+class TestInstrumentation:
+    def test_operations_counted(self, trie):
+        counter = OperationCounter()
+        iterator = trie.iterator(counter)
+        iterator.open()
+        iterator.next()
+        iterator.seek(3)
+        assert counter.trie_opens == 1
+        assert counter.trie_nexts == 1
+        assert counter.trie_seeks == 1
+        assert counter.trie_accesses >= 3
+
+    def test_seek_costs_logarithmic_accesses(self):
+        rows = [(value,) for value in range(1024)]
+        trie = TrieIndex.from_tuples(rows)
+        counter = OperationCounter()
+        iterator = trie.iterator(counter)
+        iterator.open()
+        before = counter.trie_accesses
+        iterator.seek(1023)
+        # 1024 remaining siblings -> about log2(1024) = 10-11 probes, not 1024.
+        assert counter.trie_accesses - before <= 12

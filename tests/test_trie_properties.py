@@ -1,0 +1,85 @@
+"""Property-based tests (hypothesis) for the trie index and iterator."""
+
+from bisect import bisect_left
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.relation import Relation
+from repro.storage.trie import TrieIndex
+
+pairs = st.tuples(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30))
+pair_sets = st.sets(pairs, min_size=1, max_size=60)
+
+
+def _enumerate(trie: TrieIndex):
+    iterator = trie.iterator()
+    rows = []
+    iterator.open()
+    while not iterator.at_end():
+        first = iterator.key()
+        iterator.open()
+        while not iterator.at_end():
+            rows.append((first, iterator.key()))
+            iterator.next()
+        iterator.up()
+        iterator.next()
+    return rows
+
+
+@given(pair_sets)
+@settings(max_examples=60, deadline=None)
+def test_trie_enumeration_round_trips(rows):
+    relation = Relation("E", ("a", "b"), rows)
+    trie = TrieIndex.build(relation, (0, 1))
+    assert _enumerate(trie) == sorted(rows)
+
+
+@given(pair_sets)
+@settings(max_examples=60, deadline=None)
+def test_trie_keys_strictly_increasing_at_every_level(rows):
+    relation = Relation("E", ("a", "b"), rows)
+    trie = TrieIndex.build(relation, (0, 1))
+    iterator = trie.iterator()
+    iterator.open()
+    previous_first = None
+    while not iterator.at_end():
+        first = iterator.key()
+        if previous_first is not None:
+            assert first > previous_first
+        previous_first = first
+        iterator.open()
+        previous_second = None
+        while not iterator.at_end():
+            second = iterator.key()
+            if previous_second is not None:
+                assert second > previous_second
+            previous_second = second
+            iterator.next()
+        iterator.up()
+        iterator.next()
+
+
+@given(pair_sets, st.integers(min_value=-5, max_value=40))
+@settings(max_examples=60, deadline=None)
+def test_seek_matches_bisect_semantics(rows, probe):
+    """seek(v) must land on the least first-level key >= v (or at_end)."""
+    relation = Relation("E", ("a", "b"), rows)
+    trie = TrieIndex.build(relation, (0, 1))
+    first_level = sorted({a for a, _ in rows})
+    iterator = trie.iterator()
+    iterator.open()
+    iterator.seek(probe)
+    position = bisect_left(first_level, probe)
+    if position == len(first_level):
+        assert iterator.at_end()
+    else:
+        assert iterator.key() == first_level[position]
+
+
+@given(pair_sets)
+@settings(max_examples=40, deadline=None)
+def test_column_permutation_preserves_tuples(rows):
+    relation = Relation("E", ("a", "b"), rows)
+    swapped = TrieIndex.build(relation, (1, 0))
+    assert sorted((b, a) for a, b in rows) == _enumerate(swapped)

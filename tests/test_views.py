@@ -1,0 +1,58 @@
+"""Tests for materialised atom views (constants, repeated variables)."""
+
+import pytest
+
+from repro.query.atoms import Atom
+from repro.query.terms import Variable
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.storage.views import atom_variables_in_order, materialize_atom
+
+
+@pytest.fixture
+def db() -> Database:
+    rows = [(1, 1), (1, 2), (2, 1), (2, 3), (3, 3)]
+    return Database([Relation("E", ("src", "dst"), rows)])
+
+
+class TestMaterializeAtom:
+    def test_plain_binary_atom(self, db):
+        view = materialize_atom(db, Atom("E", ("x", "y")))
+        assert view.attributes == ("x", "y")
+        assert len(view) == 5
+
+    def test_constant_selection(self, db):
+        view = materialize_atom(db, Atom("E", ("x", 1)))
+        assert view.attributes == ("x",)
+        assert set(view) == {(1,), (2,)}
+
+    def test_leading_constant(self, db):
+        view = materialize_atom(db, Atom("E", (2, "y")))
+        assert set(view) == {(1,), (3,)}
+
+    def test_repeated_variable_self_loop(self, db):
+        view = materialize_atom(db, Atom("E", ("x", "x")))
+        assert set(view) == {(1,), (3,)}
+
+    def test_arity_mismatch_rejected(self, db):
+        with pytest.raises(ValueError):
+            materialize_atom(db, Atom("E", ("x", "y", "z")))
+
+    def test_ground_atom_rejected(self, db):
+        with pytest.raises(ValueError):
+            materialize_atom(db, Atom("E", (1, 2)))
+
+    def test_attribute_order_matches_first_occurrence(self, db):
+        view = materialize_atom(db, Atom("E", ("y", "x")))
+        assert view.attributes == ("y", "x")
+
+
+class TestAtomVariablesInOrder:
+    def test_simple(self):
+        assert atom_variables_in_order(Atom("E", ("x", "y"))) == (Variable("x"), Variable("y"))
+
+    def test_repeated_variable_collapsed(self):
+        assert atom_variables_in_order(Atom("E", ("x", "x"))) == (Variable("x"),)
+
+    def test_constants_skipped(self):
+        assert atom_variables_in_order(Atom("R", (1, "y", 2))) == (Variable("y"),)
