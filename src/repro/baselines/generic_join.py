@@ -12,12 +12,14 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from bisect import bisect_left
+
 from repro.core.instrumentation import OperationCounter
-from repro.query.atoms import ConjunctiveQuery
+from repro.query.atoms import Atom, ConjunctiveQuery
 from repro.query.terms import Variable
 from repro.storage.database import Database
 from repro.storage.relation import Relation
-from repro.storage.views import atom_variables_in_order, materialize_atom
+from repro.storage.views import atom_column_order, shared_atom_index
 
 
 class _PrefixIndex:
@@ -25,19 +27,19 @@ class _PrefixIndex:
 
     Level ``i`` maps an assignment of the first ``i`` variables (in global
     order) to the sorted list of values the ``i+1``-th variable can take.
+    The index carries no counter so it can be shared between executions (the
+    caller records probes); ``column_order`` gives the view columns in global
+    variable order.
     """
 
-    def __init__(self, relation: Relation, ordered_attributes: Sequence[str],
-                 counter: Optional[OperationCounter]) -> None:
-        self.ordered_attributes = tuple(ordered_attributes)
-        self.counter = counter
-        positions = [relation.attribute_index(name) for name in ordered_attributes]
+    def __init__(self, relation: Relation, column_order: Sequence[int]) -> None:
+        self.column_order = tuple(column_order)
         self._levels: List[Dict[Tuple[object, ...], List[object]]] = [
-            {} for _ in ordered_attributes
+            {} for _ in self.column_order
         ]
-        seen: List[Dict[Tuple[object, ...], set]] = [{} for _ in ordered_attributes]
+        seen: List[Dict[Tuple[object, ...], set]] = [{} for _ in self.column_order]
         for row in relation.tuples:
-            ordered = tuple(row[index] for index in positions)
+            ordered = tuple(row[index] for index in self.column_order)
             for level in range(len(ordered)):
                 prefix = ordered[:level]
                 bucket = seen[level].setdefault(prefix, set())
@@ -49,22 +51,27 @@ class _PrefixIndex:
 
     def candidates(self, prefix: Tuple[object, ...]) -> List[object]:
         """Sorted values the next variable can take under ``prefix``."""
-        if self.counter is not None:
-            self.counter.record_hash_probe()
         return self._levels[len(prefix)].get(prefix, [])
 
     def contains(self, prefix: Tuple[object, ...], value: object) -> bool:
         """Membership probe: may ``prefix + (value,)`` be extended to a tuple?"""
-        if self.counter is not None:
-            self.counter.record_hash_probe()
         level = self._levels[len(prefix)].get(prefix)
         if not level:
             return False
-        # The candidate lists are small; a scan keeps the index memory-lean.
-        from bisect import bisect_left
-
         position = bisect_left(level, value)
         return position < len(level) and level[position] == value
+
+
+def atom_prefix_index(
+    database: Database, atom: Atom, column_order: Sequence[int]
+) -> _PrefixIndex:
+    """Return the shared hash prefix index for ``atom``'s view.
+
+    Sharing and the constants exclusion follow
+    :func:`repro.storage.views.shared_atom_index` (kind ``"prefix"``),
+    mirroring :func:`repro.storage.views.atom_trie` for the trie family.
+    """
+    return shared_atom_index(database, atom, column_order, "prefix", _PrefixIndex)
 
 
 class GenericJoin:
@@ -90,10 +97,9 @@ class GenericJoin:
         self._indexes: List[_PrefixIndex] = []
         self._atom_order: List[Tuple[Variable, ...]] = []
         for atom in query.atoms:
-            view = materialize_atom(database, atom)
-            ordered = sorted(view.attributes, key=lambda name: self._depth_of[Variable(name)])
-            self._indexes.append(_PrefixIndex(view, ordered, self.counter))
-            self._atom_order.append(tuple(Variable(name) for name in ordered))
+            ordered, column_order = atom_column_order(atom, self._depth_of)
+            self._indexes.append(atom_prefix_index(database, atom, column_order))
+            self._atom_order.append(ordered)
 
         self._atoms_at_depth: List[Tuple[int, ...]] = [
             tuple(
@@ -130,13 +136,18 @@ class GenericJoin:
         total = 0
         for value in candidates:
             if all(
-                self._indexes[atom_index].contains(prefix, value)
+                self._probe(atom_index, prefix, value)
                 for atom_index, prefix in probes
             ):
                 assignment[depth] = value
                 total += self._count_recursive(depth + 1, assignment)
         assignment[depth] = None
         return total
+
+    def _probe(self, atom_index: int, prefix: Tuple[object, ...], value: object) -> bool:
+        """One counted membership probe against a shared prefix index."""
+        self.counter.record_hash_probe()
+        return self._indexes[atom_index].contains(prefix, value)
 
     def evaluate(self) -> Iterator[Tuple[object, ...]]:
         """Yield every result tuple in variable-order positions."""
@@ -152,7 +163,7 @@ class GenericJoin:
         candidates, probes = self._split_atoms(depth, assignment)
         for value in candidates:
             if all(
-                self._indexes[atom_index].contains(prefix, value)
+                self._probe(atom_index, prefix, value)
                 for atom_index, prefix in probes
             ):
                 assignment[depth] = value
@@ -170,6 +181,7 @@ class GenericJoin:
         for atom_index in atom_indexes:
             prefix = self._bound_prefix(atom_index, assignment, depth)
             prefixes[atom_index] = prefix
+            self.counter.record_hash_probe()
             candidates = self._indexes[atom_index].candidates(prefix)
             if best_candidates is None or len(candidates) < len(best_candidates):
                 best_candidates = candidates

@@ -49,6 +49,9 @@ class AdhesionCache:
         self.capacity = capacity
         self.eviction = eviction
         self.counter = counter
+        #: What the entries hold: "count" (ints) or "evaluate" (factorised
+        #: representations).  Bound on first use; guards against mixing.
+        self.content_mode: Optional[str] = None
         self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -61,6 +64,23 @@ class AdhesionCache:
     def is_bounded(self) -> bool:
         """True when a capacity bound is in effect."""
         return self.capacity is not None
+
+    def bind_mode(self, mode: str) -> None:
+        """Declare what kind of values the next execution will store.
+
+        Counting caches integers while evaluation caches factorised
+        representations, so one cache must never serve both.  Rebinding is
+        allowed while the cache is empty; with live entries of the other
+        mode this raises instead of letting the executor crash on a
+        type-confused entry deep inside a join.
+        """
+        if not self._entries or self.content_mode is None:
+            self.content_mode = mode
+        elif self.content_mode != mode:
+            raise ValueError(
+                f"adhesion cache holds {self.content_mode!r}-mode entries and cannot "
+                f"serve a {mode!r} run; use a separate cache (or invalidate() first)"
+            )
 
     def get(self, node: int, adhesion_values: Tuple[object, ...]) -> Optional[object]:
         """Look up the cached value for ``(node, adhesion_values)``.
@@ -149,6 +169,14 @@ class CachePolicy:
         """
         return True
 
+    def reset(self) -> None:
+        """Clear per-execution state (admission budgets etc.).
+
+        Called by CLFTJ at the start of every execution so that a policy
+        instance reused across ``count``/``evaluate`` runs starts fresh.
+        Stateless policies need not override this.
+        """
+
 
 class AlwaysCachePolicy(CachePolicy):
     """Cache every intermediate result (the paper's default, 'caches that store every result')."""
@@ -175,7 +203,9 @@ class SupportThresholdPolicy(CachePolicy):
     worthwhile if the same adhesion assignment will recur.  The support of an
     adhesion assignment is the minimum, over its variables, of the number of
     occurrences of the assigned value in the base relations' columns where
-    the variable appears.
+    the variable appears.  Each distinct ``(relation, attribute)`` column is
+    counted once per variable, so self-joins (several atoms over one
+    relation, as in the triangle query) do not inflate support.
     """
 
     def __init__(self, database: Database, query, threshold: int = 2) -> None:
@@ -183,12 +213,18 @@ class SupportThresholdPolicy(CachePolicy):
             raise ValueError("support threshold must be non-negative")
         self.threshold = threshold
         self._value_counts: Dict[Variable, Dict[object, int]] = {}
+        counted: Dict[Variable, set] = {}
         for atom in query.atoms:
             relation = database.relation(atom.relation)
             for position, term in enumerate(atom.terms):
                 if not isinstance(term, Variable):
                     continue
                 attribute = relation.attributes[position]
+                column = (relation.name, attribute)
+                seen = counted.setdefault(term, set())
+                if column in seen:
+                    continue
+                seen.add(column)
                 counts = relation.value_counts(attribute)
                 target = self._value_counts.setdefault(term, {})
                 for value, count in counts.items():
@@ -231,6 +267,10 @@ class BoundedCachePolicy(CachePolicy):
     def wants_intermediates(self, node: int) -> bool:
         return self.max_entries_per_node > 0
 
+    def reset(self) -> None:
+        """Restart the per-node admission budget for a new execution."""
+        self._admitted.clear()
+
 
 class CompositePolicy(CachePolicy):
     """Cache only when every sub-policy agrees."""
@@ -248,3 +288,8 @@ class CompositePolicy(CachePolicy):
 
     def wants_intermediates(self, node: int) -> bool:
         return all(policy.wants_intermediates(node) for policy in self.policies)
+
+    def reset(self) -> None:
+        """Reset every member policy (recursively for nested composites)."""
+        for policy in self.policies:
+            policy.reset()

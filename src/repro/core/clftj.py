@@ -57,7 +57,8 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
         bounded cache reproduces the dynamic-cache-size behaviour of
         Figure 10.  A cache must not be shared between ``count`` and
         ``evaluate`` runs, because counts cache integers while evaluation
-        caches factorised representations.
+        caches factorised representations — the cache's mode guard raises a
+        ``ValueError`` on such mixing instead of corrupting the execution.
     """
 
     def __init__(
@@ -69,6 +70,8 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
         policy: Optional[CachePolicy] = None,
         cache: Optional[AdhesionCache] = None,
         counter: Optional[OperationCounter] = None,
+        *,
+        trie_backend: str = "columnar",
     ) -> None:
         decomposition.validate(query)
         decomposition = decomposition.contract_ownerless_bags()
@@ -78,12 +81,11 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
             raise ValueError(
                 "the decomposition is not strongly compatible with the variable order"
             )
-        super().__init__(query, database, variable_order, counter)
+        super().__init__(query, database, variable_order, counter, trie_backend=trie_backend)
         self.decomposition = decomposition
         self.policy = policy if policy is not None else AlwaysCachePolicy()
         self.cache = cache if cache is not None else AdhesionCache()
-        if self.cache.counter is None:
-            self.cache.counter = self.counter
+        # The cache's counter is bound in _prepare(), once per execution.
 
         order = self.variable_order
         depth_of = {variable: depth for depth, variable in enumerate(order)}
@@ -127,6 +129,19 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
         self._builders: Dict[int, Optional[FactorizedNode]] = {}
         self._pending: List[Tuple[int, FactorizedNode]] = []
 
+    def _prepare(self) -> None:
+        """Fresh iterators plus per-execution cache/policy state.
+
+        A cache reused across executions (the Figure 10 workflow) must report
+        hits/misses/evictions on the *current* execution's counter, so the
+        counter is rebound here rather than only at construction; likewise,
+        stateful admission policies (per-node budgets) restart their budget
+        for every execution.
+        """
+        super()._prepare()
+        self.cache.counter = self.counter
+        self.policy.reset()
+
     # ------------------------------------------------------------------ keys
     def _adhesion_key(self, node: int) -> Tuple[object, ...]:
         return tuple(self._assignment[depth] for depth in self._adhesion_depths[node])
@@ -137,6 +152,7 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
     # ----------------------------------------------------------------- count
     def count(self) -> int:
         """Return ``|q(D)|`` — the algorithm ``CachedTJCount`` of Figure 2."""
+        self.cache.bind_mode("count")
         self._prepare()
         self._total = 0
         self._intrmd = {node: 0 for node in self.decomposition.preorder()}
@@ -201,6 +217,7 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
         the subtree's assignments are grafted into the output without
         re-traversing the tries.
         """
+        self.cache.bind_mode("evaluate")
         self._prepare()
         self._builders = {node: None for node in self.decomposition.preorder()}
         self._pending = []

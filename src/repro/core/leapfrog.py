@@ -38,20 +38,24 @@ class LeapfrogJoin:
 
     def _search(self) -> None:
         """Advance iterators until all agree on a key or one is exhausted."""
-        count = len(self._iters)
-        max_key = self._iters[(self._position - 1) % count].key()
+        iters = self._iters
+        count = len(iters)
+        position = self._position
+        max_key = iters[(position - 1) % count].key()
         while True:
-            iterator = self._iters[self._position]
+            iterator = iters[position]
             key = iterator.key()
             if key == max_key:
+                self._position = position
                 self._key = key
                 return
             iterator.seek(max_key)
             if iterator.at_end():
+                self._position = position
                 self.at_end = True
                 return
             max_key = iterator.key()
-            self._position = (self._position + 1) % count
+            position = (position + 1) % count
 
     # ------------------------------------------------------------ navigation
     def key(self) -> object:

@@ -22,8 +22,14 @@ from repro.core.leapfrog import LeapfrogJoin
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.terms import Variable
 from repro.storage.database import Database
-from repro.storage.trie import TrieIndex, TrieIterator
-from repro.storage.views import materialize_atom
+from repro.storage.trie import NodeTrieIndex, TrieIndex, TrieIterator
+from repro.storage.views import atom_column_order, atom_trie, materialize_atom
+
+#: Trie backends accepted by :class:`TrieJoinBase`.  "columnar" (the default)
+#: routes through the database's shared index cache so repeated executor
+#: constructions reuse tries; "nodes" rebuilds the reference object-graph trie
+#: per construction (the seed behaviour, kept for benchmark comparisons).
+TRIE_BACKENDS: Tuple[str, ...] = ("columnar", "nodes")
 
 
 class TrieJoinBase:
@@ -32,8 +38,10 @@ class TrieJoinBase:
     Responsibilities:
 
     * validate the variable order;
-    * materialise each atom into a view over its distinct variables and build
-      a trie whose level order follows the global variable order;
+    * obtain, for each atom, a trie over the atom's view (distinct variables,
+      constants and repeated variables applied) whose level order follows the
+      global variable order — shared tries come from the database's index
+      cache, so repeated constructions and equivalent atoms pay no rebuild;
     * precompute, for every depth, which atom iterators participate.
     """
 
@@ -43,9 +51,16 @@ class TrieJoinBase:
         database: Database,
         variable_order: Optional[Sequence[Variable]] = None,
         counter: Optional[OperationCounter] = None,
+        *,
+        trie_backend: str = "columnar",
     ) -> None:
+        if trie_backend not in TRIE_BACKENDS:
+            raise ValueError(
+                f"unknown trie backend {trie_backend!r}; choose one of {TRIE_BACKENDS}"
+            )
         self.query = query
         self.database = database
+        self.trie_backend = trie_backend
         self.counter = counter if counter is not None else OperationCounter()
         order = tuple(variable_order) if variable_order is not None else tuple(query.variables)
         self._validate_order(order)
@@ -58,13 +73,13 @@ class TrieJoinBase:
         self._atom_tries: List[TrieIndex] = []
         self._atom_variables: List[Tuple[Variable, ...]] = []
         for atom in query.atoms:
-            view = materialize_atom(database, atom)
-            ordered_attributes = sorted(
-                view.attributes, key=lambda name: self._depth_of[Variable(name)]
-            )
-            column_order = [view.attributes.index(name) for name in ordered_attributes]
-            self._atom_tries.append(TrieIndex.build(view, column_order))
-            self._atom_variables.append(tuple(Variable(name) for name in ordered_attributes))
+            ordered, column_order = atom_column_order(atom, self._depth_of)
+            if trie_backend == "columnar":
+                trie = atom_trie(database, atom, column_order)
+            else:
+                trie = NodeTrieIndex.build(materialize_atom(database, atom), column_order)
+            self._atom_tries.append(trie)
+            self._atom_variables.append(ordered)
 
         self._atoms_at_depth: List[Tuple[int, ...]] = []
         for depth, variable in enumerate(order):

@@ -121,16 +121,33 @@ class QueryEngine:
         query: ConjunctiveQuery,
         algorithms: Sequence[str] = ("lftj", "clftj", "ytd"),
         mode: str = "count",
+        decomposition: Optional[TreeDecomposition] = None,
+        variable_order: Optional[Sequence[Variable]] = None,
+        cache_capacity: Optional[int] = None,
+        policy: Optional[CachePolicy] = None,
     ) -> Dict[str, ExecutionResult]:
-        """Run ``query`` with several algorithms and return results keyed by name."""
+        """Run ``query`` with several algorithms and return results keyed by name.
+
+        The planning parameters (decomposition, variable order, policy, cache
+        capacity) are forwarded to every per-algorithm run, so a comparison
+        is parameterised consistently with single-algorithm :meth:`count` /
+        :meth:`evaluate` calls; algorithms that have no use for a parameter
+        ignore it.  Each run gets a fresh adhesion cache — pass ``cache=`` to
+        the single-algorithm methods to study warm-cache behaviour.
+        """
+        if mode not in ("count", "evaluate"):
+            raise ValueError(f"unknown mode {mode!r}; use 'count' or 'evaluate'")
+        run = self.count if mode == "count" else self.evaluate
         results: Dict[str, ExecutionResult] = {}
         for algorithm in algorithms:
-            if mode == "count":
-                results[algorithm] = self.count(query, algorithm=algorithm)
-            elif mode == "evaluate":
-                results[algorithm] = self.evaluate(query, algorithm=algorithm)
-            else:
-                raise ValueError(f"unknown mode {mode!r}; use 'count' or 'evaluate'")
+            results[algorithm] = run(
+                query,
+                algorithm=algorithm,
+                decomposition=decomposition,
+                variable_order=variable_order,
+                cache_capacity=cache_capacity,
+                policy=policy,
+            )
         return results
 
     # --------------------------------------------------------------- internals

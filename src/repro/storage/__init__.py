@@ -14,13 +14,15 @@ subpackage provides the equivalent substrate in pure Python:
 
 from repro.storage.relation import Relation
 from repro.storage.database import Database
-from repro.storage.trie import TrieIndex, TrieIterator
+from repro.storage.trie import NodeTrieIndex, NodeTrieIterator, TrieIndex, TrieIterator
 from repro.storage.statistics import AttributeStatistics, RelationStatistics, collect_statistics
 from repro.storage.loaders import load_edge_list, load_csv_relation, relation_from_edges
 
 __all__ = [
     "AttributeStatistics",
     "Database",
+    "NodeTrieIndex",
+    "NodeTrieIterator",
     "Relation",
     "RelationStatistics",
     "TrieIndex",

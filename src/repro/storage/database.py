@@ -1,26 +1,38 @@
-"""The database: a catalog of named relations plus trie-index management."""
+"""The database: a catalog of named relations plus shared index management."""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.storage.relation import Relation
 from repro.storage.trie import TrieIndex
+
+#: A cached-index key: (index kind, relation name, view signature, column order).
+IndexKey = Tuple[str, str, Tuple[object, ...], Tuple[int, ...]]
 
 
 class Database:
     """A named catalog of :class:`~repro.storage.relation.Relation` objects.
 
-    The database also memoises trie indices per ``(relation, attribute-order)``
-    pair so that repeated executions of the same query plan do not rebuild
-    indices; the join algorithms ask for tries through
-    :meth:`trie_index`.
+    The database also memoises secondary indexes (tries for the LFTJ family,
+    hash prefix indexes for GenericJoin) in one shared cache keyed by
+    ``(kind, relation, view signature, column order)``.  The *view signature*
+    normalises an atom's selection/projection pattern — constants and repeated
+    variables — with variable names erased, so syntactically different atoms
+    over the same data share one physical index.  Repeated executions of the
+    same (or overlapping) queries therefore reuse indexes instead of paying a
+    full rebuild per run; the join algorithms ask for tries through
+    :meth:`trie_index` / :meth:`view_index`.
     """
 
     def __init__(self, relations: Iterable[Relation] = (), name: str = "db") -> None:
         self.name = name
         self._relations: Dict[str, Relation] = {}
-        self._trie_cache: Dict[Tuple[str, Tuple[int, ...]], TrieIndex] = {}
+        self._index_cache: Dict[IndexKey, object] = {}
+        #: Number of index builds (cache misses) since creation.
+        self.index_builds: int = 0
+        #: Number of index cache hits since creation.
+        self.index_cache_hits: int = 0
         for relation in relations:
             self.add_relation(relation)
 
@@ -29,9 +41,9 @@ class Database:
         if relation.name in self._relations and not replace:
             raise ValueError(f"relation {relation.name!r} already exists in {self.name!r}")
         self._relations[relation.name] = relation
-        stale = [key for key in self._trie_cache if key[0] == relation.name]
+        stale = [key for key in self._index_cache if key[1] == relation.name]
         for key in stale:
-            del self._trie_cache[key]
+            del self._index_cache[key]
 
     def relation(self, name: str) -> Relation:
         """Look up a relation by name."""
@@ -54,21 +66,59 @@ class Database:
         """Names of all registered relations."""
         return tuple(self._relations)
 
+    # --------------------------------------------------------------- indexes
+    def view_index(
+        self,
+        kind: str,
+        relation_name: str,
+        signature: Tuple[object, ...],
+        column_order: Sequence[int],
+        build: Callable[[], object],
+    ) -> object:
+        """Return (and memoise) an index over a view of ``relation_name``.
+
+        ``signature`` identifies the view's selection/projection pattern (see
+        :func:`repro.storage.views.atom_signature`); ``build`` constructs the
+        index on a cache miss.  ``kind`` namespaces index families ("trie",
+        "prefix", ...) so they never collide.
+        """
+        key = (kind, relation_name, signature, tuple(column_order))
+        index = self._index_cache.get(key)
+        if index is None:
+            index = build()
+            self._index_cache[key] = index
+            self.index_builds += 1
+        else:
+            self.index_cache_hits += 1
+        return index
+
     def trie_index(self, relation_name: str, attribute_order: Sequence[int]) -> TrieIndex:
         """Return (and memoise) a trie over ``relation_name`` in the given column order.
 
         ``attribute_order`` is a permutation of the relation's column
         positions; level ``i`` of the trie holds the values of column
-        ``attribute_order[i]``.
+        ``attribute_order[i]``.  The cache key uses the identity signature, so
+        atoms with all-distinct variables and no constants share these tries.
         """
-        key = (relation_name, tuple(attribute_order))
-        index = self._trie_cache.get(key)
-        if index is None:
-            relation = self.relation(relation_name)
-            index = TrieIndex.build(relation, attribute_order)
-            self._trie_cache[key] = index
-        return index
+        relation = self.relation(relation_name)
+        order = tuple(attribute_order)
+        signature = tuple(range(relation.arity))
+        return self.view_index(
+            "trie", relation_name, signature, order,
+            lambda: TrieIndex.build(relation, order),
+        )
 
+    def clear_index_cache(self) -> int:
+        """Drop every cached index; returns how many were dropped."""
+        dropped = len(self._index_cache)
+        self._index_cache.clear()
+        return dropped
+
+    def index_cache_size(self) -> int:
+        """Number of indexes currently cached."""
+        return len(self._index_cache)
+
+    # ------------------------------------------------------------- reporting
     def total_tuples(self) -> int:
         """Total number of tuples across all relations."""
         return sum(len(relation) for relation in self._relations.values())

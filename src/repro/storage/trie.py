@@ -6,19 +6,33 @@ a root-to-leaf path; sibling values at every node are kept sorted, so a
 collections are balanced trees / cascading sorted vectors, giving the
 amortised complexity required for worst-case optimality).
 
+Two backends implement the same index/iterator contract:
+
+* :class:`TrieIndex` / :class:`TrieIterator` — the default **columnar**
+  backend.  Each trie level is a set of parallel flat arrays (``keys``,
+  ``child_begin``, ``child_end``), the literal "cascading sorted vectors" of
+  the paper.  Iterator state is just integer ranges per level, ``seek`` is a
+  ``bisect`` over a contiguous slice, and construction is a single linear
+  scan over the sorted tuples — no per-node object allocation.
+* :class:`NodeTrieIndex` / :class:`NodeTrieIterator` — the original
+  pointer-chasing object-graph backend, kept as a reference implementation
+  for differential tests and the backend benchmark
+  (``benchmarks/bench_trie_backend.py``).
+
 The iterator interface follows Veldhuizen's LFTJ:
 
-* :meth:`TrieIterator.open`  -- descend to the first child of the current node.
-* :meth:`TrieIterator.up`    -- pop back to the parent level.
-* :meth:`TrieIterator.next`  -- advance to the next sibling.
-* :meth:`TrieIterator.seek`  -- advance to the least sibling ``>= value``.
-* :meth:`TrieIterator.key`   -- the sibling value currently pointed at.
-* :meth:`TrieIterator.at_end`-- True when the sibling list is exhausted.
+* ``open``  -- descend to the first child of the current node.
+* ``up``    -- pop back to the parent level.
+* ``next``  -- advance to the next sibling.
+* ``seek``  -- advance to the least sibling ``>= value``.
+* ``key``   -- the sibling value currently pointed at.
+* ``at_end``-- True when the sibling list is exhausted.
 
 Every operation reports an abstract *memory access* count to an optional
 :class:`~repro.core.instrumentation.OperationCounter`, which is how the
 reproduction measures the memory-traffic reductions claimed in the paper's
-introduction.
+introduction.  Both backends report identical counts for identical operation
+sequences, so instrumented experiments are backend-independent.
 """
 
 from __future__ import annotations
@@ -27,6 +41,302 @@ from bisect import bisect_left
 from typing import List, Optional, Sequence, Tuple
 
 from repro.storage.relation import Relation
+
+
+def _sorted_rows(relation: Relation, attribute_order: Sequence[int]) -> Tuple[Tuple[int, ...], Sequence[Tuple[object, ...]]]:
+    """Validate the permutation and return (order, sorted permuted rows)."""
+    order = tuple(attribute_order)
+    if sorted(order) != list(range(relation.arity)):
+        raise ValueError(
+            f"attribute order {order!r} is not a permutation of the "
+            f"{relation.arity} columns of {relation.name!r}"
+        )
+    if order == tuple(range(relation.arity)):
+        # Relations store their tuples sorted, so the identity permutation
+        # needs neither re-tupling nor re-sorting.
+        return order, relation.tuples
+    permuted = sorted(tuple(row[i] for i in order) for row in relation.tuples)
+    return order, permuted
+
+
+class TrieIndex:
+    """A columnar trie over a relation for one column permutation.
+
+    Level ``d`` stores the distinct ``(d+1)``-prefixes of the sorted tuples as
+    a flat ``keys[d]`` array (in depth-first = lexicographic order).  For
+    non-leaf levels, ``child_begin[d][k]`` / ``child_end[d][k]`` delimit the
+    slice of ``keys[d+1]`` holding the children of the ``k``-th key.  Sibling
+    groups are therefore contiguous sorted runs, and an iterator is fully
+    described by an integer range plus a position per open level.
+    """
+
+    __slots__ = ("_keys", "_child_begin", "_child_end", "depth",
+                 "relation_name", "attribute_order")
+
+    def __init__(
+        self,
+        keys: List[List[object]],
+        child_begin: List[List[int]],
+        child_end: List[List[int]],
+        depth: int,
+        relation_name: str,
+        attribute_order: Tuple[int, ...],
+    ) -> None:
+        self._keys = keys
+        self._child_begin = child_begin
+        self._child_end = child_end
+        self.depth = depth
+        self.relation_name = relation_name
+        self.attribute_order = attribute_order
+
+    # ------------------------------------------------------------ construction
+    @staticmethod
+    def _build_columns(
+        rows: Sequence[Tuple[object, ...]], depth: int
+    ) -> Tuple[List[List[object]], List[List[int]], List[List[int]]]:
+        """Linear scans over sorted distinct rows -> per-level key/child arrays."""
+        total = len(rows)
+        if total == 0:
+            return (
+                [[] for _ in range(depth)],
+                [[] for _ in range(depth - 1)],
+                [[] for _ in range(depth - 1)],
+            )
+        keys: List[List[object]] = [[] for _ in range(depth)]
+        # starts[d][k] = index of the first row carrying the k-th key of level
+        # d; the leaf level is implicit (rows are distinct, so every row opens
+        # a new full-length prefix).
+        starts: List[List[int]] = [[] for _ in range(depth)]
+        last = depth - 1
+        keys[last] = [row[last] for row in rows]
+        for level in range(depth - 2, -1, -1):
+            width = level + 1
+            if width == 1:
+                boundaries = [
+                    index for index in range(1, total)
+                    if rows[index][0] != rows[index - 1][0]
+                ]
+            else:
+                boundaries = [
+                    index for index in range(1, total)
+                    if rows[index][:width] != rows[index - 1][:width]
+                ]
+            starts[level] = [0] + boundaries
+            level_starts = starts[level]
+            keys[level] = [rows[index][level] for index in level_starts]
+        child_begin: List[List[int]] = []
+        child_end: List[List[int]] = []
+        for level in range(depth - 1):
+            parent_starts = starts[level]
+            if level == depth - 2:
+                # Leaf children sit at their own row indices.
+                begin = parent_starts
+                size = total
+            else:
+                child_starts = starts[level + 1]
+                # Parent starts are a subsequence of child starts, so a merge
+                # walk finds each parent's first child in overall linear time.
+                begin = []
+                position = 0
+                for start in parent_starts:
+                    while child_starts[position] != start:
+                        position += 1
+                    begin.append(position)
+                size = len(child_starts)
+            child_begin.append(begin)
+            child_end.append(begin[1:] + [size])
+        return keys, child_begin, child_end
+
+    @classmethod
+    def build(cls, relation: Relation, attribute_order: Sequence[int]) -> "TrieIndex":
+        """Build a trie for ``relation`` with levels ordered by ``attribute_order``.
+
+        ``attribute_order`` must be a permutation of ``range(relation.arity)``.
+        """
+        order, permuted = _sorted_rows(relation, attribute_order)
+        keys, child_begin, child_end = cls._build_columns(permuted, relation.arity)
+        return cls(keys, child_begin, child_end, relation.arity, relation.name, order)
+
+    @classmethod
+    def from_tuples(cls, rows: Sequence[Sequence[object]], name: str = "anon") -> "TrieIndex":
+        """Build a trie directly from already-ordered tuples (used in tests)."""
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            raise ValueError("cannot build a trie from an empty tuple list")
+        depth = len(rows[0])
+        if any(len(row) != depth for row in rows):
+            raise ValueError("all tuples must have the same arity")
+        keys, child_begin, child_end = cls._build_columns(sorted(set(rows)), depth)
+        return cls(keys, child_begin, child_end, depth, name, tuple(range(depth)))
+
+    # ----------------------------------------------------------------- queries
+    def iterator(self, counter: Optional[object] = None) -> "TrieIterator":
+        """Create a fresh linear iterator over this trie."""
+        return TrieIterator(self, counter)
+
+    def __len__(self) -> int:
+        """Number of root-level keys (distinct values of the first column)."""
+        return len(self._keys[0]) if self._keys else 0
+
+    def tuple_count(self) -> int:
+        """Total number of tuples stored (root-to-leaf paths)."""
+        # The leaf level holds exactly one key per stored tuple.
+        return len(self._keys[self.depth - 1]) if self._keys else 0
+
+    def level_sizes(self) -> Tuple[int, ...]:
+        """Number of keys per level (distinct prefixes of each length)."""
+        return tuple(len(level) for level in self._keys)
+
+    def __repr__(self) -> str:
+        return (
+            f"TrieIndex({self.relation_name!r}, depth={self.depth}, "
+            f"order={self.attribute_order!r})"
+        )
+
+
+class TrieIterator:
+    """A stateful cursor over a columnar :class:`TrieIndex`.
+
+    The iterator is *at depth d* when ``d`` levels are open; depth 0 means it
+    sits above the first trie level.  Per open level the state is three
+    integers — the sibling slice ``[lo, hi)`` within the level's flat key
+    array and the current position — held in preallocated stacks, so
+    ``open``/``up`` never allocate.  Opening past the last level or calling
+    :meth:`up` at depth 0 is an error — the join algorithms never do either,
+    and tests assert the guard rails.
+    """
+
+    __slots__ = ("_index", "_counter", "_keys", "_child_begin", "_child_end",
+                 "_depth", "_lo", "_hi", "_pos", "_ended")
+
+    def __init__(self, index: TrieIndex, counter: Optional[object] = None) -> None:
+        self._index = index
+        self._counter = counter
+        self._keys = index._keys
+        self._child_begin = index._child_begin
+        self._child_end = index._child_end
+        self._depth = 0
+        levels = index.depth
+        self._lo = [0] * levels
+        self._hi = [0] * levels
+        self._pos = [0] * levels
+        self._ended = [False] * levels
+
+    # ---------------------------------------------------------------- depth
+    @property
+    def depth(self) -> int:
+        """Number of currently open levels."""
+        return self._depth
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the underlying trie."""
+        return self._index.depth
+
+    # ------------------------------------------------------------ navigation
+    # Counter recording is inlined at each call site (rather than routed
+    # through a helper) to keep the hot path free of an extra method call.
+    def open(self) -> None:
+        """Descend to the first key of the child collection of the current key."""
+        depth = self._depth
+        if depth == 0:
+            lo = 0
+            hi = len(self._keys[0]) if self._keys else 0
+        else:
+            level = depth - 1
+            if self._ended[level]:
+                raise RuntimeError("cannot open: current level is at end")
+            if depth >= self._index.depth:
+                raise RuntimeError("cannot open past the last trie level")
+            position = self._pos[level]
+            lo = self._child_begin[level][position]
+            hi = self._child_end[level][position]
+        self._lo[depth] = lo
+        self._hi[depth] = hi
+        self._pos[depth] = lo
+        self._ended[depth] = lo == hi
+        self._depth = depth + 1
+        if self._counter is not None:
+            self._counter.record_trie(accesses=1, opens=1)
+
+    def up(self) -> None:
+        """Return to the parent level."""
+        if self._depth == 0:
+            raise RuntimeError("cannot go up: iterator is at the root")
+        self._depth -= 1
+        if self._counter is not None:
+            self._counter.record_trie(accesses=1)
+
+    def key(self) -> object:
+        """The key currently pointed at in the open level."""
+        if self.at_end():
+            raise RuntimeError("iterator is at end; no current key")
+        level = self._depth - 1
+        return self._keys[level][self._pos[level]]
+
+    def at_end(self) -> bool:
+        """True when the current sibling list is exhausted."""
+        if self._depth == 0:
+            raise RuntimeError("iterator is not positioned at any level")
+        return self._ended[self._depth - 1]
+
+    def next(self) -> None:
+        """Advance to the next sibling key (possibly reaching the end)."""
+        if self._depth == 0:
+            raise RuntimeError("iterator is not positioned at any level; call open() first")
+        level = self._depth - 1
+        if self._ended[level]:
+            raise RuntimeError("cannot advance: iterator already at end")
+        position = self._pos[level] + 1
+        self._pos[level] = position
+        if position >= self._hi[level]:
+            self._ended[level] = True
+        if self._counter is not None:
+            self._counter.record_trie(accesses=1, nexts=1)
+
+    def seek(self, value: object) -> None:
+        """Advance to the least sibling key ``>= value`` (never moves backwards)."""
+        if self._depth == 0:
+            raise RuntimeError("iterator is not positioned at any level; call open() first")
+        level = self._depth - 1
+        if self._ended[level]:
+            raise RuntimeError("cannot seek: iterator already at end")
+        position = self._pos[level]
+        hi = self._hi[level]
+        new_position = bisect_left(self._keys[level], value, position, hi)
+        self._pos[level] = new_position
+        if new_position >= hi:
+            self._ended[level] = True
+        if self._counter is not None:
+            # A binary search over the remaining siblings costs ~log2(n) probes.
+            span = hi - position
+            if span < 1:
+                span = 1
+            self._counter.record_trie(accesses=max(span.bit_length(), 1), seeks=1)
+
+    # -------------------------------------------------------------- utilities
+    def current_prefix(self) -> Tuple[object, ...]:
+        """The sequence of keys selected on the path from the root."""
+        return tuple(
+            self._keys[level][self._pos[level]]
+            for level in range(self._depth)
+            if not self._ended[level]
+        )
+
+    def reset(self) -> None:
+        """Close all levels, returning the iterator to the root."""
+        self._depth = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"TrieIterator({self._index.relation_name!r}, depth={self.depth}, "
+            f"prefix={self.current_prefix()!r})"
+        )
+
+
+# --------------------------------------------------------------------------
+# Reference backend: the original pointer-chasing object graph.
+# --------------------------------------------------------------------------
 
 
 class _TrieNode:
@@ -60,8 +370,8 @@ def _build_node(rows: Sequence[Tuple[object, ...]], level: int, depth: int) -> _
     return _TrieNode(keys, children)
 
 
-class TrieIndex:
-    """A trie over a relation for one column permutation."""
+class NodeTrieIndex:
+    """The original node-per-prefix trie backend (reference implementation)."""
 
     def __init__(self, root: _TrieNode, depth: int, relation_name: str,
                  attribute_order: Tuple[int, ...]) -> None:
@@ -71,24 +381,15 @@ class TrieIndex:
         self.attribute_order = attribute_order
 
     @classmethod
-    def build(cls, relation: Relation, attribute_order: Sequence[int]) -> "TrieIndex":
-        """Build a trie for ``relation`` with levels ordered by ``attribute_order``.
-
-        ``attribute_order`` must be a permutation of ``range(relation.arity)``.
-        """
-        order = tuple(attribute_order)
-        if sorted(order) != list(range(relation.arity)):
-            raise ValueError(
-                f"attribute order {order!r} is not a permutation of the "
-                f"{relation.arity} columns of {relation.name!r}"
-            )
-        permuted = sorted(tuple(row[i] for i in order) for row in relation.tuples)
+    def build(cls, relation: Relation, attribute_order: Sequence[int]) -> "NodeTrieIndex":
+        """Build a node trie for ``relation`` in the given column order."""
+        order, permuted = _sorted_rows(relation, attribute_order)
         root = _build_node(permuted, 0, relation.arity) if permuted else _TrieNode([], [] if relation.arity > 1 else None)
         return cls(root, relation.arity, relation.name, order)
 
     @classmethod
-    def from_tuples(cls, rows: Sequence[Sequence[object]], name: str = "anon") -> "TrieIndex":
-        """Build a trie directly from already-ordered tuples (used in tests)."""
+    def from_tuples(cls, rows: Sequence[Sequence[object]], name: str = "anon") -> "NodeTrieIndex":
+        """Build a node trie directly from already-ordered tuples."""
         rows = [tuple(row) for row in rows]
         if not rows:
             raise ValueError("cannot build a trie from an empty tuple list")
@@ -98,9 +399,9 @@ class TrieIndex:
         root = _build_node(sorted(set(rows)), 0, depth)
         return cls(root, depth, name, tuple(range(depth)))
 
-    def iterator(self, counter: Optional[object] = None) -> "TrieIterator":
+    def iterator(self, counter: Optional[object] = None) -> "NodeTrieIterator":
         """Create a fresh linear iterator over this trie."""
-        return TrieIterator(self, counter)
+        return NodeTrieIterator(self, counter)
 
     def __len__(self) -> int:
         """Number of root-level keys (distinct values of the first column)."""
@@ -118,23 +419,17 @@ class TrieIndex:
 
     def __repr__(self) -> str:
         return (
-            f"TrieIndex({self.relation_name!r}, depth={self.depth}, "
+            f"NodeTrieIndex({self.relation_name!r}, depth={self.depth}, "
             f"order={self.attribute_order!r})"
         )
 
 
-class TrieIterator:
-    """A stateful cursor over a :class:`TrieIndex`.
-
-    The iterator is *at depth d* when ``d`` levels are open; depth 0 means it
-    sits above the first trie level.  Opening past the last level or calling
-    :meth:`up` at depth 0 is an error — the join algorithms never do either,
-    and tests assert the guard rails.
-    """
+class NodeTrieIterator:
+    """A stateful cursor over a :class:`NodeTrieIndex` (reference backend)."""
 
     __slots__ = ("_index", "_counter", "_nodes", "_positions", "_ended")
 
-    def __init__(self, index: TrieIndex, counter: Optional[object] = None) -> None:
+    def __init__(self, index: NodeTrieIndex, counter: Optional[object] = None) -> None:
         self._index = index
         self._counter = counter
         self._nodes: List[_TrieNode] = []
@@ -240,6 +535,6 @@ class TrieIterator:
 
     def __repr__(self) -> str:
         return (
-            f"TrieIterator({self._index.relation_name!r}, depth={self.depth}, "
+            f"NodeTrieIterator({self._index.relation_name!r}, depth={self.depth}, "
             f"prefix={self.current_prefix()!r})"
         )

@@ -9,12 +9,13 @@ special cases.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.query.atoms import Atom
 from repro.query.terms import Constant, Variable
 from repro.storage.database import Database
 from repro.storage.relation import Relation
+from repro.storage.trie import TrieIndex
 
 
 def materialize_atom(database: Database, atom: Atom, name: Optional[str] = None) -> Relation:
@@ -63,6 +64,87 @@ def materialize_atom(database: Database, atom: Atom, name: Optional[str] = None)
 
     view_name = name or f"{atom.relation}_view_{'_'.join(attributes)}"
     return Relation(view_name, attributes, rows)
+
+
+def atom_signature(atom: Atom) -> Tuple[object, ...]:
+    """A hashable, variable-name-erased signature of the atom's induced view.
+
+    Constants become ``("c", value)`` markers and variables become indices in
+    first-occurrence order, so ``E(x, y)`` and ``E(a, b)`` share the signature
+    ``(0, 1)`` while ``E(x, x)`` is ``(0, 0)`` and ``R(x, 3, y)`` is
+    ``(0, ("c", 3), 1)``.  Two atoms over the same relation with equal
+    signatures induce identical view *rows* (attribute names aside), so their
+    indexes are interchangeable — this is the sharing key of
+    :meth:`repro.storage.database.Database.view_index`.
+    """
+    signature: List[object] = []
+    seen: Dict[Variable, int] = {}
+    for term in atom.terms:
+        if isinstance(term, Constant):
+            signature.append(("c", term.value))
+        else:
+            signature.append(seen.setdefault(term, len(seen)))
+    return tuple(signature)
+
+
+def atom_has_constants(atom: Atom) -> bool:
+    """True when any term of ``atom`` is a constant."""
+    return any(isinstance(term, Constant) for term in atom.terms)
+
+
+def shared_atom_index(
+    database: Database,
+    atom: Atom,
+    column_order: Sequence[int],
+    kind: str,
+    build,
+):
+    """Get-or-build the shared index of ``kind`` for ``atom``'s view.
+
+    ``build(view, order)`` constructs the index from the materialised view.
+    The index is memoised in the database's cache under the atom's
+    name-erased signature, so repeated executor constructions — and
+    different atoms inducing the same view, e.g. the three atoms of a
+    triangle self-join — share one physical index.
+
+    Constant-bearing atoms are *not* memoised: their signatures embed the
+    constant values, so a parameterized workload (``R(x, c)`` for ever-new
+    ``c``) would grow the cache without bound.  Their filtered views are
+    small, so per-construction builds stay cheap — the seed behaviour.
+    """
+    order = tuple(column_order)
+    if atom_has_constants(atom):
+        return build(materialize_atom(database, atom), order)
+    return database.view_index(
+        kind,
+        atom.relation,
+        atom_signature(atom),
+        order,
+        lambda: build(materialize_atom(database, atom), order),
+    )
+
+
+def atom_trie(database: Database, atom: Atom, column_order: Sequence[int]) -> TrieIndex:
+    """Return the shared trie for ``atom``'s view in ``column_order`` level order.
+
+    ``column_order`` is a permutation of the view's columns (the atom's
+    distinct variables in first-occurrence order); sharing and the
+    constants exclusion follow :func:`shared_atom_index`.
+    """
+    return shared_atom_index(database, atom, column_order, "trie", TrieIndex.build)
+
+
+def atom_column_order(atom: Atom, depth_of: Dict[Variable, int]) -> Tuple[Tuple[Variable, ...], Tuple[int, ...]]:
+    """The atom's distinct variables sorted by global depth, plus the matching
+    permutation of its view columns.
+
+    Shared by the trie-join family and GenericJoin so both derive identical
+    level orders (and therefore identical shared-index cache keys).
+    """
+    variables = atom_variables_in_order(atom)
+    ordered = tuple(sorted(variables, key=lambda variable: depth_of[variable]))
+    column_order = tuple(variables.index(variable) for variable in ordered)
+    return ordered, column_order
 
 
 def atom_variables_in_order(atom: Atom) -> Tuple[Variable, ...]:
