@@ -15,9 +15,21 @@ Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_trie_backend.py \
         -o python_files='bench_*.py' -q -s
+
+or standalone (the CI smoke job uses ``--quick``)::
+
+    python benchmarks/bench_trie_backend.py --quick
 """
 
+import sys
 import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: make repro/ and benchmarks/ importable
+    _ROOT = Path(__file__).resolve().parent.parent
+    for entry in (str(_ROOT), str(_ROOT / "src")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
 
 import pytest
 
@@ -31,7 +43,8 @@ DATASETS = ("wiki-Vote", "ego-Facebook")
 ROUNDS = 3
 
 
-def _best_of(callable_, rounds=ROUNDS):
+def _best_of(callable_, rounds=None):
+    rounds = ROUNDS if rounds is None else rounds
     best = None
     result = None
     for _ in range(rounds):
@@ -148,3 +161,55 @@ def test_repeated_engine_traffic_reuses_tries(engines, algorithm):
         note="warm repeat: 0 trie builds",
         count=second.count,
     )
+
+
+def main(argv=None):
+    """Standalone entry point (CI smoke): run the triangle cells directly.
+
+    ``--quick`` shrinks the datasets and skips the timing assertions — the
+    point is that the bench entry point still runs end to end and that the
+    three backends agree, not that a loaded CI runner hits speedup targets.
+    """
+    import argparse
+
+    from repro.bench.workloads import snap_databases
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small datasets, one round, no timing assertions")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale (default: 0.15 with --quick, else 0.3)")
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (0.15 if args.quick else 0.3)
+    global ROUNDS
+    if args.quick:
+        ROUNDS = 1
+    databases = snap_databases(DATASETS, scale=scale)
+    for dataset, seed_time, cold_time, warm_time, counts, warm_builds in _triangle_cells(databases):
+        seed_count, cold_count, warm_count = counts
+        if not (seed_count == cold_count == warm_count):
+            print(f"FAIL: backends disagree on {dataset}: {counts}", file=sys.stderr)
+            return 1
+        if warm_builds != 0:
+            print(f"FAIL: warm runs rebuilt {warm_builds} tries on {dataset}", file=sys.stderr)
+            return 1
+        report_row(
+            "Trie backend (standalone)",
+            dataset=dataset,
+            query="3-cycle",
+            count=seed_count,
+            seed_seconds=round(seed_time, 5),
+            cold_seconds=round(cold_time, 5),
+            warm_seconds=round(warm_time, 5),
+            warm_speedup=round(seed_time / warm_time, 2),
+        )
+        if not args.quick and seed_time / warm_time < 1.5:
+            print(f"FAIL: warm speedup below 1.5x on {dataset}", file=sys.stderr)
+            return 1
+    print("bench_trie_backend: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,7 +57,13 @@ from repro.decomposition import (
     strongly_compatible_order,
 )
 from repro.baselines import GenericJoin, PairwiseHashJoin, YannakakisTreeJoin
-from repro.engine import ExecutionPlan, ExecutionResult, Planner, QueryEngine
+from repro.engine import (
+    ExecutionPlan,
+    ExecutionResult,
+    Planner,
+    PreparedQuery,
+    QueryEngine,
+)
 
 __version__ = "1.0.0"
 
@@ -78,6 +84,7 @@ __all__ = [
     "OperationCounter",
     "PairwiseHashJoin",
     "Planner",
+    "PreparedQuery",
     "QueryEngine",
     "Relation",
     "SupportThresholdPolicy",

@@ -163,6 +163,10 @@ class PairwiseHashJoin:
         order = tuple(variable_order) if variable_order is not None else tuple(self.query.variables)
         return [tuple(row[variable] for variable in order) for row in self.evaluate()]
 
+    def execution_metadata(self) -> Dict[str, object]:
+        """Executor-protocol hook: the greedy left-deep join order."""
+        return {"join_order": tuple(self.plan())}
+
 
 def pairwise_count(
     query: ConjunctiveQuery,

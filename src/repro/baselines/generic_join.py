@@ -170,6 +170,10 @@ class GenericJoin:
                 yield from self._evaluate_recursive(depth + 1, assignment)
         assignment[depth] = None
 
+    def execution_metadata(self) -> Dict[str, object]:
+        """Executor-protocol hook: per-algorithm facts worth reporting."""
+        return {"prefix_indexes": len(self._indexes)}
+
     def _split_atoms(
         self, depth: int, assignment: List[object]
     ) -> Tuple[List[object], List[Tuple[int, Tuple[object, ...]]]]:

@@ -223,6 +223,13 @@ class YannakakisTreeJoin:
         """Cardinalities of the materialised bag relations (after the last run)."""
         return {node: len(rows) for node, rows in self._bag_tuples.items()}
 
+    def execution_metadata(self) -> Dict[str, object]:
+        """Executor-protocol hook: bag materialisation facts after a run."""
+        return {
+            "num_bags": self.decomposition.num_nodes,
+            "materialized_bag_tuples": sum(len(rows) for rows in self._bag_tuples.values()),
+        }
+
 
 def ytd_count(
     query: ConjunctiveQuery,

@@ -32,9 +32,17 @@ class BenchmarkCell:
     run_options: Dict[str, object] = field(default_factory=dict)
 
 
-def run_cell(cell: BenchmarkCell) -> ExecutionResult:
-    """Execute one cell and return its result (with dataset metadata attached)."""
-    engine = QueryEngine(cell.database, **cell.engine_options)
+def run_cell(cell: BenchmarkCell, engine: Optional[QueryEngine] = None) -> ExecutionResult:
+    """Execute one cell and return its result (with dataset metadata attached).
+
+    Pass ``engine`` to reuse an engine (and with it the database's plan and
+    index caches) across cells; the cell's ``engine_options`` only apply when
+    no engine is given.  The per-run plan-/index-cache counters the engine
+    reports (``plan_cache_hits``, ``index_builds``, ...) stay in the result
+    metadata, so grid records show exactly how much each layer amortised.
+    """
+    if engine is None:
+        engine = QueryEngine(cell.database, **cell.engine_options)
     if cell.mode == "count":
         result = engine.count(cell.query, algorithm=cell.algorithm, **cell.run_options)
     elif cell.mode == "evaluate":
@@ -53,10 +61,24 @@ def run_grid(
     mode: str = "count",
     engine_options: Optional[Dict[str, object]] = None,
     run_options: Optional[Dict[str, object]] = None,
+    engines: Optional[Mapping[str, QueryEngine]] = None,
 ) -> List[ExecutionResult]:
-    """Run every (dataset, query, algorithm) combination and collect the results."""
+    """Run every (dataset, query, algorithm) combination and collect the results.
+
+    One engine is built (or taken from ``engines``) per database and reused
+    for every cell over that database, so grid runs exercise the plan and
+    index caches exactly like a long-lived serving engine would — repeated
+    and overlapping cells amortise planning and index construction, and each
+    record carries the cache counters showing it.  Cells may use
+    ``algorithm="auto"``; the records then carry the selector's choice under
+    ``selected_algorithm``.
+    """
     results: List[ExecutionResult] = []
     for dataset_name, database in databases.items():
+        if engines is not None and dataset_name in engines:
+            engine = engines[dataset_name]
+        else:
+            engine = QueryEngine(database, **dict(engine_options or {}))
         for query in queries:
             for algorithm in algorithms:
                 cell = BenchmarkCell(
@@ -68,7 +90,7 @@ def run_grid(
                     engine_options=dict(engine_options or {}),
                     run_options=dict(run_options or {}),
                 )
-                results.append(run_cell(cell))
+                results.append(run_cell(cell, engine=engine))
     return results
 
 

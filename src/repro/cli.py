@@ -4,8 +4,10 @@ Run queries over the synthetic stand-ins (or a real edge-list file) from the
 shell::
 
     python -m repro run --dataset wiki-Vote --query 5-cycle --algorithm clftj
+    python -m repro run --dataset wiki-Vote --query 5-cycle --algorithm auto
     python -m repro compare --dataset ego-Facebook --query 4-path
     python -m repro plan --dataset wiki-Vote --query "E(x,y), E(y,z), E(z,x)"
+    python -m repro explain --dataset wiki-Vote --query 3-cycle
     python -m repro datasets
 
 The CLI is a thin wrapper around :class:`repro.engine.QueryEngine`; it exists
@@ -22,7 +24,8 @@ from typing import List, Optional, Sequence
 from repro.bench.reporting import format_records, format_results
 from repro.bench.workloads import imdb_database
 from repro.datasets.snap import SNAP_DATASETS, dataset_specs, load_snap_standin
-from repro.engine.engine import ALGORITHMS, QueryEngine
+from repro.engine.engine import AUTO_ALGORITHM, QueryEngine
+from repro.engine.executors import registered_algorithms
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.parser import parse_query
 from repro.query.patterns import (
@@ -38,6 +41,15 @@ from repro.storage.database import Database
 from repro.storage.loaders import load_edge_list
 
 _PATTERN_RE = re.compile(r"^(\d+)-(path|cycle|clique|star|rand)(?:\(([\d.]+)\))?$")
+
+
+def cli_algorithms() -> tuple:
+    """Algorithm names the CLI accepts: every registered one plus "auto".
+
+    Computed per parser build so algorithms registered after import (via
+    :func:`repro.engine.executors.register_algorithm`) are selectable too.
+    """
+    return registered_algorithms() + (AUTO_ALGORITHM,)
 
 
 def resolve_query(spec: str) -> ConjunctiveQuery:
@@ -98,18 +110,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser("run", help="run one query with one algorithm")
     _add_common_arguments(run)
-    run.add_argument("--algorithm", choices=ALGORITHMS, default="clftj")
+    run.add_argument("--algorithm", choices=cli_algorithms(), default="clftj",
+                     help="a registered algorithm, or 'auto' for cost-based selection")
     run.add_argument("--mode", choices=("count", "evaluate"), default="count")
     run.add_argument("--show-rows", type=int, default=0,
                      help="print the first N result rows (evaluate mode)")
+    run.add_argument("--repeat", type=int, default=1,
+                     help="execute the prepared query N times (plan/index caches warm up)")
 
     compare = subparsers.add_parser("compare", help="run one query with several algorithms")
     _add_common_arguments(compare)
-    compare.add_argument("--algorithms", nargs="+", choices=ALGORITHMS,
+    compare.add_argument("--algorithms", nargs="+", choices=cli_algorithms(),
                          default=["lftj", "clftj", "ytd"])
 
     plan = subparsers.add_parser("plan", help="show the decomposition and order CLFTJ would use")
     _add_common_arguments(plan)
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="show the plan, the auto selector's reasoning and the cache state",
+    )
+    _add_common_arguments(explain)
+    explain.add_argument("--algorithm", choices=cli_algorithms(), default=AUTO_ALGORITHM,
+                         help="algorithm to explain (default: auto, with selector reasoning)")
 
     subparsers.add_parser("datasets", help="list the built-in dataset stand-ins")
     return parser
@@ -119,14 +142,23 @@ def _command_run(args: argparse.Namespace) -> int:
     database = resolve_dataset(args.dataset, args.scale)
     query = resolve_query(args.query)
     engine = QueryEngine(database)
-    if args.mode == "count":
-        result = engine.count(query, algorithm=args.algorithm,
+    prepared = engine.prepare(query, algorithm=args.algorithm,
                               cache_capacity=args.cache_capacity)
-    else:
-        result = engine.evaluate(query, algorithm=args.algorithm,
-                                 cache_capacity=args.cache_capacity)
-    print(format_results([result]))
+    if args.algorithm != prepared.algorithm:
+        print(f"auto selected: {prepared.algorithm}\n")
+    results = []
+    for _ in range(max(args.repeat, 1)):
+        results.append(prepared.count() if args.mode == "count" else prepared.evaluate())
+    print(format_results(results))
+    if args.repeat > 1:
+        last = results[-1]
+        print(
+            f"\nrun {len(results)}: plan_cache_hits={last.metadata['plan_cache_hits']} "
+            f"index_builds={last.metadata['index_builds']} "
+            f"adhesion_cache_hits={last.counter.cache_hits}"
+        )
     if args.mode == "evaluate" and args.show_rows:
+        result = results[-1]
         header = ", ".join(variable.name for variable in result.variable_order)
         print(f"\nfirst {args.show_rows} rows ({header}):")
         for row in result.rows[: args.show_rows]:
@@ -138,10 +170,9 @@ def _command_compare(args: argparse.Namespace) -> int:
     database = resolve_dataset(args.dataset, args.scale)
     query = resolve_query(args.query)
     engine = QueryEngine(database)
-    results = []
-    for algorithm in args.algorithms:
-        results.append(engine.count(query, algorithm=algorithm,
-                                    cache_capacity=args.cache_capacity))
+    by_algorithm = engine.compare(query, algorithms=args.algorithms,
+                                  cache_capacity=args.cache_capacity)
+    results = list(by_algorithm.values())
     counts = {result.count for result in results}
     print(format_results(results))
     if len(counts) > 1:
@@ -156,6 +187,15 @@ def _command_plan(args: argparse.Namespace) -> int:
     engine = QueryEngine(database)
     plan = engine.plan(query, cache_capacity=args.cache_capacity)
     print(plan.describe())
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    database = resolve_dataset(args.dataset, args.scale)
+    query = resolve_query(args.query)
+    engine = QueryEngine(database)
+    print(engine.explain(query, algorithm=args.algorithm,
+                         cache_capacity=args.cache_capacity))
     return 0
 
 
@@ -191,9 +231,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _command_run,
         "compare": _command_compare,
         "plan": _command_plan,
+        "explain": _command_explain,
         "datasets": _command_datasets,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -295,6 +295,12 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
                     self.counter.record_materialized(builder.memory_entries())
 
     # --------------------------------------------------------------- reports
+    def execution_metadata(self) -> Dict[str, object]:
+        """Executor-protocol hook: adhesion-cache state on top of the base facts."""
+        metadata = super().execution_metadata()
+        metadata["cache_entries"] = len(self.cache)
+        return metadata
+
     def cache_report(self) -> Dict[str, object]:
         """A small report of cache behaviour after an execution."""
         return {

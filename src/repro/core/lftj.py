@@ -133,6 +133,14 @@ class TrieJoinBase:
             for index, trie in enumerate(self._atom_tries)
         }
 
+    def execution_metadata(self) -> Dict[str, object]:
+        """Executor-protocol hook: per-algorithm facts worth reporting.
+
+        The engine merges this into ``ExecutionResult.metadata`` after every
+        run; subclasses extend it (CLFTJ adds its adhesion-cache state).
+        """
+        return {"trie_backend": self.trie_backend}
+
 
 class LeapfrogTrieJoin(TrieJoinBase):
     """Vanilla LFTJ: worst-case-optimal multiway join without caching."""

@@ -87,6 +87,23 @@ class ChuCostModel:
         stats = self._catalog.relation(atom.relation)
         return max(stats.distinct(attribute), 1)
 
+    def atom_cardinality(self, atom_index: int) -> int:
+        """Cardinality of the relation backing atom ``atom_index`` (>= 1)."""
+        return self._atom_cardinality(atom_index)
+
+    def variable_distinct(self, variable: Variable) -> int:
+        """Smallest distinct-count estimate for ``variable`` over covering atoms.
+
+        Used by the algorithm selector to bound the number of distinct
+        adhesion keys a CLFTJ cache can ever see.
+        """
+        estimates = [
+            self._distinct(index, variable)
+            for index, atom in enumerate(self.query.atoms)
+            if variable in atom.variable_set()
+        ]
+        return min(estimates) if estimates else 1
+
     def estimate_matches(
         self, atom_index: int, variable: Variable, bound: Iterable[Variable]
     ) -> float:

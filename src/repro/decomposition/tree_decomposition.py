@@ -377,6 +377,27 @@ class TreeDecomposition:
             ]
             current = TreeDecomposition(bags, remapped_parents)
 
+    def rename(self, mapping: Mapping[Variable, Variable]) -> "TreeDecomposition":
+        """Apply a variable renaming, preserving tree shape and child order.
+
+        ``mapping`` must cover every variable of every bag and be injective,
+        otherwise the result would not be a decomposition of the renamed
+        query.  Used by the plan cache to translate a memoised plan onto a
+        signature-equivalent query with different variable names.
+        """
+        image = set(mapping.values())
+        if len(image) != len(mapping):
+            raise ValueError("variable renaming must be injective")
+        try:
+            new_bags = [frozenset(mapping[v] for v in bag) for bag in self._bags]
+        except KeyError as exc:
+            raise ValueError(f"renaming does not cover variable {exc.args[0]!r}") from exc
+        return TreeDecomposition(
+            new_bags,
+            list(self._parents),
+            {node: list(children) for node, children in self._children.items()},
+        )
+
     # -------------------------------------------------------------- canonical
     def canonical_form(self) -> Tuple:
         """A hashable structural fingerprint (used to deduplicate enumerated TDs)."""

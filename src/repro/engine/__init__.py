@@ -1,14 +1,41 @@
-"""High-level public API: plan and execute conjunctive queries.
+"""High-level public API: plan, prepare and execute conjunctive queries.
 
 :class:`QueryEngine` is the entry point most users need: it owns a database,
 plans queries (choosing a tree decomposition, a strongly compatible variable
-order and a caching policy) and executes them with any of the implemented
-algorithms, returning an :class:`~repro.engine.results.ExecutionResult` that
-bundles the answer with the operation counters.
+order and a caching policy, memoised in the database's plan cache) and
+executes them with any registered algorithm — or picks one with the
+cost-based selector (``algorithm="auto"``).  :meth:`QueryEngine.prepare`
+returns a :class:`PreparedQuery` handle for plan-once/run-many workloads.
 """
 
+from repro.engine.executors import (
+    AlgorithmSpec,
+    Executor,
+    ExecutorRequest,
+    algorithm_spec,
+    register_algorithm,
+    registered_algorithms,
+)
 from repro.engine.planner import ExecutionPlan, Planner
+from repro.engine.prepared import PreparedQuery
 from repro.engine.results import ExecutionResult
-from repro.engine.engine import QueryEngine, ALGORITHMS
+from repro.engine.selector import AlgorithmChoice, CostBasedSelector
+from repro.engine.engine import ALGORITHMS, AUTO_ALGORITHM, QueryEngine
 
-__all__ = ["ALGORITHMS", "ExecutionPlan", "ExecutionResult", "Planner", "QueryEngine"]
+__all__ = [
+    "ALGORITHMS",
+    "AUTO_ALGORITHM",
+    "AlgorithmChoice",
+    "AlgorithmSpec",
+    "CostBasedSelector",
+    "ExecutionPlan",
+    "ExecutionResult",
+    "Executor",
+    "ExecutorRequest",
+    "Planner",
+    "PreparedQuery",
+    "QueryEngine",
+    "algorithm_spec",
+    "register_algorithm",
+    "registered_algorithms",
+]

@@ -1,32 +1,49 @@
 """The query engine facade.
 
-``QueryEngine`` wires together the planner, the join algorithms and the
-instrumentation so that a single call runs any of the paper's algorithms over
-a query and returns the answer plus its cost profile.  This is the interface
-the examples and the benchmark harness use.
+``QueryEngine`` wires together three explicit layers:
+
+1. the **executor registry** (:mod:`repro.engine.executors`) — every join
+   algorithm behind one uniform protocol, looked up by name;
+2. the **plan cache** — decomposition/order choices memoised per database
+   under name-erased query signatures, with :meth:`prepare` returning a
+   reusable :class:`~repro.engine.prepared.PreparedQuery` handle;
+3. **cost-based selection** (:mod:`repro.engine.selector`) — pass
+   ``algorithm="auto"`` and the statistics-driven selector picks
+   lftj/clftj/ytd for the query at hand.
+
+Every execution reports, in ``ExecutionResult.metadata``, how much each
+caching layer helped: per-run ``plan_builds``/``plan_cache_hits`` and
+``index_builds``/``index_cache_hits`` deltas.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.baselines.binary_join import PairwiseHashJoin
-from repro.baselines.generic_join import GenericJoin
-from repro.baselines.yannakakis import YannakakisTreeJoin
 from repro.core.cache import AdhesionCache, CachePolicy
-from repro.core.clftj import CachedLeapfrogTrieJoin
 from repro.core.instrumentation import OperationCounter
-from repro.core.lftj import LeapfrogTrieJoin
 from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.engine.executors import (
+    AlgorithmSpec,
+    Executor,
+    ExecutorRequest,
+    algorithm_spec,
+    registered_algorithms,
+)
 from repro.engine.planner import ExecutionPlan, Planner
+from repro.engine.prepared import PreparedQuery
 from repro.engine.results import ExecutionResult
+from repro.engine.selector import AlgorithmChoice, CostBasedSelector
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.terms import Variable
 from repro.storage.database import Database
 
 #: Names accepted by :meth:`QueryEngine.count` / :meth:`QueryEngine.evaluate`.
-ALGORITHMS: Tuple[str, ...] = ("lftj", "clftj", "ytd", "generic_join", "pairwise")
+ALGORITHMS: Tuple[str, ...] = registered_algorithms()
+
+#: The pseudo-algorithm resolved per query by the cost-based selector.
+AUTO_ALGORITHM: str = "auto"
 
 
 class QueryEngine:
@@ -44,6 +61,7 @@ class QueryEngine:
             max_adhesion_size=max_adhesion_size,
             support_threshold=support_threshold,
         )
+        self.selector = CostBasedSelector(database)
 
     # ------------------------------------------------------------------ plans
     def plan(
@@ -63,6 +81,52 @@ class QueryEngine:
             policy=policy,
         )
 
+    def prepare(
+        self,
+        query: ConjunctiveQuery,
+        algorithm: str = "clftj",
+        decomposition: Optional[TreeDecomposition] = None,
+        variable_order: Optional[Sequence[Variable]] = None,
+        cache_capacity: Optional[int] = None,
+        policy: Optional[CachePolicy] = None,
+        cache: Optional[AdhesionCache] = None,
+    ) -> PreparedQuery:
+        """Resolve, validate and plan ``query`` once; return a reusable handle.
+
+        ``algorithm="auto"`` runs the cost-based selector exactly once.  The
+        returned :class:`~repro.engine.prepared.PreparedQuery` re-executes
+        through the plan and index caches and, for CLFTJ, keeps a persistent
+        adhesion cache per execution mode (warm across runs).
+        """
+        parameters: Dict[str, object] = {
+            "decomposition": decomposition,
+            "variable_order": variable_order,
+            "cache_capacity": cache_capacity,
+            "policy": policy,
+            "cache": cache,
+        }
+        requested = algorithm
+        resolved, selection = self._resolve_algorithm(query, algorithm, parameters)
+        spec = algorithm_spec(resolved)
+        spec.reject_unused(**parameters)
+        if spec.needs_plan:
+            # Seed the plan cache so every later execution is a hit.
+            self.plan(
+                query,
+                decomposition=decomposition,
+                variable_order=variable_order,
+                cache_capacity=cache_capacity,
+                policy=policy,
+            )
+        return PreparedQuery(
+            self,
+            query,
+            algorithm=resolved,
+            requested_algorithm=requested,
+            parameters=parameters,
+            selection=selection,
+        )
+
     # ------------------------------------------------------------------ counts
     def count(
         self,
@@ -75,13 +139,16 @@ class QueryEngine:
         cache: Optional[AdhesionCache] = None,
     ) -> ExecutionResult:
         """Run a count query with the chosen algorithm and return the result."""
-        executor, plan = self._build_executor(
-            query, algorithm, decomposition, variable_order, cache_capacity, policy, cache
+        return self._execute(
+            query,
+            algorithm,
+            "count",
+            decomposition=decomposition,
+            variable_order=variable_order,
+            cache_capacity=cache_capacity,
+            policy=policy,
+            cache=cache,
         )
-        started = time.perf_counter()
-        value = executor.count()
-        elapsed = time.perf_counter() - started
-        return self._result(query, algorithm, value, elapsed, executor, plan)
 
     def evaluate(
         self,
@@ -95,25 +162,20 @@ class QueryEngine:
     ) -> ExecutionResult:
         """Run a full evaluation and return the materialised result rows.
 
-        Rows are reported as tuples following the plan's variable order (the
-        query's textual order for the non-decomposition algorithms).
+        Rows are reported as tuples following the executor's declared
+        ``variable_order`` (the query's textual order for the row-stream
+        adapters around YTD and the pairwise baseline).
         """
-        executor, plan = self._build_executor(
-            query, algorithm, decomposition, variable_order, cache_capacity, policy, cache
+        return self._execute(
+            query,
+            algorithm,
+            "evaluate",
+            decomposition=decomposition,
+            variable_order=variable_order,
+            cache_capacity=cache_capacity,
+            policy=policy,
+            cache=cache,
         )
-        started = time.perf_counter()
-        order: Tuple[Variable, ...]
-        if isinstance(executor, (LeapfrogTrieJoin, CachedLeapfrogTrieJoin, GenericJoin)):
-            order = tuple(executor.variable_order)
-            rows = [tuple(row) for row in executor.evaluate()]
-        else:
-            order = tuple(query.variables)
-            rows = executor.evaluate_tuples(order)
-        elapsed = time.perf_counter() - started
-        result = self._result(query, algorithm, len(rows), elapsed, executor, plan)
-        result.rows = rows
-        result.variable_order = order
-        return result
 
     # -------------------------------------------------------------- comparison
     def compare(
@@ -128,44 +190,69 @@ class QueryEngine:
     ) -> Dict[str, ExecutionResult]:
         """Run ``query`` with several algorithms and return results keyed by name.
 
-        The planning parameters (decomposition, variable order, policy, cache
-        capacity) are forwarded to every per-algorithm run, so a comparison
-        is parameterised consistently with single-algorithm :meth:`count` /
-        :meth:`evaluate` calls; algorithms that have no use for a parameter
-        ignore it.  Each run gets a fresh adhesion cache — pass ``cache=`` to
-        the single-algorithm methods to study warm-cache behaviour.
+        Each planning parameter is forwarded to exactly the algorithms whose
+        registry spec accepts it (forwarding e.g. a caching policy to plain
+        LFTJ would otherwise be rejected as unused).  Each run gets a fresh
+        adhesion cache — use :meth:`prepare` or pass ``cache=`` to the
+        single-algorithm methods to study warm-cache behaviour.
         """
         if mode not in ("count", "evaluate"):
             raise ValueError(f"unknown mode {mode!r}; use 'count' or 'evaluate'")
-        run = self.count if mode == "count" else self.evaluate
+        parameters: Dict[str, object] = {
+            "decomposition": decomposition,
+            "variable_order": variable_order,
+            "cache_capacity": cache_capacity,
+            "policy": policy,
+        }
         results: Dict[str, ExecutionResult] = {}
         for algorithm in algorithms:
-            results[algorithm] = run(
-                query,
-                algorithm=algorithm,
-                decomposition=decomposition,
-                variable_order=variable_order,
-                cache_capacity=cache_capacity,
-                policy=policy,
-            )
+            if algorithm == AUTO_ALGORITHM:
+                forwarded: Dict[str, object] = {}
+            else:
+                accepts = algorithm_spec(algorithm).accepts
+                forwarded = {
+                    name: value
+                    for name, value in parameters.items()
+                    if value is not None and name in accepts
+                }
+            results[algorithm] = self._execute(query, algorithm, mode, **forwarded)
         return results
 
-    # --------------------------------------------------------------- internals
-    def _build_executor(
+    # ------------------------------------------------------------- explanation
+    def explain(
         self,
         query: ConjunctiveQuery,
-        algorithm: str,
-        decomposition: Optional[TreeDecomposition],
-        variable_order: Optional[Sequence[Variable]],
-        cache_capacity: Optional[int],
-        policy: Optional[CachePolicy],
-        cache: Optional[AdhesionCache],
-    ):
-        if algorithm not in ALGORITHMS:
-            raise ValueError(f"unknown algorithm {algorithm!r}; choose one of {ALGORITHMS}")
-        counter = OperationCounter()
-        plan: Optional[ExecutionPlan] = None
-        if algorithm in ("clftj", "ytd"):
+        algorithm: str = AUTO_ALGORITHM,
+        decomposition: Optional[TreeDecomposition] = None,
+        variable_order: Optional[Sequence[Variable]] = None,
+        cache_capacity: Optional[int] = None,
+        policy: Optional[CachePolicy] = None,
+        cache: Optional[AdhesionCache] = None,
+    ) -> str:
+        """A human-readable account of how ``query`` would be executed.
+
+        Shows the (memoised) execution plan, the selector's reasoning when
+        ``algorithm="auto"``, and the current plan-/index-cache state of the
+        database — without executing the query.
+        """
+        lines = []
+        parameters: Dict[str, object] = {
+            "decomposition": decomposition,
+            "variable_order": variable_order,
+            "cache_capacity": cache_capacity,
+            "policy": policy,
+            "cache": cache,
+        }
+        plan_builds_before = self.database.plan_builds
+        resolved, selection = self._resolve_algorithm(query, algorithm, parameters)
+        spec = algorithm_spec(resolved)
+        spec.reject_unused(**parameters)
+        if selection is not None:
+            lines.append(selection.describe())
+        else:
+            lines.append(f"algorithm: {resolved} (explicit)")
+        plan_consulted = selection is not None
+        if spec.needs_plan or selection is not None:
             plan = self.plan(
                 query,
                 decomposition=decomposition,
@@ -173,25 +260,132 @@ class QueryEngine:
                 cache_capacity=cache_capacity,
                 policy=policy,
             )
-        if algorithm == "lftj":
-            executor = LeapfrogTrieJoin(query, self.database, variable_order, counter)
-        elif algorithm == "clftj":
-            executor = CachedLeapfrogTrieJoin(
-                query,
-                self.database,
-                plan.decomposition,
-                plan.variable_order,
-                policy=plan.policy,
-                cache=cache if cache is not None else plan.make_cache(),
-                counter=counter,
-            )
-        elif algorithm == "ytd":
-            executor = YannakakisTreeJoin(query, self.database, plan.decomposition, counter)
-        elif algorithm == "generic_join":
-            executor = GenericJoin(query, self.database, variable_order, counter)
+            plan_consulted = plan_consulted or decomposition is None
+            lines.append("")
+            lines.append(plan.describe())
+        if decomposition is not None:
+            plan_state = "bypassed (explicit decomposition)"
+        elif not plan_consulted:
+            plan_state = "not planned (algorithm plans nothing)"
+        elif self.database.plan_builds > plan_builds_before:
+            plan_state = "newly planned"
         else:
-            executor = PairwiseHashJoin(query, self.database, counter)
-        return executor, plan
+            plan_state = "cached"
+        lines.append("")
+        lines.append(
+            "plan cache: "
+            f"{self.database.plan_cache_size()} plan(s) cached, "
+            f"{self.database.plan_builds} build(s), "
+            f"{self.database.plan_cache_hits} hit(s); "
+            f"this query: {plan_state}"
+        )
+        lines.append(
+            "index cache: "
+            f"{self.database.index_cache_size()} index(es) cached, "
+            f"{self.database.index_builds} build(s), "
+            f"{self.database.index_cache_hits} hit(s)"
+        )
+        return "\n".join(lines)
+
+    # --------------------------------------------------------------- internals
+    def _resolve_algorithm(
+        self,
+        query: ConjunctiveQuery,
+        algorithm: str,
+        parameters: Dict[str, object],
+    ) -> Tuple[str, Optional[AlgorithmChoice]]:
+        """Resolve ``"auto"`` through the selector; pass anything else through."""
+        if algorithm != AUTO_ALGORITHM:
+            return algorithm, None
+        provided = sorted(
+            name for name, value in parameters.items() if value is not None
+        )
+        if provided:
+            raise ValueError(
+                f"algorithm 'auto' does not accept explicit planning parameters "
+                f"({', '.join(provided)}); the selector owns those choices — "
+                f"pick a concrete algorithm to set them"
+            )
+        plan = self.plan(query)
+        selection = self.selector.choose(query, plan)
+        return selection.algorithm, selection
+
+    def _execute(
+        self,
+        query: ConjunctiveQuery,
+        algorithm: str,
+        mode: str,
+        decomposition: Optional[TreeDecomposition] = None,
+        variable_order: Optional[Sequence[Variable]] = None,
+        cache_capacity: Optional[int] = None,
+        policy: Optional[CachePolicy] = None,
+        cache: Optional[AdhesionCache] = None,
+        selection: Optional[AlgorithmChoice] = None,
+    ) -> ExecutionResult:
+        """One execution through registry lookup, planning and the executor."""
+        before = self._cache_counters()
+        parameters: Dict[str, object] = {
+            "decomposition": decomposition,
+            "variable_order": variable_order,
+            "cache_capacity": cache_capacity,
+            "policy": policy,
+            "cache": cache,
+        }
+        # The result keeps the caller's label ("auto" stays "auto"); the
+        # resolved name lands in metadata["selected_algorithm"].
+        label = algorithm
+        if selection is None:
+            algorithm, selection = self._resolve_algorithm(query, algorithm, parameters)
+        spec = algorithm_spec(algorithm)
+        spec.reject_unused(**parameters)
+
+        counter = OperationCounter()
+        plan: Optional[ExecutionPlan] = None
+        if spec.needs_plan:
+            plan = self.plan(
+                query,
+                decomposition=decomposition,
+                variable_order=variable_order,
+                cache_capacity=cache_capacity,
+                policy=policy,
+            )
+        executor: Executor = spec.factory(
+            ExecutorRequest(
+                query=query,
+                database=self.database,
+                counter=counter,
+                plan=plan,
+                variable_order=tuple(variable_order) if variable_order is not None else None,
+                cache=cache,
+            )
+        )
+
+        started = time.perf_counter()
+        if mode == "count":
+            value = executor.count()
+            rows = None
+        elif mode == "evaluate":
+            rows = [tuple(row) for row in executor.evaluate()]
+            value = len(rows)
+        else:
+            raise ValueError(f"unknown mode {mode!r}; use 'count' or 'evaluate'")
+        elapsed = time.perf_counter() - started
+
+        result = self._result(
+            query, label, value, elapsed, executor, plan, selection, before
+        )
+        if rows is not None:
+            result.rows = rows
+        return result
+
+    def _cache_counters(self) -> Tuple[int, int, int, int]:
+        database = self.database
+        return (
+            database.index_builds,
+            database.index_cache_hits,
+            database.plan_builds,
+            database.plan_cache_hits,
+        )
 
     def _result(
         self,
@@ -199,21 +393,35 @@ class QueryEngine:
         algorithm: str,
         count: int,
         elapsed: float,
-        executor,
+        executor: Executor,
         plan: Optional[ExecutionPlan],
+        selection: Optional[AlgorithmChoice],
+        counters_before: Tuple[int, int, int, int],
     ) -> ExecutionResult:
         metadata: Dict[str, object] = {}
         if plan is not None:
             metadata["num_bags"] = plan.decomposition.num_nodes
             metadata["max_adhesion_size"] = plan.decomposition.max_adhesion_size
-        if isinstance(executor, CachedLeapfrogTrieJoin):
-            metadata["cache_entries"] = len(executor.cache)
+        metadata.update(executor.execution_metadata())
+        if selection is not None:
+            metadata["selected_algorithm"] = selection.algorithm
+            metadata["selector_costs"] = {
+                name: round(cost, 2) for name, cost in selection.costs.items()
+            }
+        builds, hits, plan_builds, plan_hits = (
+            after - before
+            for after, before in zip(self._cache_counters(), counters_before)
+        )
+        metadata["index_builds"] = builds
+        metadata["index_cache_hits"] = hits
+        metadata["plan_builds"] = plan_builds
+        metadata["plan_cache_hits"] = plan_hits
         return ExecutionResult(
             algorithm=algorithm,
             query_name=query.name,
             count=count,
             elapsed_seconds=elapsed,
             counter=executor.counter,
-            variable_order=tuple(getattr(executor, "variable_order", query.variables)),
+            variable_order=tuple(executor.variable_order),
             metadata=metadata,
         )

@@ -12,6 +12,7 @@ from repro.decomposition.tree_decomposition import TreeDecomposition
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.terms import Variable
 from repro.storage.database import Database
+from repro.storage.views import query_signature
 
 
 @dataclass
@@ -46,7 +47,17 @@ class ExecutionPlan:
 
 
 class Planner:
-    """Chooses decompositions/orders for a database (Section 4.3's selection step)."""
+    """Chooses decompositions/orders for a database (Section 4.3's selection step).
+
+    The expensive part of planning — enumerating candidate tree
+    decompositions and scoring their orders with the cost model — is
+    memoised in the database's plan cache under the query's name-erased
+    signature (:func:`repro.storage.views.query_signature`) plus the planner
+    parameters.  A signature hit for a *renamed* variant of a cached query
+    (``E(a,b), E(b,c)`` after ``E(x,y), E(y,z)``) translates the cached
+    decomposition and order positionally instead of re-planning.  Explicit
+    caller-provided decompositions bypass the cache entirely.
+    """
 
     def __init__(
         self,
@@ -60,6 +71,34 @@ class Planner:
         self.max_candidates = max_candidates
         self.support_threshold = support_threshold
 
+    def _select(self, query: ConjunctiveQuery) -> Tuple[TreeDecomposition, Tuple[Variable, ...]]:
+        """The memoised decomposition/order choice for ``query``."""
+        key = (
+            "decomposition",
+            query_signature(query),
+            self.max_adhesion_size,
+            self.max_candidates,
+        )
+
+        def build() -> Tuple[Tuple[Variable, ...], TreeDecomposition, Tuple[Variable, ...]]:
+            choice = select_decomposition(
+                query,
+                self.database,
+                max_adhesion_size=self.max_adhesion_size,
+                max_candidates=self.max_candidates,
+                cost_model=ChuCostModel(self.database, query),
+            )
+            return (query.variables, choice.decomposition, choice.order)
+
+        cached_variables, decomposition, order = self.database.cached_plan(
+            key, query.relation_names, build
+        )
+        if cached_variables != query.variables:
+            mapping = dict(zip(cached_variables, query.variables))
+            decomposition = decomposition.rename(mapping)
+            order = tuple(mapping[variable] for variable in order)
+        return decomposition, order
+
     def plan(
         self,
         query: ConjunctiveQuery,
@@ -70,15 +109,9 @@ class Planner:
     ) -> ExecutionPlan:
         """Build an execution plan, reusing caller-provided pieces when given."""
         if decomposition is None:
-            choice = select_decomposition(
-                query,
-                self.database,
-                max_adhesion_size=self.max_adhesion_size,
-                max_candidates=self.max_candidates,
-                cost_model=ChuCostModel(self.database, query),
-            )
-            decomposition = choice.decomposition
-            order = choice.order if variable_order is None else tuple(variable_order)
+            decomposition, order = self._select(query)
+            if variable_order is not None:
+                order = tuple(variable_order)
         else:
             order = (
                 tuple(variable_order)

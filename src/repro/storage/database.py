@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.storage.relation import Relation
 from repro.storage.trie import TrieIndex
@@ -23,6 +23,11 @@ class Database:
     same (or overlapping) queries therefore reuse indexes instead of paying a
     full rebuild per run; the join algorithms ask for tries through
     :meth:`trie_index` / :meth:`view_index`.
+
+    A second, structurally identical cache memoises *execution plans*
+    (decomposition/order choices) keyed by name-erased query signatures —
+    see :meth:`cached_plan`.  Both caches are invalidated per relation when
+    a relation is replaced.
     """
 
     def __init__(self, relations: Iterable[Relation] = (), name: str = "db") -> None:
@@ -33,6 +38,16 @@ class Database:
         self.index_builds: int = 0
         #: Number of index cache hits since creation.
         self.index_cache_hits: int = 0
+        self._plan_cache: Dict[Hashable, object] = {}
+        self._plan_relations: Dict[Hashable, FrozenSet[str]] = {}
+        #: Number of plan builds (plan-cache misses) since creation.
+        self.plan_builds: int = 0
+        #: Number of plan-cache hits since creation.
+        self.plan_cache_hits: int = 0
+        #: Bumped whenever a relation is added or replaced; holders of
+        #: derived state (e.g. prepared queries' warm adhesion caches) use
+        #: it to notice that their cached results may be stale.
+        self.data_version: int = 0
         for relation in relations:
             self.add_relation(relation)
 
@@ -44,6 +59,13 @@ class Database:
         stale = [key for key in self._index_cache if key[1] == relation.name]
         for key in stale:
             del self._index_cache[key]
+        stale_plans = [
+            key for key, names in self._plan_relations.items() if relation.name in names
+        ]
+        for key in stale_plans:
+            del self._plan_cache[key]
+            del self._plan_relations[key]
+        self.data_version += 1
 
     def relation(self, name: str) -> Relation:
         """Look up a relation by name."""
@@ -117,6 +139,45 @@ class Database:
     def index_cache_size(self) -> int:
         """Number of indexes currently cached."""
         return len(self._index_cache)
+
+    # ----------------------------------------------------------------- plans
+    def cached_plan(
+        self,
+        key: Hashable,
+        relation_names: Iterable[str],
+        build: Callable[[], object],
+    ) -> object:
+        """Return (and memoise) a planning artifact under ``key``.
+
+        ``key`` must embed a name-erased query signature
+        (:func:`repro.storage.views.query_signature`) plus every planner
+        parameter that influenced the choice; ``relation_names`` lists the
+        relations the plan depends on, so replacing a relation through
+        :meth:`add_relation` invalidates exactly the affected plans.  The
+        ``plan_builds`` / ``plan_cache_hits`` counters mirror the index
+        cache's and are surfaced per execution in
+        :class:`~repro.engine.results.ExecutionResult` metadata.
+        """
+        entry = self._plan_cache.get(key)
+        if entry is None:
+            entry = build()
+            self._plan_cache[key] = entry
+            self._plan_relations[key] = frozenset(relation_names)
+            self.plan_builds += 1
+        else:
+            self.plan_cache_hits += 1
+        return entry
+
+    def clear_plan_cache(self) -> int:
+        """Drop every cached plan; returns how many were dropped."""
+        dropped = len(self._plan_cache)
+        self._plan_cache.clear()
+        self._plan_relations.clear()
+        return dropped
+
+    def plan_cache_size(self) -> int:
+        """Number of plans currently cached."""
+        return len(self._plan_cache)
 
     # ------------------------------------------------------------- reporting
     def total_tuples(self) -> int:

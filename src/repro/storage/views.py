@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.query.atoms import Atom
+from repro.query.atoms import Atom, ConjunctiveQuery
 from repro.query.terms import Constant, Variable
 from repro.storage.database import Database
 from repro.storage.relation import Relation
@@ -84,6 +84,31 @@ def atom_signature(atom: Atom) -> Tuple[object, ...]:
             signature.append(("c", term.value))
         else:
             signature.append(seen.setdefault(term, len(seen)))
+    return tuple(signature)
+
+
+def query_signature(query: ConjunctiveQuery) -> Tuple[object, ...]:
+    """A hashable, variable-name-erased signature of a whole query.
+
+    Extends :func:`atom_signature` across atoms: variables become indices in
+    first-occurrence order *over the whole query* (so cross-atom joins are
+    captured), constants become ``("c", value)`` markers, and each atom
+    contributes ``(relation, term markers)``.  Two queries with equal
+    signatures are identical up to a positional renaming of their
+    ``variables`` tuples, so an execution plan computed for one is valid for
+    the other after renaming — this is the sharing key of the database's
+    plan cache (:meth:`repro.storage.database.Database.cached_plan`).
+    """
+    seen: Dict[Variable, int] = {}
+    signature: List[object] = []
+    for atom in query.atoms:
+        markers: List[object] = []
+        for term in atom.terms:
+            if isinstance(term, Constant):
+                markers.append(("c", term.value))
+            else:
+                markers.append(seen.setdefault(term, len(seen)))
+        signature.append((atom.relation, tuple(markers)))
     return tuple(signature)
 
 

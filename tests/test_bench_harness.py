@@ -38,6 +38,47 @@ class TestRunCell:
             run_cell(cell)
 
 
+class TestEngineReuse:
+    def test_run_cell_accepts_an_engine(self, databases):
+        from repro.engine.engine import QueryEngine
+
+        engine = QueryEngine(databases["g1"])
+        cell = BenchmarkCell("g1", databases["g1"], cycle_query(4), "clftj")
+        first = run_cell(cell, engine=engine)
+        second = run_cell(cell, engine=engine)
+        assert first.count == second.count
+        assert second.metadata["plan_cache_hits"] >= 1
+        assert second.metadata["index_builds"] == 0
+
+    def test_grid_reuses_one_engine_per_database(self, databases):
+        # The same query runs with two algorithms per dataset: the second
+        # cell must find the plan and every index already cached.
+        results = run_grid(databases, [cycle_query(4)], ["clftj", "ytd"])
+        for result in results:
+            assert "plan_cache_hits" in result.metadata
+            assert "index_builds" in result.metadata
+        ytd_runs = [r for r in results if r.algorithm == "ytd"]
+        assert all(r.metadata["plan_cache_hits"] >= 1 for r in ytd_runs)
+        assert all(r.metadata["plan_builds"] == 0 for r in ytd_runs)
+
+    def test_grid_accepts_prebuilt_engines(self, databases):
+        from repro.engine.engine import QueryEngine
+
+        engines = {name: QueryEngine(db) for name, db in databases.items()}
+        warmup = run_grid(databases, [cycle_query(4)], ["clftj"], engines=engines)
+        rerun = run_grid(databases, [cycle_query(4)], ["clftj"], engines=engines)
+        assert all(r.metadata["plan_cache_hits"] >= 1 for r in rerun)
+        assert all(r.metadata["index_builds"] == 0 for r in rerun)
+        assert [r.count for r in warmup] == [r.count for r in rerun]
+
+    def test_grid_records_auto_choice(self, databases):
+        results = run_grid(databases, [cycle_query(4)], ["auto"])
+        for result in results:
+            assert result.algorithm == "auto"
+            assert result.metadata["selected_algorithm"] in ("lftj", "clftj", "ytd")
+            assert result.as_record()["selected_algorithm"] == result.metadata["selected_algorithm"]
+
+
 class TestRunGrid:
     def test_grid_covers_all_combinations(self, databases):
         results = run_grid(databases, [path_query(2), cycle_query(3)], ["lftj", "clftj"])

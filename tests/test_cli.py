@@ -86,6 +86,41 @@ class TestCommands:
         assert code == 0
         assert "variable order" in capsys.readouterr().out
 
+    def test_run_auto_reports_selection(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--query", "5-cycle",
+                     "--scale", "0.3", "--algorithm", "auto"])
+        assert code == 0
+        assert "auto selected:" in capsys.readouterr().out
+
+    def test_run_repeat_reports_cache_counters(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--query", "4-cycle",
+                     "--scale", "0.3", "--repeat", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "plan_cache_hits=" in output
+        assert "index_builds=0" in output
+
+    def test_explain_auto(self, capsys):
+        code = main(["explain", "--dataset", "wiki-Vote", "--query", "5-cycle",
+                     "--scale", "0.3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "selected algorithm" in output
+        assert "plan cache" in output
+        assert "index cache" in output
+
+    def test_explain_explicit_algorithm(self, capsys):
+        code = main(["explain", "--dataset", "wiki-Vote", "--query", "4-cycle",
+                     "--scale", "0.3", "--algorithm", "clftj"])
+        assert code == 0
+        assert "algorithm: clftj (explicit)" in capsys.readouterr().out
+
+    def test_unused_parameter_is_a_clean_error(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--query", "3-path",
+                     "--scale", "0.3", "--algorithm", "lftj", "--cache-capacity", "5"])
+        assert code == 2
+        assert "does not use" in capsys.readouterr().err
+
     def test_datasets_listing(self, capsys):
         code = main(["datasets"])
         assert code == 0
