@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from bisect import bisect_left
+from bisect import bisect_left, insort
 
 from repro.core.instrumentation import OperationCounter
 from repro.query.atoms import Atom, ConjunctiveQuery
@@ -30,6 +30,11 @@ class _PrefixIndex:
     The index carries no counter so it can be shared between executions (the
     caller records probes); ``column_order`` gives the view columns in global
     variable order.
+
+    Alongside each sorted candidate list the index keeps the multiplicity of
+    every ``(prefix, value)`` pair, so :meth:`apply_delta` can patch the
+    index in place under inserts *and* deletes: a candidate disappears only
+    when the last view tuple carrying it is deleted.
     """
 
     def __init__(self, relation: Relation, column_order: Sequence[int]) -> None:
@@ -37,14 +42,16 @@ class _PrefixIndex:
         self._levels: List[Dict[Tuple[object, ...], List[object]]] = [
             {} for _ in self.column_order
         ]
-        seen: List[Dict[Tuple[object, ...], set]] = [{} for _ in self.column_order]
+        self._counts: List[Dict[Tuple[object, ...], Dict[object, int]]] = [
+            {} for _ in self.column_order
+        ]
         for row in relation.tuples:
             ordered = tuple(row[index] for index in self.column_order)
             for level in range(len(ordered)):
                 prefix = ordered[:level]
-                bucket = seen[level].setdefault(prefix, set())
-                bucket.add(ordered[level])
-        for level, buckets in enumerate(seen):
+                counts = self._counts[level].setdefault(prefix, {})
+                counts[ordered[level]] = counts.get(ordered[level], 0) + 1
+        for level, buckets in enumerate(self._counts):
             self._levels[level] = {
                 prefix: sorted(values) for prefix, values in buckets.items()
             }
@@ -60,6 +67,46 @@ class _PrefixIndex:
             return False
         position = bisect_left(level, value)
         return position < len(level) and level[position] == value
+
+    def apply_delta(
+        self,
+        inserted: Sequence[Sequence[object]] = (),
+        deleted: Sequence[Sequence[object]] = (),
+    ) -> None:
+        """Patch the index in place with effective view-row deltas.
+
+        Called by :meth:`repro.storage.database.Database.insert` / ``delete``
+        through the shared index cache, mirroring
+        :meth:`repro.storage.trie.LsmTrieIndex.apply_delta`; rows arrive in
+        view column layout and are permuted here.
+        """
+        for row in deleted:
+            ordered = tuple(row[index] for index in self.column_order)
+            for level in range(len(ordered)):
+                prefix, value = ordered[:level], ordered[level]
+                counts = self._counts[level].get(prefix)
+                if counts is None or value not in counts:
+                    continue  # tolerated stray no-op row
+                counts[value] -= 1
+                if counts[value] == 0:
+                    del counts[value]
+                    bucket = self._levels[level][prefix]
+                    position = bisect_left(bucket, value)
+                    if position < len(bucket) and bucket[position] == value:
+                        bucket.pop(position)
+                    if not bucket:
+                        del self._levels[level][prefix]
+                        del self._counts[level][prefix]
+        for row in inserted:
+            ordered = tuple(row[index] for index in self.column_order)
+            for level in range(len(ordered)):
+                prefix, value = ordered[:level], ordered[level]
+                counts = self._counts[level].setdefault(prefix, {})
+                previous = counts.get(value, 0)
+                counts[value] = previous + 1
+                if previous == 0:
+                    bucket = self._levels[level].setdefault(prefix, [])
+                    insort(bucket, value)
 
 
 def atom_prefix_index(

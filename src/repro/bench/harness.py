@@ -10,6 +10,7 @@ Python runtimes are not comparable to the paper's C++ numbers).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -17,6 +18,7 @@ from repro.engine.engine import QueryEngine
 from repro.engine.results import ExecutionResult
 from repro.query.atoms import ConjunctiveQuery
 from repro.storage.database import Database
+from repro.storage.relation import Relation
 
 
 @dataclass
@@ -111,6 +113,105 @@ def consistency_check(results: Iterable[ExecutionResult]) -> None:
             raise AssertionError(
                 f"algorithms disagree on {query_name!r} over {dataset!r}: {details}"
             )
+
+
+def run_update_benchmark(
+    workload,
+    algorithm: str = "clftj",
+    strategies: Sequence[str] = ("delta", "rebuild"),
+) -> Dict[str, object]:
+    """Replay an update stream under two index-maintenance strategies.
+
+    ``workload`` is an :class:`~repro.bench.workloads.UpdateWorkload`.  Both
+    strategies start from identical databases, warm up every cache with one
+    execution per query, then replay the same batches:
+
+    * ``"delta"`` — :meth:`Database.insert` / ``delete``: cached indexes are
+      patched in place, plans survive, prepared warm caches invalidate
+      selectively;
+    * ``"rebuild"`` — the pre-update behaviour:
+      ``add_relation(replace=True)`` with the accumulated tuples, dropping
+      every index and plan for the relation on each batch.
+
+    Per-step counts are asserted equal across strategies (a performance run
+    doubles as a correctness run), and the returned report carries, per
+    strategy: streaming wall time, full index builds, in-place patches,
+    compactions, plan builds and adhesion-cache hits — the evidence that the
+    delta path re-executes warm (0 full trie rebuilds) where the rebuild
+    path pays for everything again.
+    """
+    results: Dict[str, Dict[str, object]] = {}
+    step_counts: Dict[str, List[Tuple[int, ...]]] = {}
+    for strategy in strategies:
+        database = workload.make_database()
+        engine = QueryEngine(database)
+        prepared = [
+            engine.prepare(query, algorithm=algorithm) for query in workload.queries
+        ]
+        for handle in prepared:  # warm-up: build indexes, plans, adhesion caches
+            handle.count()
+        current = set(database.relation(workload.relation_name).tuples)
+        attributes = database.relation(workload.relation_name).attributes
+        before = (
+            database.index_builds,
+            database.index_patches,
+            database.index_compactions,
+            database.plan_builds,
+        )
+        cache_hits = 0
+        counts: List[Tuple[int, ...]] = []
+        started = time.perf_counter()
+        for batch in workload.batches:
+            if strategy == "delta":
+                if batch.inserts:
+                    database.insert(workload.relation_name, batch.inserts)
+                if batch.deletes:
+                    database.delete(workload.relation_name, batch.deletes)
+            elif strategy == "rebuild":
+                current |= set(batch.inserts)
+                current -= set(batch.deletes)
+                database.add_relation(
+                    Relation(workload.relation_name, attributes, current),
+                    replace=True,
+                )
+            else:
+                raise ValueError(f"unknown update strategy {strategy!r}")
+            step = []
+            for handle in prepared:
+                result = handle.count()
+                step.append(result.count)
+                cache_hits += result.counter.cache_hits
+            counts.append(tuple(step))
+        elapsed = time.perf_counter() - started
+        results[strategy] = {
+            "seconds": elapsed,
+            "index_builds": database.index_builds - before[0],
+            "index_patches": database.index_patches - before[1],
+            "index_compactions": database.index_compactions - before[2],
+            "plan_builds": database.plan_builds - before[3],
+            "adhesion_cache_hits": cache_hits,
+        }
+        step_counts[strategy] = counts
+
+    first = strategies[0]
+    for strategy in strategies[1:]:
+        if step_counts[strategy] != step_counts[first]:
+            raise AssertionError(
+                f"update strategies disagree: {first}={step_counts[first]} "
+                f"{strategy}={step_counts[strategy]}"
+            )
+    report: Dict[str, object] = {
+        "algorithm": algorithm,
+        "num_batches": len(workload.batches),
+        "queries": [query.name for query in workload.queries],
+        "final_counts": step_counts[first][-1] if step_counts[first] else (),
+        "strategies": results,
+    }
+    if "delta" in results and "rebuild" in results:
+        report["speedup"] = results["rebuild"]["seconds"] / max(
+            results["delta"]["seconds"], 1e-9
+        )
+    return report
 
 
 def speedup_table(

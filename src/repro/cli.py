@@ -117,6 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the first N result rows (evaluate mode)")
     run.add_argument("--repeat", type=int, default=1,
                      help="execute the prepared query N times (plan/index caches warm up)")
+    run.add_argument("--mutate", type=int, default=0, metavar="N",
+                     help="insert N random fresh edges into the queried relation "
+                          "between repeats (exercises delta index maintenance)")
 
     compare = subparsers.add_parser("compare", help="run one query with several algorithms")
     _add_common_arguments(compare)
@@ -138,7 +141,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _mutate_relation(database: Database, relation_name: str, count: int, rng) -> int:
+    """Insert ``count`` fresh random rows into ``relation_name``; returns inserted."""
+    relation = database.relation(relation_name)
+    values = sorted({value for row in relation.tuples for value in row}, key=repr)
+    if not values:
+        raise ValueError(f"relation {relation_name!r} is empty; nothing to mutate around")
+    existing = set(relation.tuples)
+    rows = []
+    attempts = 0
+    while len(rows) < count and attempts < count * 50:
+        attempts += 1
+        row = tuple(rng.choice(values) for _ in range(relation.arity))
+        if row not in existing:
+            existing.add(row)
+            rows.append(row)
+    return database.insert(relation_name, rows)
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    import random
+
     database = resolve_dataset(args.dataset, args.scale)
     query = resolve_query(args.query)
     engine = QueryEngine(database)
@@ -146,8 +169,17 @@ def _command_run(args: argparse.Namespace) -> int:
                               cache_capacity=args.cache_capacity)
     if args.algorithm != prepared.algorithm:
         print(f"auto selected: {prepared.algorithm}\n")
+    rng = random.Random(13)
+    mutated_relation = query.atoms[0].relation if args.mutate else None
     results = []
-    for _ in range(max(args.repeat, 1)):
+    builds_after_warmup = None
+    for repeat in range(max(args.repeat, 1)):
+        if args.mutate and repeat > 0:
+            if builds_after_warmup is None:
+                builds_after_warmup = database.index_builds
+            inserted = _mutate_relation(database, mutated_relation, args.mutate, rng)
+            print(f"mutated {mutated_relation}: +{inserted} rows "
+                  f"(version {database.relation_version(mutated_relation)})")
         results.append(prepared.count() if args.mode == "count" else prepared.evaluate())
     print(format_results(results))
     if args.repeat > 1:
@@ -157,6 +189,12 @@ def _command_run(args: argparse.Namespace) -> int:
             f"index_builds={last.metadata['index_builds']} "
             f"adhesion_cache_hits={last.counter.cache_hits}"
         )
+        if args.mutate and builds_after_warmup is not None:
+            print(
+                f"updates: index_patches={database.index_patches} "
+                f"index_compactions={database.index_compactions} "
+                f"rebuilds_after_updates={database.index_builds - builds_after_warmup}"
+            )
     if args.mode == "evaluate" and args.show_rows:
         result = results[-1]
         header = ", ".join(variable.name for variable in result.variable_order)

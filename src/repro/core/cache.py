@@ -17,7 +17,7 @@ the subtree ``t|v`` keyed by the current assignment of ``adhesion(v)``
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, Iterable, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Sequence, Tuple
 
 from repro.core.instrumentation import OperationCounter
 from repro.query.terms import Variable
@@ -25,6 +25,33 @@ from repro.storage.database import Database
 
 #: A cache key: (decomposition node id, adhesion value tuple).
 CacheKey = Tuple[int, Tuple[object, ...]]
+
+
+def affected_cache_nodes(decomposition, query, changed_relations) -> FrozenSet[int]:
+    """Decomposition nodes whose cached subtree results read a changed relation.
+
+    A CLFTJ cache entry at node ``v`` summarises the join of every atom that
+    participates at a depth owned by the subtree ``t|v``.  An atom over a
+    changed relation participates at the depths of its variables, so exactly
+    the owners of those variables — and all their ancestors — hold stale
+    entries.  Everything else survives the update warm, which is the
+    selective-invalidation contract of
+    :meth:`repro.engine.prepared.PreparedQuery`.
+
+    ``decomposition`` must be the decomposition the executor actually caches
+    under (after ``contract_ownerless_bags``), so node ids line up with the
+    cache keys.
+    """
+    affected = set()
+    for atom in query.atoms:
+        if atom.relation not in changed_relations:
+            continue
+        for variable in atom.variable_set():
+            node = decomposition.owner(variable)
+            while node is not None and node not in affected:
+                affected.add(node)
+                node = decomposition.parent(node)
+    return frozenset(affected)
 
 
 class AdhesionCache:
@@ -132,6 +159,22 @@ class AdhesionCache:
             self._entries.clear()
             return dropped
         keys = [key for key in self._entries if key[0] == node]
+        for key in keys:
+            del self._entries[key]
+        return len(keys)
+
+    def invalidate_nodes(self, nodes: Iterable[int]) -> int:
+        """Drop the entries of several nodes at once; returns how many.
+
+        The selective-invalidation entry point for data updates: prepared
+        queries pass exactly the nodes whose subtrees read a changed
+        relation (:func:`affected_cache_nodes`), so entries under untouched
+        subtrees stay warm.
+        """
+        targets = set(nodes)
+        if not targets:
+            return 0
+        keys = [key for key in self._entries if key[0] in targets]
         for key in keys:
             del self._entries[key]
         return len(keys)

@@ -301,6 +301,20 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
         metadata["cache_entries"] = len(self.cache)
         return metadata
 
+    def invalidate_cache_for(self, changed_relations) -> int:
+        """Selectively drop cache entries reading any of ``changed_relations``.
+
+        Convenience for callers holding a long-lived executor across data
+        updates (prepared queries do this automatically through their
+        version tracking); returns how many entries were dropped.
+        """
+        from repro.core.cache import affected_cache_nodes
+
+        affected = affected_cache_nodes(
+            self.decomposition, self.query, set(changed_relations)
+        )
+        return self.cache.invalidate_nodes(affected)
+
     def cache_report(self) -> Dict[str, object]:
         """A small report of cache behaviour after an execution."""
         return {

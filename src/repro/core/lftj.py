@@ -139,7 +139,15 @@ class TrieJoinBase:
         The engine merges this into ``ExecutionResult.metadata`` after every
         run; subclasses extend it (CLFTJ adds its adhesion-cache state).
         """
-        return {"trie_backend": self.trie_backend}
+        metadata: Dict[str, object] = {"trie_backend": self.trie_backend}
+        delta_tries = sum(
+            1 for trie in self._atom_tries if getattr(trie, "has_deltas", False)
+        )
+        if delta_tries:
+            # Tries currently carrying an unmerged LSM delta level: reads go
+            # through the merging iterator until the next compaction.
+            metadata["delta_tries"] = delta_tries
+        return metadata
 
 
 class LeapfrogTrieJoin(TrieJoinBase):

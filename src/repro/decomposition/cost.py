@@ -63,10 +63,18 @@ class ChuCostModel:
     al.'s tributary-join cost model, adapted to our statistics).
     """
 
-    def __init__(self, database: Database, query: ConjunctiveQuery) -> None:
+    def __init__(
+        self,
+        database: Database,
+        query: ConjunctiveQuery,
+        catalog: Optional[StatisticsCatalog] = None,
+    ) -> None:
         self.database = database
         self.query = query
-        self._catalog = StatisticsCatalog(database)
+        # A caller-provided catalog (e.g. the algorithm selector's) is reused
+        # across queries: it is version-checked per relation and refreshes
+        # itself incrementally from update deltas.
+        self._catalog = catalog if catalog is not None else StatisticsCatalog(database)
         # Pre-compute, per atom, per variable: the relation attribute backing it.
         self._atom_attributes: List[Dict[Variable, str]] = []
         for atom in query.atoms:

@@ -283,7 +283,9 @@ class QueryEngine:
             "index cache: "
             f"{self.database.index_cache_size()} index(es) cached, "
             f"{self.database.index_builds} build(s), "
-            f"{self.database.index_cache_hits} hit(s)"
+            f"{self.database.index_cache_hits} hit(s), "
+            f"{self.database.index_patches} delta patch(es), "
+            f"{self.database.index_compactions} compaction(s)"
         )
         return "\n".join(lines)
 
@@ -378,13 +380,15 @@ class QueryEngine:
             result.rows = rows
         return result
 
-    def _cache_counters(self) -> Tuple[int, int, int, int]:
+    def _cache_counters(self) -> Tuple[int, int, int, int, int, int]:
         database = self.database
         return (
             database.index_builds,
             database.index_cache_hits,
             database.plan_builds,
             database.plan_cache_hits,
+            database.index_patches,
+            database.index_compactions,
         )
 
     def _result(
@@ -408,7 +412,7 @@ class QueryEngine:
             metadata["selector_costs"] = {
                 name: round(cost, 2) for name, cost in selection.costs.items()
             }
-        builds, hits, plan_builds, plan_hits = (
+        builds, hits, plan_builds, plan_hits, patches, compactions = (
             after - before
             for after, before in zip(self._cache_counters(), counters_before)
         )
@@ -416,6 +420,13 @@ class QueryEngine:
         metadata["index_cache_hits"] = hits
         metadata["plan_builds"] = plan_builds
         metadata["plan_cache_hits"] = plan_hits
+        # Index mutations observed during this execution (an executor never
+        # mutates, but a caller interleaving updates sees them attributed to
+        # the run that noticed them).
+        if patches:
+            metadata["index_patches"] = patches
+        if compactions:
+            metadata["index_compactions"] = compactions
         return ExecutionResult(
             algorithm=algorithm,
             query_name=query.name,

@@ -16,13 +16,22 @@ all three caching layers:
 Count and evaluation runs keep separate adhesion caches because counts cache
 integers while evaluation caches factorised representations (the cache's
 mode guard would reject the mixing).
+
+The handle tracks a **per-relation version** for every relation of its query
+(:meth:`~repro.storage.database.Database.relation_version`).  When a tracked
+relation changes — a delta update or a replacement — the warm adhesion
+caches are invalidated *selectively*: only the decomposition nodes whose
+subtrees read a changed relation are dropped
+(:func:`repro.core.cache.affected_cache_nodes`); entries cached for
+untouched subtrees keep serving hits.  Updates to relations outside the
+query never touch the handle at all.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from repro.core.cache import AdhesionCache
+from repro.core.cache import AdhesionCache, affected_cache_nodes
 from repro.engine.results import ExecutionResult
 from repro.engine.selector import AlgorithmChoice
 
@@ -53,7 +62,15 @@ class PreparedQuery:
         self._parameters = dict(parameters)
         self.executions = 0
         self._mode_caches: Dict[str, AdhesionCache] = {}
-        self._data_version = engine.database.data_version
+        #: The contracted decomposition the executor caches under; bound when
+        #: the first persistent cache is created (node ids must line up with
+        #: the cache keys for selective invalidation).
+        self._cache_decomposition = None
+        self._relation_versions: Dict[str, int] = engine.database.relation_versions(
+            query.relation_names
+        )
+        #: Total warm-cache entries dropped by selective invalidation.
+        self.cache_invalidations = 0
 
     # -------------------------------------------------------------- execution
     def count(self) -> ExecutionResult:
@@ -65,12 +82,7 @@ class PreparedQuery:
         return self._run("evaluate")
 
     def _run(self, mode: str) -> ExecutionResult:
-        # A relation was added or replaced since the last run: the warm
-        # adhesion caches hold subtree results over the old data and must
-        # not be served (the plan and index caches invalidate themselves).
-        if self.engine.database.data_version != self._data_version:
-            self._mode_caches.clear()
-            self._data_version = self.engine.database.data_version
+        dropped = self._refresh_versions()
         parameters = dict(self._parameters)
         if self.algorithm == "clftj" and parameters.get("cache") is None:
             parameters["cache"] = self._persistent_cache(mode)
@@ -84,9 +96,70 @@ class PreparedQuery:
         self.executions += 1
         result.metadata["prepared"] = True
         result.metadata["prepared_executions"] = self.executions
+        if dropped:
+            result.metadata["prepared_cache_invalidations"] = dropped
         if self.requested_algorithm != self.algorithm:
             result.metadata["requested_algorithm"] = self.requested_algorithm
         return result
+
+    def _refresh_versions(self) -> int:
+        """Notice relation changes since the last run; invalidate selectively.
+
+        Returns how many warm-cache entries were dropped.  The plan and
+        index caches invalidate (or patch) themselves inside the database;
+        only the handle's warm adhesion caches need help here, because their
+        entries are keyed by decomposition node, not by relation.
+        """
+        database = self.engine.database
+        changed = [
+            name
+            for name, version in self._relation_versions.items()
+            if database.relation_version(name) != version
+        ]
+        if not changed:
+            return 0
+        dropped = self._invalidate_stale_bags(changed)
+        for name in changed:
+            self._relation_versions[name] = database.relation_version(name)
+        return dropped
+
+    def _tracked_caches(self) -> List[AdhesionCache]:
+        """Every adhesion cache executions of this handle may read.
+
+        Includes a caller-supplied ``cache=`` parameter — it serves hits
+        exactly like the handle's own per-mode caches, so it must be
+        invalidated on data changes just the same.
+        """
+        caches = list(self._mode_caches.values())
+        explicit = self._parameters.get("cache")
+        if explicit is not None:
+            caches.append(explicit)
+        return caches
+
+    def _invalidate_stale_bags(self, changed: List[str]) -> int:
+        caches = [cache for cache in self._tracked_caches() if len(cache)]
+        if not caches:
+            return 0
+        decomposition = self._cache_decomposition
+        if decomposition is None and self.algorithm == "clftj":
+            # An explicit cache= bypasses _persistent_cache, so the cached
+            # decomposition may not be bound yet; planning is memoised.
+            plan = self.engine.plan(
+                self.query,
+                decomposition=self._parameters.get("decomposition"),
+                variable_order=self._parameters.get("variable_order"),
+                cache_capacity=self._parameters.get("cache_capacity"),
+                policy=self._parameters.get("policy"),
+            )
+            decomposition = plan.decomposition.contract_ownerless_bags()
+            self._cache_decomposition = decomposition
+        if decomposition is None:
+            dropped = sum(cache.invalidate() for cache in caches)
+        else:
+            affected = affected_cache_nodes(decomposition, self.query, set(changed))
+            dropped = sum(cache.invalidate_nodes(affected) for cache in caches)
+        self.cache_invalidations += dropped
+        return dropped
 
     def _persistent_cache(self, mode: str) -> AdhesionCache:
         """The handle's warm adhesion cache for ``mode`` (created lazily)."""
@@ -101,6 +174,10 @@ class PreparedQuery:
             )
             cache = plan.make_cache()
             self._mode_caches[mode] = cache
+            if self._cache_decomposition is None:
+                self._cache_decomposition = (
+                    plan.decomposition.contract_ownerless_bags()
+                )
         return cache
 
     # -------------------------------------------------------------- reporting

@@ -31,6 +31,7 @@ from repro.decomposition.cost import ChuCostModel
 from repro.engine.planner import ExecutionPlan
 from repro.query.atoms import ConjunctiveQuery
 from repro.storage.database import Database
+from repro.storage.statistics import StatisticsCatalog
 
 #: The candidates ``algorithm="auto"`` chooses between, in tie-break order.
 AUTO_CANDIDATES: Tuple[str, ...] = ("clftj", "lftj", "ytd")
@@ -63,14 +64,23 @@ class AlgorithmChoice:
 
 
 class CostBasedSelector:
-    """Pick lftj/clftj/ytd per (query, database) from statistics estimates."""
+    """Pick lftj/clftj/ytd per (query, database) from statistics estimates.
+
+    The selector owns one long-lived :class:`StatisticsCatalog`, shared by
+    every cost model it builds: statistics are computed once per relation
+    and, when the data changes underneath (``Database.insert``/``delete``),
+    refreshed incrementally from the applied delta batches instead of being
+    rescanned — so ``algorithm="auto"`` keeps reasoning from *current*
+    statistics on a mutating database at negligible cost.
+    """
 
     def __init__(self, database: Database) -> None:
         self.database = database
+        self.catalog = StatisticsCatalog(database)
 
     def choose(self, query: ConjunctiveQuery, plan: ExecutionPlan) -> AlgorithmChoice:
         """Estimate every candidate's cost under ``plan`` and pick the cheapest."""
-        model = ChuCostModel(self.database, query)
+        model = ChuCostModel(self.database, query, catalog=self.catalog)
         costs: Dict[str, float] = {
             "lftj": self._lftj_cost(model, query, plan),
             "clftj": self._clftj_cost(model, query, plan),

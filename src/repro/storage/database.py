@@ -2,10 +2,21 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.storage.relation import Relation
-from repro.storage.trie import TrieIndex
+from repro.storage.relation import DeltaBatch, Relation, VersionedRelation
+from repro.storage.trie import LsmTrieIndex
 
 #: A cached-index key: (index kind, relation name, view signature, column order).
 IndexKey = Tuple[str, str, Tuple[object, ...], Tuple[int, ...]]
@@ -26,36 +37,83 @@ class Database:
 
     A second, structurally identical cache memoises *execution plans*
     (decomposition/order choices) keyed by name-erased query signatures —
-    see :meth:`cached_plan`.  Both caches are invalidated per relation when
-    a relation is replaced.
+    see :meth:`cached_plan`.
+
+    Relations are **mutable** through :meth:`insert` / :meth:`delete`, which
+    apply delta batches to a versioned wrapper instead of rebuilding the
+    relation.  Updates *patch* the cached indexes for the touched relation in
+    place (LSM-style delta levels, see
+    :class:`~repro.storage.trie.LsmTrieIndex`) and leave plans alone — plans
+    are schema-keyed heuristics that stay valid across data changes.  Only
+    whole-relation replacement through :meth:`add_relation` drops the
+    relation's indexes and plans.  Every relation carries a monotonically
+    increasing version (:meth:`relation_version`); holders of derived state
+    (prepared queries, the statistics catalog) compare versions to notice
+    exactly which relations changed, and may pull the applied batches through
+    :meth:`deltas_since` to refresh incrementally.
+
+    Once a relation's pending deltas exceed ``compaction_threshold`` as a
+    fraction of its base cardinality, the deltas are folded into fresh base
+    snapshots (relation and indexes) — bounding merged-read overhead without
+    ever paying a per-update rebuild.  Below ``compaction_floor`` base
+    tuples, compaction runs after *every* batch: folding a small columnar
+    trie is two linear scans, cheaper than routing even one join through the
+    merging iterator, so the LSM delta level only stays resident where it
+    pays — over indexes large enough that folding per batch would hurt.
+    Raise or lower the floor to taste per deployment.
     """
 
-    def __init__(self, relations: Iterable[Relation] = (), name: str = "db") -> None:
+    def __init__(
+        self,
+        relations: Iterable[Relation] = (),
+        name: str = "db",
+        compaction_threshold: float = 0.25,
+        compaction_floor: int = 4096,
+    ) -> None:
+        if compaction_threshold <= 0:
+            raise ValueError("compaction threshold must be positive")
+        if compaction_floor < 0:
+            raise ValueError("compaction floor must be non-negative")
         self.name = name
-        self._relations: Dict[str, Relation] = {}
+        self.compaction_threshold = compaction_threshold
+        self.compaction_floor = compaction_floor
+        self._relations: Dict[str, VersionedRelation] = {}
+        self._versions: Dict[str, int] = {}
         self._index_cache: Dict[IndexKey, object] = {}
         #: Number of index builds (cache misses) since creation.
         self.index_builds: int = 0
         #: Number of index cache hits since creation.
         self.index_cache_hits: int = 0
+        #: Number of in-place index delta patches applied by updates.
+        self.index_patches: int = 0
+        #: Number of index compactions (delta levels folded into main).
+        self.index_compactions: int = 0
         self._plan_cache: Dict[Hashable, object] = {}
         self._plan_relations: Dict[Hashable, FrozenSet[str]] = {}
         #: Number of plan builds (plan-cache misses) since creation.
         self.plan_builds: int = 0
         #: Number of plan-cache hits since creation.
         self.plan_cache_hits: int = 0
-        #: Bumped whenever a relation is added or replaced; holders of
-        #: derived state (e.g. prepared queries' warm adhesion caches) use
-        #: it to notice that their cached results may be stale.
+        #: Bumped on every mutation (add/replace/insert/delete) — a coarse
+        #: "anything changed" observability counter.  Cache holders should
+        #: prefer the per-relation :meth:`relation_version`.
         self.data_version: int = 0
         for relation in relations:
             self.add_relation(relation)
 
     def add_relation(self, relation: Relation, replace: bool = False) -> None:
-        """Register ``relation``; refuses to silently overwrite unless ``replace``."""
+        """Register ``relation``; refuses to silently overwrite unless ``replace``.
+
+        Replacement is the heavyweight mutation: it drops every cached index
+        and plan touching the relation (the schema may have changed).  For
+        data-only changes prefer :meth:`insert` / :meth:`delete`, which keep
+        the caches warm.
+        """
         if relation.name in self._relations and not replace:
             raise ValueError(f"relation {relation.name!r} already exists in {self.name!r}")
-        self._relations[relation.name] = relation
+        version = self._versions.get(relation.name, 0) + 1
+        self._versions[relation.name] = version
+        self._relations[relation.name] = VersionedRelation(relation, created_version=version)
         stale = [key for key in self._index_cache if key[1] == relation.name]
         for key in stale:
             del self._index_cache[key]
@@ -67,18 +125,21 @@ class Database:
             del self._plan_relations[key]
         self.data_version += 1
 
-    def relation(self, name: str) -> Relation:
-        """Look up a relation by name."""
+    def _versioned(self, name: str) -> VersionedRelation:
         try:
             return self._relations[name]
         except KeyError as exc:
             raise KeyError(f"database {self.name!r} has no relation {name!r}") from exc
 
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name (the current merged snapshot)."""
+        return self._versioned(name).snapshot()
+
     def __contains__(self, name: str) -> bool:
         return name in self._relations
 
     def __iter__(self) -> Iterator[Relation]:
-        return iter(self._relations.values())
+        return (versioned.snapshot() for versioned in self._relations.values())
 
     def __len__(self) -> int:
         return len(self._relations)
@@ -87,6 +148,118 @@ class Database:
     def relation_names(self) -> Tuple[str, ...]:
         """Names of all registered relations."""
         return tuple(self._relations)
+
+    # ---------------------------------------------------------------- updates
+    def relation_version(self, name: str) -> int:
+        """The monotonically increasing version of ``name``.
+
+        Bumped by every effective mutation of the relation — replacement,
+        insert, delete — and never reset, so derived-state holders can
+        compare versions across replacements.  Returns 0 for unknown names
+        (nothing can be cached about a relation that never existed).
+        """
+        return self._versions.get(name, 0)
+
+    def relation_versions(self, names: Iterable[str]) -> Dict[str, int]:
+        """Versions of several relations at once, keyed by name."""
+        return {name: self.relation_version(name) for name in names}
+
+    def insert(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Insert ``rows`` into relation ``name``; returns how many were new.
+
+        Appends a delta batch to the relation's versioned wrapper and patches
+        the cached indexes in place — no index is rebuilt and no plan is
+        dropped.  Already-present rows are no-ops; an all-no-op batch leaves
+        the version untouched (so downstream caches stay warm).
+        """
+        versioned = self._versioned(name)
+        batch = versioned.apply(self.relation_version(name) + 1, inserts=rows)
+        if batch.is_empty:
+            return 0
+        self._after_mutation(name, versioned, batch)
+        return len(batch.inserted)
+
+    def delete(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Delete ``rows`` from relation ``name``; returns how many existed.
+
+        The delta/patching behaviour mirrors :meth:`insert`; deletes reach
+        cached tries as tombstones.
+        """
+        versioned = self._versioned(name)
+        batch = versioned.apply(self.relation_version(name) + 1, deletes=rows)
+        if batch.is_empty:
+            return 0
+        self._after_mutation(name, versioned, batch)
+        return len(batch.deleted)
+
+    def _after_mutation(
+        self, name: str, versioned: VersionedRelation, batch: DeltaBatch
+    ) -> None:
+        self._versions[name] = batch.version
+        self.data_version += 1
+        self._patch_indexes(name, batch)
+        if (
+            len(versioned.base) <= self.compaction_floor
+            or versioned.delta_fraction() > self.compaction_threshold
+        ):
+            self.compact(name)
+
+    def _patch_indexes(self, name: str, batch: DeltaBatch) -> None:
+        """Patch (or, failing that, evict) every cached index over ``name``."""
+        from repro.storage.views import signature_view_rows
+
+        view_cache: Dict[Tuple[object, ...], Tuple[List, List]] = {}
+        for key in [key for key in self._index_cache if key[1] == name]:
+            index = self._index_cache[key]
+            apply_delta = getattr(index, "apply_delta", None)
+            if apply_delta is None:
+                del self._index_cache[key]
+                continue
+            signature = key[2]
+            views = view_cache.get(signature)
+            if views is None:
+                views = (
+                    signature_view_rows(signature, batch.inserted),
+                    signature_view_rows(signature, batch.deleted),
+                )
+                view_cache[signature] = views
+            inserted, deleted = views
+            apply_delta(inserted, deleted)
+            self.index_patches += 1
+
+    def deltas_since(self, name: str, version: int) -> Optional[List[DeltaBatch]]:
+        """The effective batches applied to ``name`` after ``version``.
+
+        Returns ``None`` when the relation was replaced since ``version`` or
+        the (bounded) delta log has been trimmed past it; callers then fall
+        back to a full recompute.
+        """
+        return self._versioned(name).deltas_since(version)
+
+    def compact(self, name: Optional[str] = None) -> int:
+        """Fold pending deltas into fresh base snapshots; returns tuples folded.
+
+        Compacts the versioned relation wrapper *and* every patchable cached
+        index over it (indexes without a ``compact`` hook are evicted).  With
+        ``name=None`` every relation is compacted.  Versions do not change —
+        compaction is a physical reorganisation, not a logical mutation.
+        """
+        names = [name] if name is not None else list(self._relations)
+        folded = 0
+        for target in names:
+            versioned = self._versioned(target)
+            folded += versioned.compact()
+            for key in [key for key in self._index_cache if key[1] == target]:
+                index = self._index_cache[key]
+                if not getattr(index, "has_deltas", False):
+                    continue  # nothing pending (or not a delta-carrying index)
+                compact = getattr(index, "compact", None)
+                if compact is None:
+                    del self._index_cache[key]
+                else:
+                    compact()
+                    self.index_compactions += 1
+        return folded
 
     # --------------------------------------------------------------- indexes
     def view_index(
@@ -114,20 +287,23 @@ class Database:
             self.index_cache_hits += 1
         return index
 
-    def trie_index(self, relation_name: str, attribute_order: Sequence[int]) -> TrieIndex:
+    def trie_index(self, relation_name: str, attribute_order: Sequence[int]) -> LsmTrieIndex:
         """Return (and memoise) a trie over ``relation_name`` in the given column order.
 
         ``attribute_order`` is a permutation of the relation's column
         positions; level ``i`` of the trie holds the values of column
         ``attribute_order[i]``.  The cache key uses the identity signature, so
         atoms with all-distinct variables and no constants share these tries.
+        The returned index is an updatable
+        :class:`~repro.storage.trie.LsmTrieIndex`, patched in place by
+        :meth:`insert` / :meth:`delete`.
         """
         relation = self.relation(relation_name)
         order = tuple(attribute_order)
         signature = tuple(range(relation.arity))
         return self.view_index(
             "trie", relation_name, signature, order,
-            lambda: TrieIndex.build(relation, order),
+            lambda: LsmTrieIndex.build(relation, order),
         )
 
     def clear_index_cache(self) -> int:
@@ -153,9 +329,12 @@ class Database:
         (:func:`repro.storage.views.query_signature`) plus every planner
         parameter that influenced the choice; ``relation_names`` lists the
         relations the plan depends on, so replacing a relation through
-        :meth:`add_relation` invalidates exactly the affected plans.  The
-        ``plan_builds`` / ``plan_cache_hits`` counters mirror the index
-        cache's and are surfaced per execution in
+        :meth:`add_relation` invalidates exactly the affected plans.  Delta
+        updates (:meth:`insert` / :meth:`delete`) deliberately do *not*
+        invalidate plans: a decomposition/order choice is a heuristic over
+        the schema and coarse statistics, and stays serviceable across data
+        drift.  The ``plan_builds`` / ``plan_cache_hits`` counters mirror the
+        index cache's and are surfaced per execution in
         :class:`~repro.engine.results.ExecutionResult` metadata.
         """
         entry = self._plan_cache.get(key)
@@ -182,11 +361,11 @@ class Database:
     # ------------------------------------------------------------- reporting
     def total_tuples(self) -> int:
         """Total number of tuples across all relations."""
-        return sum(len(relation) for relation in self._relations.values())
+        return sum(len(versioned) for versioned in self._relations.values())
 
     def summary(self) -> Dict[str, int]:
         """Cardinality of every relation, keyed by name."""
-        return {name: len(relation) for name, relation in self._relations.items()}
+        return {name: len(versioned) for name, versioned in self._relations.items()}
 
     def __repr__(self) -> str:
         return f"Database({self.name!r}, relations={self.summary()!r})"

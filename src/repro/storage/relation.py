@@ -4,11 +4,21 @@ Relations are stored as sorted tuples of hashable values.  The trie index in
 :mod:`repro.storage.trie` is built over a *permutation* of the attributes
 (the variable order restricted to an atom), so the relation itself stays
 order-agnostic.
+
+Mutability lives one layer up: :class:`VersionedRelation` wraps an immutable
+base :class:`Relation` plus a set of pending inserted/deleted tuples, so that
+:meth:`repro.storage.database.Database.insert` / ``delete`` can apply small
+delta batches without rebuilding the base snapshot (or the indexes built over
+it).  Each applied batch is kept in a bounded :class:`DeltaBatch` log, which
+is how downstream consumers (the statistics catalog, cached indexes) refresh
+themselves incrementally instead of rescanning the relation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 
 class Relation:
@@ -39,6 +49,25 @@ class Relation:
                 )
             deduplicated.add(row_tuple)
         self._tuples: Tuple[Tuple[object, ...], ...] = tuple(sorted(deduplicated))
+
+    @classmethod
+    def _from_sorted(
+        cls,
+        name: str,
+        attributes: Sequence[str],
+        rows: Sequence[Tuple[object, ...]],
+    ) -> "Relation":
+        """Construct from already-sorted, deduplicated, arity-checked rows.
+
+        Internal fast path for :meth:`VersionedRelation.snapshot`, which
+        merges two sorted sources and must not pay the full re-sort and
+        per-row validation of ``__init__``.
+        """
+        relation = cls.__new__(cls)
+        relation.name = name
+        relation.attributes = tuple(attributes)
+        relation._tuples = tuple(rows)
+        return relation
 
     @property
     def arity(self) -> int:
@@ -104,11 +133,8 @@ class Relation:
 
     def value_counts(self, attribute: str) -> Dict[object, int]:
         """Frequency of each value of ``attribute`` (the basis of skew measures)."""
-        counts: Dict[object, int] = {}
         index = self.attribute_index(attribute)
-        for row in self._tuples:
-            counts[row[index]] = counts.get(row[index], 0) + 1
-        return counts
+        return Counter(row[index] for row in self._tuples)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
@@ -120,10 +146,248 @@ class Relation:
         )
 
     def __hash__(self) -> int:
-        return hash((self.name, self.attributes, self._tuples))
+        # Relations are immutable, so the (potentially expensive, all-tuples)
+        # hash is computed once and memoised.
+        cached = getattr(self, "_cached_hash", None)
+        if cached is None:
+            cached = hash((self.name, self.attributes, self._tuples))
+            self._cached_hash = cached
+        return cached
 
     def __repr__(self) -> str:
         return (
             f"Relation({self.name!r}, attributes={list(self.attributes)!r}, "
             f"cardinality={len(self._tuples)})"
+        )
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """One applied update batch: the *effective* changes at some version.
+
+    ``inserted`` holds tuples that were genuinely new and ``deleted`` tuples
+    that were genuinely present — no-op rows (inserting an existing tuple,
+    deleting a missing one) are filtered out before the batch is recorded, so
+    consumers may apply batches blindly without membership checks.
+    """
+
+    version: int
+    inserted: Tuple[Tuple[object, ...], ...]
+    deleted: Tuple[Tuple[object, ...], ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the batch changed nothing."""
+        return not self.inserted and not self.deleted
+
+    def __len__(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+
+#: How many applied batches a :class:`VersionedRelation` retains for
+#: incremental consumers before the oldest are dropped (forcing those
+#: consumers onto the full-recompute fallback).
+DELTA_LOG_LIMIT = 64
+
+
+def merge_sorted_rows(
+    left: List[Tuple[object, ...]], right: List[Tuple[object, ...]]
+) -> List[Tuple[object, ...]]:
+    """Merge two sorted, disjoint tuple lists in linear time.
+
+    Shared by :meth:`VersionedRelation.snapshot` and the LSM trie's
+    compaction (:meth:`repro.storage.trie.LsmTrieIndex.compact`).
+    """
+    if not right:
+        return left
+    if not left:
+        return right
+    result: List[Tuple[object, ...]] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            result.append(left[i])
+            i += 1
+        else:
+            result.append(right[j])
+            j += 1
+    result.extend(left[i:])
+    result.extend(right[j:])
+    return result
+
+
+class VersionedRelation:
+    """A mutable relation: an immutable base plus pending delta tuples.
+
+    The wrapper keeps the *net* difference against ``base`` — a set of
+    pending inserts (tuples not in the base) and pending deletes (base
+    tuples) — so repeated insert/delete round-trips collapse instead of
+    accumulating.  :meth:`snapshot` materialises (and caches) the merged
+    :class:`Relation`; :meth:`compact` folds the pending deltas into a new
+    base once they grow past the database's configured fraction.
+
+    Versions are owned by the :class:`~repro.storage.database.Database`
+    (they must survive whole-relation replacement); the wrapper just tags
+    its delta-log entries with the version the database hands it.
+    """
+
+    def __init__(self, base: Relation, created_version: int = 0) -> None:
+        self.base = base
+        self._pending_inserts: Set[Tuple[object, ...]] = set()
+        self._pending_deletes: Set[Tuple[object, ...]] = set()
+        self._snapshot: Optional[Relation] = base
+        self._current: Optional[Set[Tuple[object, ...]]] = None
+        self._log: List[DeltaBatch] = []
+        # Versions below this floor predate the wrapper (a replaced
+        # relation): the log cannot describe how to get from them to here.
+        self._log_base_version = created_version
+
+    # -------------------------------------------------------------- contents
+    @property
+    def name(self) -> str:
+        """Name of the wrapped relation."""
+        return self.base.name
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Schema of the wrapped relation."""
+        return self.base.attributes
+
+    def __len__(self) -> int:
+        return len(self.base) - len(self._pending_deletes) + len(self._pending_inserts)
+
+    @property
+    def delta_size(self) -> int:
+        """Number of pending delta tuples (inserts plus deletes)."""
+        return len(self._pending_inserts) + len(self._pending_deletes)
+
+    def delta_fraction(self) -> float:
+        """Pending delta tuples relative to the base cardinality."""
+        return self.delta_size / max(len(self.base), 1)
+
+    def _current_set(self) -> Set[Tuple[object, ...]]:
+        if self._current is None:
+            current = set(self.base.tuples)
+            current -= self._pending_deletes
+            current |= self._pending_inserts
+            self._current = current
+        return self._current
+
+    def __contains__(self, row: Sequence[object]) -> bool:
+        return tuple(row) in self._current_set()
+
+    # --------------------------------------------------------------- updates
+    def _check_rows(self, rows: Iterable[Sequence[object]]) -> List[Tuple[object, ...]]:
+        arity = len(self.base.attributes)
+        checked = []
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != arity:
+                raise ValueError(
+                    f"tuple {row_tuple!r} does not match arity {arity} "
+                    f"of relation {self.base.name!r}"
+                )
+            checked.append(row_tuple)
+        return checked
+
+    def apply(
+        self,
+        version: int,
+        inserts: Iterable[Sequence[object]] = (),
+        deletes: Iterable[Sequence[object]] = (),
+    ) -> DeltaBatch:
+        """Apply one update batch (deletes first) and return the effective delta.
+
+        ``version`` is the relation version this batch produces (assigned by
+        the database).  The returned batch lists only genuinely new inserts
+        and genuinely present deletes; an all-no-op batch comes back empty
+        and leaves the wrapper untouched (callers then skip the version bump
+        and every cache notification).
+        """
+        current = self._current_set()
+        effective_deletes: Dict[Tuple[object, ...], None] = {}
+        for row in self._check_rows(deletes):
+            if row in current and row not in effective_deletes:
+                effective_deletes[row] = None
+        effective_inserts: Dict[Tuple[object, ...], None] = {}
+        for row in self._check_rows(inserts):
+            if row in effective_deletes:
+                # Deleted and re-inserted within one batch: a net no-op.
+                del effective_deletes[row]
+            elif row not in current and row not in effective_inserts:
+                effective_inserts[row] = None
+        batch = DeltaBatch(
+            version=version,
+            inserted=tuple(effective_inserts),
+            deleted=tuple(effective_deletes),
+        )
+        if batch.is_empty:
+            return batch
+        for row in batch.deleted:
+            if row in self._pending_inserts:
+                self._pending_inserts.discard(row)
+            else:
+                self._pending_deletes.add(row)
+            current.discard(row)
+        for row in batch.inserted:
+            if row in self._pending_deletes:
+                self._pending_deletes.discard(row)
+            else:
+                self._pending_inserts.add(row)
+            current.add(row)
+        self._snapshot = None
+        self._log.append(batch)
+        while len(self._log) > DELTA_LOG_LIMIT:
+            dropped = self._log.pop(0)
+            self._log_base_version = dropped.version
+        return batch
+
+    def deltas_since(self, version: int) -> Optional[List[DeltaBatch]]:
+        """The batches applied after ``version``, oldest first.
+
+        Returns ``None`` when ``version`` predates the wrapper or the log no
+        longer reaches back that far (the caller must then fall back to a
+        full recompute).
+        """
+        if version < self._log_base_version:
+            return None
+        return [batch for batch in self._log if batch.version > version]
+
+    # -------------------------------------------------------------- snapshot
+    def snapshot(self) -> Relation:
+        """The merged current relation (cached until the next update)."""
+        if self._snapshot is None:
+            if not self._pending_inserts and not self._pending_deletes:
+                self._snapshot = self.base
+            else:
+                deletes = self._pending_deletes
+                if deletes:
+                    kept = [row for row in self.base.tuples if row not in deletes]
+                else:
+                    kept = list(self.base.tuples)
+                rows = merge_sorted_rows(kept, sorted(self._pending_inserts))
+                self._snapshot = Relation._from_sorted(
+                    self.base.name, self.base.attributes, rows
+                )
+        return self._snapshot
+
+    # ------------------------------------------------------------ compaction
+    def compact(self) -> int:
+        """Fold the pending deltas into a new base; returns how many were folded.
+
+        The delta log is retained — logged batches describe *logical*
+        changes, which stay valid across physical compaction.
+        """
+        folded = self.delta_size
+        if folded:
+            self.base = self.snapshot()
+            self._pending_inserts.clear()
+            self._pending_deletes.clear()
+            self._snapshot = self.base
+        return folded
+
+    def __repr__(self) -> str:
+        return (
+            f"VersionedRelation({self.base.name!r}, base={len(self.base)}, "
+            f"+{len(self._pending_inserts)}/-{len(self._pending_deletes)})"
         )

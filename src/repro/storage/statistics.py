@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.storage.database import Database
-from repro.storage.relation import Relation
+from repro.storage.relation import DeltaBatch, Relation
 
 
 @dataclass(frozen=True)
@@ -77,10 +77,19 @@ def _skew_measure(counts: Iterable[int], total: int) -> float:
     return max(0.0, min(1.0, 1.0 - entropy / max_entropy))
 
 
-def attribute_statistics(relation: Relation, attribute: str, top_k: int = 5) -> AttributeStatistics:
-    """Compute statistics for one attribute of ``relation``."""
-    counts = relation.value_counts(attribute)
-    cardinality = len(relation)
+def statistics_from_counts(
+    attribute: str,
+    counts: Mapping[object, int],
+    cardinality: int,
+    top_k: int = 5,
+) -> AttributeStatistics:
+    """Derive one attribute's statistics from its value-frequency map.
+
+    The shared kernel of :func:`attribute_statistics` (which counts by
+    scanning the relation) and the incremental path of
+    :class:`StatisticsCatalog` (which maintains the counts across update
+    batches and only re-derives the aggregates).
+    """
     distinct = len(counts)
     max_frequency = max(counts.values(), default=0)
     mean_frequency = cardinality / distinct if distinct else 0.0
@@ -96,6 +105,13 @@ def attribute_statistics(relation: Relation, attribute: str, top_k: int = 5) -> 
         mean_frequency=mean_frequency,
         skew=skew,
         top_values=top_values,
+    )
+
+
+def attribute_statistics(relation: Relation, attribute: str, top_k: int = 5) -> AttributeStatistics:
+    """Compute statistics for one attribute of ``relation``."""
+    return statistics_from_counts(
+        attribute, relation.value_counts(attribute), len(relation), top_k=top_k
     )
 
 
@@ -121,19 +137,93 @@ def collect_statistics(database: Database, top_k: int = 5) -> Dict[str, Relation
 
 
 class StatisticsCatalog:
-    """Lazily-computed statistics for a database, shared by planner components."""
+    """Lazily-computed statistics for a database, shared by planner components.
+
+    Each memoised entry is keyed on the relation's version
+    (:meth:`~repro.storage.database.Database.relation_version`), so stale
+    statistics are never served after a replacement or update.  When the
+    database can supply the delta batches applied since the memoised version
+    (:meth:`~repro.storage.database.Database.deltas_since`), the catalog
+    *refreshes incrementally*: it maintains the per-attribute value-frequency
+    maps, applies the batch tuples to them, and re-derives the aggregate
+    statistics — no rescan of the relation.  Whole-relation replacement (or
+    a trimmed delta log) falls back to a full recompute.
+    """
 
     def __init__(self, database: Database, top_k: int = 5) -> None:
         self._database = database
         self._top_k = top_k
         self._cache: Dict[str, RelationStatistics] = {}
+        self._versions: Dict[str, int] = {}
+        self._counts: Dict[str, Dict[str, Dict[object, int]]] = {}
+        self._cardinalities: Dict[str, int] = {}
+        #: Number of from-scratch statistics computations.
+        self.full_recomputes: int = 0
+        #: Number of delta-applied incremental refreshes.
+        self.incremental_refreshes: int = 0
 
     def relation(self, name: str) -> RelationStatistics:
-        """Statistics of ``name`` (computed on first use)."""
+        """Statistics of ``name`` (computed on first use, version-checked)."""
+        current_version = self._database.relation_version(name)
         stats = self._cache.get(name)
-        if stats is None:
-            stats = relation_statistics(self._database.relation(name), top_k=self._top_k)
-            self._cache[name] = stats
+        if stats is not None and self._versions.get(name) == current_version:
+            return stats
+        if stats is not None:
+            deltas = self._database.deltas_since(name, self._versions[name])
+            if deltas is not None:
+                return self._refresh_incrementally(name, current_version, deltas)
+        return self._recompute(name, current_version)
+
+    def _recompute(self, name: str, version: int) -> RelationStatistics:
+        relation = self._database.relation(name)
+        counts = {
+            attribute: dict(relation.value_counts(attribute))
+            for attribute in relation.attributes
+        }
+        self._counts[name] = counts
+        self._cardinalities[name] = len(relation)
+        self.full_recomputes += 1
+        return self._store(name, version, relation.attributes)
+
+    def _refresh_incrementally(
+        self, name: str, version: int, deltas: "Iterable[DeltaBatch]"
+    ) -> RelationStatistics:
+        counts = self._counts[name]
+        attributes = self._database.relation(name).attributes
+        cardinality = self._cardinalities[name]
+        for batch in deltas:
+            for row in batch.inserted:
+                for position, attribute in enumerate(attributes):
+                    per_value = counts[attribute]
+                    per_value[row[position]] = per_value.get(row[position], 0) + 1
+            for row in batch.deleted:
+                for position, attribute in enumerate(attributes):
+                    per_value = counts[attribute]
+                    remaining = per_value.get(row[position], 0) - 1
+                    if remaining > 0:
+                        per_value[row[position]] = remaining
+                    else:
+                        per_value.pop(row[position], None)
+            cardinality += len(batch.inserted) - len(batch.deleted)
+        self._cardinalities[name] = cardinality
+        self.incremental_refreshes += 1
+        return self._store(name, version, attributes)
+
+    def _store(
+        self, name: str, version: int, attributes: Tuple[str, ...]
+    ) -> RelationStatistics:
+        cardinality = self._cardinalities[name]
+        per_attribute = {
+            attribute: statistics_from_counts(
+                attribute, self._counts[name][attribute], cardinality, top_k=self._top_k
+            )
+            for attribute in attributes
+        }
+        stats = RelationStatistics(
+            name=name, cardinality=cardinality, attributes=per_attribute
+        )
+        self._cache[name] = stats
+        self._versions[name] = version
         return stats
 
     def attribute(self, relation_name: str, attribute: str) -> AttributeStatistics:

@@ -38,9 +38,9 @@ sequences, so instrumented experiments are backend-independent.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.storage.relation import Relation
+from repro.storage.relation import Relation, merge_sorted_rows
 
 
 def _sorted_rows(relation: Relation, attribute_order: Sequence[int]) -> Tuple[Tuple[int, ...], Sequence[Tuple[object, ...]]]:
@@ -169,6 +169,22 @@ class TrieIndex:
         keys, child_begin, child_end = cls._build_columns(sorted(set(rows)), depth)
         return cls(keys, child_begin, child_end, depth, name, tuple(range(depth)))
 
+    @classmethod
+    def from_sorted_rows(
+        cls,
+        rows: Sequence[Tuple[object, ...]],
+        depth: int,
+        name: str,
+        attribute_order: Tuple[int, ...],
+    ) -> "TrieIndex":
+        """Build from already-sorted, deduplicated, already-permuted rows.
+
+        Fast path for delta side-tries and compaction, where the caller
+        maintains the sorted invariant itself.
+        """
+        keys, child_begin, child_end = cls._build_columns(rows, depth)
+        return cls(keys, child_begin, child_end, depth, name, attribute_order)
+
     # ----------------------------------------------------------------- queries
     def iterator(self, counter: Optional[object] = None) -> "TrieIterator":
         """Create a fresh linear iterator over this trie."""
@@ -186,6 +202,53 @@ class TrieIndex:
     def level_sizes(self) -> Tuple[int, ...]:
         """Number of keys per level (distinct prefixes of each length)."""
         return tuple(len(level) for level in self._keys)
+
+    def contains(self, row: Tuple[object, ...]) -> bool:
+        """Membership of one already-permuted tuple (binary search per level)."""
+        if len(row) != self.depth or not self._keys or not self._keys[0]:
+            return False
+        lo, hi = 0, len(self._keys[0])
+        for level, value in enumerate(row):
+            keys = self._keys[level]
+            position = bisect_left(keys, value, lo, hi)
+            if position >= hi or keys[position] != value:
+                return False
+            if level < self.depth - 1:
+                lo = self._child_begin[level][position]
+                hi = self._child_end[level][position]
+        return True
+
+    def subtree_span(self, level: int, position: int) -> int:
+        """Number of stored tuples below the key at ``(level, position)``."""
+        lo, hi = position, position + 1
+        for inner in range(level, self.depth - 1):
+            lo = self._child_begin[inner][lo]
+            hi = self._child_end[inner][hi - 1]
+        return hi - lo
+
+    def iter_rows(self) -> "Iterator[Tuple[object, ...]]":
+        """Yield every stored tuple in sorted (depth-first) order."""
+        if not self._keys or not self._keys[0]:
+            return
+        yield from self._iter_rows(0, 0, len(self._keys[0]), ())
+
+    def _iter_rows(
+        self, level: int, lo: int, hi: int, prefix: Tuple[object, ...]
+    ) -> "Iterator[Tuple[object, ...]]":
+        keys = self._keys[level]
+        if level == self.depth - 1:
+            for position in range(lo, hi):
+                yield prefix + (keys[position],)
+            return
+        child_begin = self._child_begin[level]
+        child_end = self._child_end[level]
+        for position in range(lo, hi):
+            yield from self._iter_rows(
+                level + 1,
+                child_begin[position],
+                child_end[position],
+                prefix + (keys[position],),
+            )
 
     def __repr__(self) -> str:
         return (
@@ -315,6 +378,12 @@ class TrieIterator:
             self._counter.record_trie(accesses=max(span.bit_length(), 1), seeks=1)
 
     # -------------------------------------------------------------- utilities
+    def position(self) -> int:
+        """Index of the current key within the open level's flat key array."""
+        if self._depth == 0:
+            raise RuntimeError("iterator is not positioned at any level")
+        return self._pos[self._depth - 1]
+
     def current_prefix(self) -> Tuple[object, ...]:
         """The sequence of keys selected on the path from the root."""
         return tuple(
@@ -330,6 +399,505 @@ class TrieIterator:
     def __repr__(self) -> str:
         return (
             f"TrieIterator({self._index.relation_name!r}, depth={self.depth}, "
+            f"prefix={self.current_prefix()!r})"
+        )
+
+
+# --------------------------------------------------------------------------
+# LSM-style updatable trie: columnar main level + small delta side-trie.
+# --------------------------------------------------------------------------
+
+
+class LsmTrieIndex:
+    """An updatable trie: a large columnar *main* level plus a *delta* level.
+
+    Shaped after an LSM tree flattened to two levels: the immutable main
+    :class:`TrieIndex` carries the bulk of the data, while small update
+    batches land in a side structure — a set of inserted tuples (rebuilt
+    into a tiny side trie per batch) plus *tombstones* for deleted main
+    tuples.  Reads go through :meth:`iterator`:
+
+    * with no pending deltas the plain main :class:`TrieIterator` is
+      returned — the hot path is exactly as fast as the frozen backend;
+    * otherwise a :class:`MergedTrieIterator` unions main and delta levels,
+      suppressing tombstoned keys on the fly.
+
+    :meth:`compact` folds the delta level back into a fresh main trie; the
+    database triggers it once the delta exceeds a configured fraction of the
+    main level.  All public index attributes (``depth``, ``relation_name``,
+    ``attribute_order``, ``iterator``, ``tuple_count``) match the frozen
+    :class:`TrieIndex`, so the join algorithms are oblivious to the wrapper.
+
+    Tombstones are stored as a prefix -> count mapping: a main key is
+    suppressed at any trie level exactly when *every* main tuple below it is
+    deleted (count equals the main subtree span) and the delta level holds
+    nothing under that key.  Partially-deleted subtrees stay visible and are
+    filtered further down, which keeps suppression a dictionary lookup plus
+    an O(depth) span computation instead of a subtree walk.
+    """
+
+    __slots__ = ("main", "_delta_rows", "_delta_trie", "_tombstones",
+                 "_deleted_count", "patches", "compactions")
+
+    def __init__(self, main: TrieIndex) -> None:
+        self.main = main
+        self._delta_rows: Set[Tuple[object, ...]] = set()
+        self._delta_trie: Optional[TrieIndex] = None
+        self._tombstones: Dict[Tuple[object, ...], int] = {}
+        self._deleted_count = 0
+        #: Number of delta batches applied since the last full (re)build.
+        self.patches = 0
+        #: Number of compactions performed over the index's lifetime.
+        self.compactions = 0
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def build(cls, relation, attribute_order: Sequence[int]) -> "LsmTrieIndex":
+        """Build over ``relation`` in ``attribute_order`` (cf. TrieIndex.build)."""
+        return cls(TrieIndex.build(relation, attribute_order))
+
+    # -------------------------------------------------------- index interface
+    @property
+    def depth(self) -> int:
+        """Depth (arity) of the indexed view."""
+        return self.main.depth
+
+    @property
+    def relation_name(self) -> str:
+        """Name of the indexed relation."""
+        return self.main.relation_name
+
+    @property
+    def attribute_order(self) -> Tuple[int, ...]:
+        """The column permutation the trie levels follow."""
+        return self.main.attribute_order
+
+    @property
+    def has_deltas(self) -> bool:
+        """True when pending inserts or tombstones exist."""
+        return bool(self._delta_rows) or bool(self._tombstones)
+
+    @property
+    def delta_size(self) -> int:
+        """Pending delta tuples (inserts plus tombstoned deletes)."""
+        return len(self._delta_rows) + self._deleted_count
+
+    def delta_fraction(self) -> float:
+        """Delta size relative to the main level's tuple count."""
+        return self.delta_size / max(self.main.tuple_count(), 1)
+
+    def iterator(self, counter: Optional[object] = None):
+        """A linear iterator over the merged contents (plain when no deltas)."""
+        if not self.has_deltas:
+            return self.main.iterator(counter)
+        return MergedTrieIterator(self, counter)
+
+    def __len__(self) -> int:
+        """Number of distinct first-level keys in the merged contents."""
+        if not self.has_deltas:
+            return len(self.main)
+        iterator = self.iterator()
+        iterator.open()
+        total = 0
+        while not iterator.at_end():
+            total += 1
+            iterator.next()
+        return total
+
+    def tuple_count(self) -> int:
+        """Total number of live tuples (main minus tombstones plus delta)."""
+        return self.main.tuple_count() - self._deleted_count + len(self._delta_rows)
+
+    def contains(self, row: Tuple[object, ...]) -> bool:
+        """Membership of one already-permuted tuple in the merged contents."""
+        if row in self._delta_rows:
+            return True
+        return self.main.contains(row) and self._tombstones.get(row, 0) == 0
+
+    # --------------------------------------------------------------- updates
+    def _permute(self, rows: Iterable[Sequence[object]]) -> List[Tuple[object, ...]]:
+        order = self.main.attribute_order
+        if order == tuple(range(self.main.depth)):
+            return [tuple(row) for row in rows]
+        return [tuple(row[i] for i in order) for row in rows]
+
+    def _add_tombstone(self, row: Tuple[object, ...]) -> None:
+        for width in range(1, len(row) + 1):
+            prefix = row[:width]
+            self._tombstones[prefix] = self._tombstones.get(prefix, 0) + 1
+        self._deleted_count += 1
+
+    def _remove_tombstone(self, row: Tuple[object, ...]) -> None:
+        for width in range(1, len(row) + 1):
+            prefix = row[:width]
+            remaining = self._tombstones[prefix] - 1
+            if remaining:
+                self._tombstones[prefix] = remaining
+            else:
+                del self._tombstones[prefix]
+        self._deleted_count -= 1
+
+    def apply_delta(
+        self,
+        inserted: Iterable[Sequence[object]] = (),
+        deleted: Iterable[Sequence[object]] = (),
+    ) -> None:
+        """Apply one batch of view rows (in view column layout, unpermuted).
+
+        Deletes of main tuples become tombstones; deletes of pending delta
+        inserts simply retract them.  Inserting a tombstoned tuple
+        resurrects it.  Rows must be *effective* at the view level (the
+        database's signature transform guarantees this); stray no-op rows
+        are tolerated and skipped.
+        """
+        for row in self._permute(deleted):
+            if row in self._delta_rows:
+                self._delta_rows.discard(row)
+            elif self.main.contains(row) and self._tombstones.get(row, 0) == 0:
+                self._add_tombstone(row)
+        for row in self._permute(inserted):
+            if self._tombstones.get(row, 0):
+                self._remove_tombstone(row)
+            elif row not in self._delta_rows and not self.main.contains(row):
+                self._delta_rows.add(row)
+        self._rebuild_delta_trie()
+        self.patches += 1
+
+    def _rebuild_delta_trie(self) -> None:
+        if self._delta_rows:
+            self._delta_trie = TrieIndex.from_sorted_rows(
+                sorted(self._delta_rows),
+                self.main.depth,
+                self.main.relation_name,
+                self.main.attribute_order,
+            )
+        else:
+            self._delta_trie = None
+
+    # ------------------------------------------------------------ compaction
+    def compact(self) -> int:
+        """Fold delta and tombstones into a fresh main trie; returns delta size.
+
+        After compaction the index holds exactly the merged contents in one
+        columnar level, equivalent to rebuilding from the current relation.
+        """
+        folded = self.delta_size
+        if not folded:
+            return 0
+        tombstones = self._tombstones
+        if tombstones:
+            kept = [row for row in self.main.iter_rows() if tombstones.get(row, 0) == 0]
+        else:
+            kept = list(self.main.iter_rows())
+        merged = merge_sorted_rows(kept, sorted(self._delta_rows))
+        self.main = TrieIndex.from_sorted_rows(
+            merged, self.main.depth, self.main.relation_name, self.main.attribute_order
+        )
+        self._delta_rows = set()
+        self._delta_trie = None
+        self._tombstones = {}
+        self._deleted_count = 0
+        self.compactions += 1
+        return folded
+
+    def iter_rows(self) -> Iterator[Tuple[object, ...]]:
+        """Yield every live tuple in sorted order (main merged with delta)."""
+        tombstones = self._tombstones
+        kept = (
+            row for row in self.main.iter_rows() if tombstones.get(row, 0) == 0
+        ) if tombstones else self.main.iter_rows()
+        delta = iter(sorted(self._delta_rows))
+        row = next(kept, None)
+        extra = next(delta, None)
+        while row is not None and extra is not None:
+            if row <= extra:
+                yield row
+                row = next(kept, None)
+            else:
+                yield extra
+                extra = next(delta, None)
+        while row is not None:
+            yield row
+            row = next(kept, None)
+        while extra is not None:
+            yield extra
+            extra = next(delta, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"LsmTrieIndex({self.relation_name!r}, depth={self.depth}, "
+            f"main={self.main.tuple_count()}, +{len(self._delta_rows)}"
+            f"/-{self._deleted_count})"
+        )
+
+
+class MergedTrieIterator:
+    """A linear trie iterator over the union of main and delta trie levels.
+
+    Implements the same open/up/next/seek/key/at_end contract as
+    :class:`TrieIterator` by running one cursor per source trie in lockstep:
+    at every level the merged key is the minimum over the sources aligned
+    with the current path, and keys whose main subtree is fully tombstoned
+    (with no delta contribution) are skipped transparently.  The join
+    algorithms therefore work over mutated relations without change.
+
+    Merging is only paid where the delta actually lives: when an ``open``
+    descends into a subtree the delta level does not reach (and no tombstone
+    falls under the current path — a single dictionary lookup, since
+    tombstone counts are kept for every prefix length), the level is marked
+    *pure* and every subsequent operation on it delegates straight to the
+    main cursor.  For a small delta over a large trie, almost all of the
+    join's iterator traffic runs at plain columnar speed.
+    """
+
+    __slots__ = ("_index", "_counter", "_main", "_sources", "_num_sources",
+                 "_tombstones", "_depth", "_open_mask", "_current", "_ended",
+                 "_pure")
+
+    def __init__(self, index: LsmTrieIndex, counter: Optional[object] = None) -> None:
+        self._index = index
+        self._counter = counter
+        sources = [index.main.iterator()]
+        if index._delta_trie is not None:
+            sources.append(index._delta_trie.iterator())
+        self._main: TrieIterator = sources[0]
+        self._sources: List[TrieIterator] = sources
+        self._num_sources = len(sources)
+        self._tombstones = index._tombstones
+        self._depth = 0
+        levels = index.depth
+        self._open_mask: List[List[bool]] = [[False] * self._num_sources for _ in range(levels)]
+        self._current: List[object] = [None] * levels
+        self._ended: List[bool] = [False] * levels
+        #: Per level: True when only the main cursor participates below the
+        #: current path and no tombstone can strike it — ops delegate.
+        self._pure: List[bool] = [False] * levels
+
+    # ---------------------------------------------------------------- depth
+    @property
+    def depth(self) -> int:
+        """Number of currently open levels."""
+        return self._depth
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the underlying tries."""
+        return self._index.depth
+
+    # ------------------------------------------------------------ navigation
+    def open(self) -> None:
+        """Descend to the first merged key below the current key."""
+        depth = self._depth
+        if depth == 0:
+            mask = [True] * self._num_sources
+            pure = False
+        else:
+            level = depth - 1
+            if self._pure[level]:
+                # Everything below the current path is main-only and live.
+                self._main.open()
+                self._pure[depth] = True
+                self._depth = depth + 1
+                if self._counter is not None:
+                    self._counter.record_trie(accesses=1, opens=1)
+                return
+            if self._ended[level]:
+                raise RuntimeError("cannot open: current level is at end")
+            if depth >= self._index.depth:
+                raise RuntimeError("cannot open past the last trie level")
+            current = self._current[level]
+            parent_mask = self._open_mask[level]
+            mask = [False] * self._num_sources
+            for position, source in enumerate(self._sources):
+                if (
+                    parent_mask[position]
+                    and not source.at_end()
+                    and source.key() == current
+                ):
+                    mask[position] = True
+            pure = (
+                mask[0]
+                and not any(mask[1:])
+                and (
+                    not self._tombstones
+                    or self._tombstones.get(
+                        tuple(self._current[inner] for inner in range(depth)), 0
+                    )
+                    == 0
+                )
+            )
+        opened = 0
+        for position, source in enumerate(self._sources):
+            if mask[position]:
+                source.open()
+                opened += 1
+        self._open_mask[depth] = mask
+        self._pure[depth] = pure
+        self._depth = depth + 1
+        if self._counter is not None:
+            self._counter.record_trie(accesses=max(opened, 1), opens=1)
+        if not pure:
+            self._settle(depth)
+
+    def up(self) -> None:
+        """Return to the parent level."""
+        if self._depth == 0:
+            raise RuntimeError("cannot go up: iterator is at the root")
+        level = self._depth - 1
+        if self._pure[level]:
+            self._main.up()
+        else:
+            mask = self._open_mask[level]
+            for position, source in enumerate(self._sources):
+                if mask[position]:
+                    source.up()
+        self._depth = level
+        if self._counter is not None:
+            self._counter.record_trie(accesses=1)
+
+    def key(self) -> object:
+        """The merged key currently pointed at in the open level."""
+        if self._depth == 0:
+            raise RuntimeError("iterator is not positioned at any level")
+        level = self._depth - 1
+        if self._pure[level]:
+            return self._main.key()
+        if self._ended[level]:
+            raise RuntimeError("iterator is at end; no current key")
+        return self._current[level]
+
+    def at_end(self) -> bool:
+        """True when the merged sibling list is exhausted."""
+        if self._depth == 0:
+            raise RuntimeError("iterator is not positioned at any level")
+        level = self._depth - 1
+        if self._pure[level]:
+            return self._main.at_end()
+        return self._ended[level]
+
+    def next(self) -> None:
+        """Advance to the next merged sibling key."""
+        if self._depth == 0:
+            raise RuntimeError("iterator is not positioned at any level; call open() first")
+        level = self._depth - 1
+        if self._pure[level]:
+            self._main.next()
+            if self._counter is not None:
+                self._counter.record_trie(accesses=1, nexts=1)
+            return
+        if self._ended[level]:
+            raise RuntimeError("cannot advance: iterator already at end")
+        self._advance_matching(level)
+        if self._counter is not None:
+            self._counter.record_trie(accesses=1, nexts=1)
+        self._settle(level)
+
+    def seek(self, value: object) -> None:
+        """Advance to the least merged sibling key ``>= value``."""
+        if self._depth == 0:
+            raise RuntimeError("iterator is not positioned at any level; call open() first")
+        level = self._depth - 1
+        if self._pure[level]:
+            self._main.seek(value)
+            if self._counter is not None:
+                self._counter.record_trie(accesses=1, seeks=1)
+            return
+        if self._ended[level]:
+            raise RuntimeError("cannot seek: iterator already at end")
+        mask = self._open_mask[level]
+        accesses = 0
+        for position, source in enumerate(self._sources):
+            if mask[position] and not source.at_end():
+                span = source._hi[level] - source._pos[level]
+                accesses += max(span.bit_length(), 1) if span > 0 else 1
+                source.seek(value)
+        if self._counter is not None:
+            self._counter.record_trie(accesses=max(accesses, 1), seeks=1)
+        self._settle(level)
+
+    # -------------------------------------------------------------- internals
+    def _advance_matching(self, level: int) -> None:
+        """Step every source sitting on the current merged key."""
+        current = self._current[level]
+        mask = self._open_mask[level]
+        for position, source in enumerate(self._sources):
+            if mask[position] and not source.at_end() and source.key() == current:
+                source.next()
+
+    def _settle(self, level: int) -> None:
+        """Compute the merged current key, skipping fully-tombstoned keys."""
+        mask = self._open_mask[level]
+        sources = self._sources
+        tombstones = self._tombstones
+        while True:
+            best = None
+            for position in range(self._num_sources):
+                if not mask[position]:
+                    continue
+                source = sources[position]
+                if source.at_end():
+                    continue
+                key = source.key()
+                if best is None or key < best:
+                    best = key
+            if best is None:
+                self._ended[level] = True
+                self._current[level] = None
+                return
+            if tombstones and self._suppressed(level, best):
+                self._current[level] = best
+                self._advance_matching(level)
+                if self._counter is not None:
+                    self._counter.record_trie(accesses=1)
+                continue
+            self._current[level] = best
+            self._ended[level] = False
+            return
+
+    def _suppressed(self, level: int, key: object) -> bool:
+        """Is ``key`` at this level invisible (its main subtree fully deleted)?
+
+        Only ever consulted at impure levels, whose ancestors are impure
+        too — so the path prefix can be read off ``_current``.
+        """
+        prefix = tuple(self._current[inner] for inner in range(level)) + (key,)
+        tombstoned = self._tombstones.get(prefix, 0)
+        if not tombstoned:
+            return False
+        main = self._main
+        mask = self._open_mask[level]
+        if not mask[0] or main.at_end() or main.key() != key:
+            # The key comes from the delta level only; delta rows are never
+            # tombstoned.
+            return False
+        for position in range(1, self._num_sources):
+            source = self._sources[position]
+            if mask[position] and not source.at_end() and source.key() == key:
+                return False  # a live delta tuple shares the prefix
+        span = self._index.main.subtree_span(level, main.position())
+        return tombstoned >= span
+
+    # -------------------------------------------------------------- utilities
+    def current_prefix(self) -> Tuple[object, ...]:
+        """The sequence of merged keys selected on the path from the root."""
+        parts = []
+        for level in range(self._depth):
+            if self._pure[level]:
+                if not self._main._ended[level]:
+                    parts.append(self._main._keys[level][self._main._pos[level]])
+            elif not self._ended[level]:
+                parts.append(self._current[level])
+        return tuple(parts)
+
+    def reset(self) -> None:
+        """Close all levels, returning the iterator to the root."""
+        for source in self._sources:
+            source.reset()
+        self._depth = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"MergedTrieIterator({self._index.relation_name!r}, depth={self.depth}, "
             f"prefix={self.current_prefix()!r})"
         )
 

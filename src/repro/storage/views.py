@@ -15,7 +15,7 @@ from repro.query.atoms import Atom, ConjunctiveQuery
 from repro.query.terms import Constant, Variable
 from repro.storage.database import Database
 from repro.storage.relation import Relation
-from repro.storage.trie import TrieIndex
+from repro.storage.trie import LsmTrieIndex
 
 
 def materialize_atom(database: Database, atom: Atom, name: Optional[str] = None) -> Relation:
@@ -117,6 +117,45 @@ def atom_has_constants(atom: Atom) -> bool:
     return any(isinstance(term, Constant) for term in atom.terms)
 
 
+def signature_view_rows(
+    signature: Tuple[object, ...], rows: Sequence[Sequence[object]]
+) -> List[Tuple[object, ...]]:
+    """Map base-relation rows through a name-erased atom signature.
+
+    Returns, for every row satisfying the signature's constants and
+    repeated-variable equalities, the projected view tuple (first-occurrence
+    positions, in marker order) — exactly the rows
+    :func:`materialize_atom` would produce for any atom with this signature.
+    Because the dropped positions are determined by the kept ones (constants
+    are fixed, repeats equal a kept position), the mapping is injective on
+    matching rows: effective base-relation deltas translate to effective
+    view deltas, which is what lets
+    :meth:`repro.storage.database.Database.insert` patch cached indexes in
+    place instead of evicting them.
+    """
+    constant_checks: List[Tuple[int, object]] = []
+    first_position: Dict[object, int] = {}
+    equality_checks: List[Tuple[int, int]] = []
+    for position, marker in enumerate(signature):
+        if isinstance(marker, tuple):
+            constant_checks.append((position, marker[1]))
+        elif marker in first_position:
+            equality_checks.append((first_position[marker], position))
+        else:
+            first_position[marker] = position
+    # Markers are assigned in first-occurrence order, so sorting them yields
+    # the projection in view-column order.
+    projection = [first_position[marker] for marker in sorted(first_position)]
+    result: List[Tuple[object, ...]] = []
+    for row in rows:
+        if any(row[position] != value for position, value in constant_checks):
+            continue
+        if any(row[left] != row[right] for left, right in equality_checks):
+            continue
+        result.append(tuple(row[position] for position in projection))
+    return result
+
+
 def shared_atom_index(
     database: Database,
     atom: Atom,
@@ -149,14 +188,16 @@ def shared_atom_index(
     )
 
 
-def atom_trie(database: Database, atom: Atom, column_order: Sequence[int]) -> TrieIndex:
+def atom_trie(database: Database, atom: Atom, column_order: Sequence[int]) -> LsmTrieIndex:
     """Return the shared trie for ``atom``'s view in ``column_order`` level order.
 
     ``column_order`` is a permutation of the view's columns (the atom's
     distinct variables in first-occurrence order); sharing and the
-    constants exclusion follow :func:`shared_atom_index`.
+    constants exclusion follow :func:`shared_atom_index`.  Tries are built
+    as updatable :class:`~repro.storage.trie.LsmTrieIndex` wrappers so
+    :meth:`Database.insert` / ``delete`` can patch them in place.
     """
-    return shared_atom_index(database, atom, column_order, "trie", TrieIndex.build)
+    return shared_atom_index(database, atom, column_order, "trie", LsmTrieIndex.build)
 
 
 def atom_column_order(atom: Atom, depth_of: Dict[Variable, int]) -> Tuple[Tuple[Variable, ...], Tuple[int, ...]]:

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.bench.harness import BenchmarkCell, consistency_check, run_cell, run_grid, speedup_table
+from repro.bench.harness import (
+    BenchmarkCell,
+    consistency_check,
+    run_cell,
+    run_grid,
+    run_update_benchmark,
+    speedup_table,
+)
+from repro.bench.workloads import update_stream_workload
 from repro.bench.reporting import format_records, format_results, print_records, results_to_records
 from repro.engine.results import ExecutionResult
 from repro.core.instrumentation import OperationCounter
@@ -117,6 +125,25 @@ class TestSpeedupTable:
     def test_missing_baseline_rows_skipped(self, databases):
         results = run_grid(databases, [path_query(2)], ["clftj"])
         assert speedup_table(results, baseline="lftj") == []
+
+
+class TestUpdateBenchmark:
+    def test_delta_strategy_avoids_rebuilds_and_agrees(self):
+        workload = update_stream_workload(scale=0.25, num_batches=3, batch_size=6)
+        report = run_update_benchmark(workload)
+        delta = report["strategies"]["delta"]
+        rebuild = report["strategies"]["rebuild"]
+        assert delta["index_builds"] == 0
+        assert delta["index_patches"] > 0
+        assert delta["plan_builds"] == 0
+        assert rebuild["index_builds"] > 0
+        assert rebuild["plan_builds"] > 0
+        assert len(report["final_counts"]) == len(workload.queries)
+
+    def test_unknown_strategy_fails_loudly(self):
+        workload = update_stream_workload(scale=0.25, num_batches=2, batch_size=4)
+        with pytest.raises(ValueError):
+            run_update_benchmark(workload, strategies=("delta", "nonsense"))
 
 
 class TestReporting:

@@ -100,6 +100,15 @@ class TestCommands:
         assert "plan_cache_hits=" in output
         assert "index_builds=0" in output
 
+    def test_run_mutate_streams_updates(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--query", "3-cycle",
+                     "--scale", "0.3", "--repeat", "3", "--mutate", "4"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert output.count("mutated E: +4 rows") == 2
+        assert "index_patches=" in output
+        assert "rebuilds_after_updates=0" in output
+
     def test_explain_auto(self, capsys):
         code = main(["explain", "--dataset", "wiki-Vote", "--query", "5-cycle",
                      "--scale", "0.3"])
