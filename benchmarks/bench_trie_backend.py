@@ -33,14 +33,24 @@ if __name__ == "__main__":  # standalone: make repro/ and benchmarks/ importable
 
 import pytest
 
+from repro.bench.reporting import write_bench_json
+from repro.core.instrumentation import OperationCounter
 from repro.core.lftj import LeapfrogTrieJoin
 from repro.query.patterns import cycle_query
+from repro.storage.database import Database
 from repro.storage.trie import NodeTrieIndex, TrieIndex
 
 from benchmarks.conftest import report_row
 
 DATASETS = ("wiki-Vote", "ego-Facebook")
 ROUNDS = 3
+
+#: Machine-readable benchmark trajectory (perf baseline for future PRs).
+BENCH_JSON = str(Path(__file__).resolve().parent.parent / "BENCH_4.json")
+
+#: Scale of the dictionary-encoding cells: large enough for stable timing.
+ENCODING_SCALE = 2.0
+ENCODING_ROUNDS = 7
 
 
 def _best_of(callable_, rounds=None):
@@ -79,6 +89,88 @@ def _triangle_cells(snap_dbs):
         yield (
             dataset, seed_time, cold_time, warm_time,
             (seed_count, cold_count, warm_count), builds_during_warm,
+        )
+
+
+def _encoding_cells(scale=ENCODING_SCALE, rounds=ENCODING_ROUNDS):
+    """Warm triangle counting: dictionary-encoded vs raw-object path.
+
+    The raw path (``encode=False``) is the pre-encoding configuration of the
+    join stack — the PR-4 acceptance baseline.  Runs are interleaved so CPU
+    frequency drift hits both sides equally; cells report best-of wall
+    times, trie seeks and the decode counter (which must stay 0: counting
+    never materialises a value).
+    """
+    from repro.bench.workloads import snap_databases
+
+    query = cycle_query(3)
+    for dataset in DATASETS:
+        encoded_db = snap_databases((dataset,), scale=scale)[dataset]
+        raw_db = Database(
+            list(encoded_db), name=f"{dataset}-raw", encode=False
+        )
+        for database in (encoded_db, raw_db):  # build tries, warm caches
+            LeapfrogTrieJoin(query, database).count()
+        encoded_time = raw_time = float("inf")
+        encoded_count = raw_count = None
+        for _ in range(rounds):
+            started = time.perf_counter()
+            encoded_count = LeapfrogTrieJoin(query, encoded_db).count()
+            encoded_time = min(encoded_time, time.perf_counter() - started)
+            started = time.perf_counter()
+            raw_count = LeapfrogTrieJoin(query, raw_db).count()
+            raw_time = min(raw_time, time.perf_counter() - started)
+        encoded_counter, raw_counter = OperationCounter(), OperationCounter()
+        LeapfrogTrieJoin(query, encoded_db, counter=encoded_counter).count()
+        LeapfrogTrieJoin(query, raw_db, counter=raw_counter).count()
+        yield {
+            "dataset": dataset,
+            "scale": scale,
+            "count_encoded": encoded_count,
+            "count_raw": raw_count,
+            "encoded_seconds": encoded_time,
+            "raw_seconds": raw_time,
+            "speedup": raw_time / encoded_time,
+            "trie_seeks_encoded": encoded_counter.trie_seeks,
+            "trie_seeks_raw": raw_counter.trie_seeks,
+            "decodes": encoded_db.dictionary.decodes,
+            "dictionary_entries": len(encoded_db.dictionary),
+            "index_builds": encoded_db.index_builds,
+            "index_cache_hits": encoded_db.index_cache_hits,
+        }
+
+
+def _record_encoding_cells(cells, quick=False):
+    """Write the encoding cells into BENCH_4.json (keyed by dataset)."""
+    payload = {
+        "query": "3-cycle",
+        "mode": "count",
+        "quick": quick,
+        "cells": {cell["dataset"]: cell for cell in cells},
+    }
+    write_bench_json(BENCH_JSON, "triangle_warm_encoding", payload)
+
+
+def test_triangle_encoding_speedup():
+    """Warm encoded triangle counting >= 2x the raw path, with 0 decodes."""
+    cells = list(_encoding_cells())
+    _record_encoding_cells(cells)
+    for cell in cells:
+        report_row(
+            "Dictionary encoding",
+            dataset=cell["dataset"],
+            query="3-cycle",
+            count=cell["count_encoded"],
+            raw_seconds=round(cell["raw_seconds"], 5),
+            encoded_seconds=round(cell["encoded_seconds"], 5),
+            speedup=round(cell["speedup"], 2),
+            decodes=cell["decodes"],
+        )
+        assert cell["count_encoded"] == cell["count_raw"]
+        assert cell["decodes"] == 0, "count-only queries must never decode"
+        assert cell["speedup"] >= 2.0, (
+            f"warm encoded triangle counting on {cell['dataset']} should be "
+            f">= 2x the raw-object path, got {cell['speedup']:.2f}x"
         )
 
 
@@ -206,6 +298,32 @@ def main(argv=None):
         )
         if not args.quick and seed_time / warm_time < 1.5:
             print(f"FAIL: warm speedup below 1.5x on {dataset}", file=sys.stderr)
+            return 1
+    encoding_scale = 0.5 if args.quick else ENCODING_SCALE
+    encoding_rounds = 2 if args.quick else ENCODING_ROUNDS
+    cells = list(_encoding_cells(scale=encoding_scale, rounds=encoding_rounds))
+    _record_encoding_cells(cells, quick=args.quick)
+    for cell in cells:
+        report_row(
+            "Dictionary encoding (standalone)",
+            dataset=cell["dataset"],
+            count=cell["count_encoded"],
+            raw_seconds=round(cell["raw_seconds"], 5),
+            encoded_seconds=round(cell["encoded_seconds"], 5),
+            speedup=round(cell["speedup"], 2),
+            decodes=cell["decodes"],
+        )
+        if cell["count_encoded"] != cell["count_raw"]:
+            print(f"FAIL: encoded/raw counts disagree on {cell['dataset']}",
+                  file=sys.stderr)
+            return 1
+        if cell["decodes"] != 0:
+            print(f"FAIL: count-only run decoded {cell['decodes']} values",
+                  file=sys.stderr)
+            return 1
+        if not args.quick and cell["speedup"] < 2.0:
+            print(f"FAIL: encoding speedup below 2x on {cell['dataset']}",
+                  file=sys.stderr)
             return 1
     print("bench_trie_backend: OK")
     return 0

@@ -32,9 +32,13 @@ if __name__ == "__main__":  # standalone: make repro/ and benchmarks/ importable
             sys.path.insert(0, entry)
 
 from repro.bench.harness import run_update_benchmark
+from repro.bench.reporting import write_bench_json
 from repro.bench.workloads import update_stream_workload
 
 from benchmarks.conftest import bench_scale, report_row
+
+#: Machine-readable benchmark trajectory (perf baseline for future PRs).
+BENCH_JSON = str(Path(__file__).resolve().parent.parent / "BENCH_4.json")
 
 
 def _run(scale: float, num_batches: int, batch_size: int):
@@ -42,6 +46,19 @@ def _run(scale: float, num_batches: int, batch_size: int):
         scale=scale, num_batches=num_batches, batch_size=batch_size
     )
     return run_update_benchmark(workload)
+
+
+def _record(report, quick: bool = False) -> None:
+    """Write the update-stream cells into BENCH_4.json."""
+    payload = {
+        "quick": quick,
+        "num_batches": report["num_batches"],
+        "queries": report["queries"],
+        "speedup_delta_over_rebuild": report["speedup"],
+        "final_counts": list(report["final_counts"]),
+        "strategies": report["strategies"],
+    }
+    write_bench_json(BENCH_JSON, "update_stream", payload)
 
 
 def _report(report) -> None:
@@ -56,6 +73,7 @@ def _report(report) -> None:
             compactions=stats["index_compactions"],
             plan_builds=stats["plan_builds"],
             adhesion_hits=stats["adhesion_cache_hits"],
+            decodes=stats["decodes"],
         )
     report_row(
         "Update stream",
@@ -74,6 +92,11 @@ def _check(report, strict_timing: bool = True) -> None:
     assert delta["index_patches"] > 0
     assert rebuild["index_builds"] > 0
     assert delta["plan_builds"] == 0, "delta updates must keep plans warm"
+    for strategy, stats in report["strategies"].items():
+        assert stats["decodes"] == 0, (
+            f"count-only update streaming must never decode, but the "
+            f"{strategy!r} strategy decoded {stats['decodes']} values"
+        )
     # The structural assertions above are the deterministic evidence; the
     # wall-clock ratio is only gated strictly outside --quick runs, where
     # sub-second timings on shared CI runners would make it a coin flip.
@@ -88,6 +111,7 @@ def test_update_stream_delta_beats_rebuild():
     """Warm re-execution after small deltas beats per-batch rebuilds."""
     report = _run(bench_scale(), num_batches=6, batch_size=12)
     _report(report)
+    _record(report)
     _check(report, strict_timing=False)
 
 
@@ -97,6 +121,7 @@ def main(argv=None) -> int:
     batches, batch_size = (4, 8) if quick else (6, 16)
     report = _run(scale, batches, batch_size)
     _report(report)
+    _record(report, quick=quick)
     _check(report, strict_timing=not quick)
     print("update-stream benchmark OK "
           f"(delta {report['speedup']:.2f}x over rebuild)")

@@ -18,6 +18,7 @@ from repro.core.instrumentation import OperationCounter
 from repro.query.atoms import Atom, ConjunctiveQuery
 from repro.query.terms import Variable
 from repro.storage.database import Database
+from repro.storage.dictionary import ValueDictionary, ValueEncodingError
 from repro.storage.relation import Relation
 from repro.storage.views import atom_column_order, shared_atom_index
 
@@ -37,8 +38,17 @@ class _PrefixIndex:
     when the last view tuple carrying it is deleted.
     """
 
-    def __init__(self, relation: Relation, column_order: Sequence[int]) -> None:
+    def __init__(
+        self,
+        relation: Relation,
+        column_order: Sequence[int],
+        dictionary: Optional[ValueDictionary] = None,
+    ) -> None:
         self.column_order = tuple(column_order)
+        #: The database's value dictionary when buckets are keyed by int
+        #: codes (candidates then sort by code); ``None`` on the raw path.
+        self.dictionary = dictionary
+        self.encoded = dictionary is not None
         self._levels: List[Dict[Tuple[object, ...], List[object]]] = [
             {} for _ in self.column_order
         ]
@@ -46,6 +56,8 @@ class _PrefixIndex:
             {} for _ in self.column_order
         ]
         for row in relation.tuples:
+            if dictionary is not None:
+                row = dictionary.encode_row(row)
             ordered = tuple(row[index] for index in self.column_order)
             for level in range(len(ordered)):
                 prefix = ordered[:level]
@@ -78,8 +90,19 @@ class _PrefixIndex:
         Called by :meth:`repro.storage.database.Database.insert` / ``delete``
         through the shared index cache, mirroring
         :meth:`repro.storage.trie.LsmTrieIndex.apply_delta`; rows arrive in
-        view column layout and are permuted here.
+        view column layout (value space) and are permuted — and, on the
+        encoded path, dictionary-encoded — here.  Deletes naming never-seen
+        values cannot match and are skipped without growing the dictionary.
         """
+        dictionary = self.dictionary
+        if dictionary is not None:
+            coded_deletes = []
+            for row in deleted:
+                coded = dictionary.try_encode_row(row)
+                if coded is not None:
+                    coded_deletes.append(coded)
+            deleted = coded_deletes
+            inserted = [dictionary.encode_row(row) for row in inserted]
         for row in deleted:
             ordered = tuple(row[index] for index in self.column_order)
             for level in range(len(ordered)):
@@ -143,10 +166,19 @@ class GenericJoin:
 
         self._indexes: List[_PrefixIndex] = []
         self._atom_order: List[Tuple[Variable, ...]] = []
-        for atom in query.atoms:
-            ordered, column_order = atom_column_order(atom, self._depth_of)
-            self._indexes.append(atom_prefix_index(database, atom, column_order))
-            self._atom_order.append(ordered)
+        try:
+            self._build_indexes()
+        except ValueEncodingError:
+            # Un-encodable inputs: fall back to the raw-object path (the
+            # database drops any half-encoded cached indexes) and rebuild.
+            database.disable_encoding()
+            self._build_indexes()
+        #: True when every prefix index is keyed by dictionary codes — the
+        #: join then runs entirely in code space.
+        self.encoded = bool(self._indexes) and all(
+            index.encoded for index in self._indexes
+        )
+        self._dictionary = database.dictionary if self.encoded else None
 
         self._atoms_at_depth: List[Tuple[int, ...]] = [
             tuple(
@@ -156,6 +188,15 @@ class GenericJoin:
             )
             for variable in order
         ]
+
+    def _build_indexes(self) -> None:
+        """(Re)build the shared prefix indexes under the current mode."""
+        self._indexes = []
+        self._atom_order = []
+        for atom in self.query.atoms:
+            ordered, column_order = atom_column_order(atom, self._depth_of)
+            self._indexes.append(atom_prefix_index(self.database, atom, column_order))
+            self._atom_order.append(ordered)
 
     # ------------------------------------------------------------- execution
     def _bound_prefix(self, atom_index: int, assignment: List[object], depth_limit: int) -> Tuple[object, ...]:
@@ -197,7 +238,21 @@ class GenericJoin:
         return self._indexes[atom_index].contains(prefix, value)
 
     def evaluate(self) -> Iterator[Tuple[object, ...]]:
-        """Yield every result tuple in variable-order positions."""
+        """Yield every result tuple in variable-order positions.
+
+        Encoded executions decode each row here for direct callers; the
+        engine consumes :meth:`evaluate_coded` and decodes lazily at the
+        result boundary instead.
+        """
+        if self._dictionary is not None:
+            decode_row = self._dictionary.decode_row
+            for row in self.evaluate_coded():
+                yield decode_row(row)
+        else:
+            yield from self.evaluate_coded()
+
+    def evaluate_coded(self) -> Iterator[Tuple[object, ...]]:
+        """Yield result tuples in storage space (codes when encoded)."""
         assignment: List[object] = [None] * self.num_variables
         yield from self._evaluate_recursive(0, assignment)
 
@@ -219,7 +274,7 @@ class GenericJoin:
 
     def execution_metadata(self) -> Dict[str, object]:
         """Executor-protocol hook: per-algorithm facts worth reporting."""
-        return {"prefix_indexes": len(self._indexes)}
+        return {"prefix_indexes": len(self._indexes), "encoded": self.encoded}
 
     def _split_atoms(
         self, depth: int, assignment: List[object]

@@ -157,6 +157,7 @@ def run_update_benchmark(
             database.index_patches,
             database.index_compactions,
             database.plan_builds,
+            database.dictionary.decodes,
         )
         cache_hits = 0
         counts: List[Tuple[int, ...]] = []
@@ -190,6 +191,10 @@ def run_update_benchmark(
             "index_compactions": database.index_compactions - before[2],
             "plan_builds": database.plan_builds - before[3],
             "adhesion_cache_hits": cache_hits,
+            # Count-only streaming must never decode dictionary codes
+            # (a delta over the streaming phase, like every other counter).
+            "decodes": database.dictionary.decodes - before[4],
+            "encoded": database.encoding_active,
         }
         step_counts[strategy] = counts
 

@@ -7,9 +7,46 @@ plotting dependency.
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.engine.results import ExecutionResult
+
+
+def write_bench_json(path: str, section: str, payload: Mapping[str, object]) -> Dict[str, object]:
+    """Merge one benchmark section into a machine-readable JSON file.
+
+    Benchmarks record their headline numbers (wall times, seeks, decodes,
+    cache counters) under named sections of one file — ``BENCH_4.json`` at
+    the repository root — so future PRs have a concrete perf baseline to
+    regress against.  Existing sections from other benchmarks are preserved;
+    an unreadable file is replaced.  A ``--quick`` payload (``quick: True``)
+    never overwrites a full-scale section: CI smoke runs must not clobber
+    the committed baseline with small-scale noise.  Returns the merged
+    document.
+    """
+    document: Dict[str, object] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                document = loaded
+        except (OSError, ValueError):
+            document = {}
+    existing = document.get(section)
+    if (
+        payload.get("quick") is True
+        and isinstance(existing, dict)
+        and existing.get("quick") is False
+    ):
+        return document
+    document[section] = dict(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
 
 _DEFAULT_COLUMNS = (
     "dataset",

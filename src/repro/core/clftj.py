@@ -27,7 +27,13 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.core.cache import AdhesionCache, AlwaysCachePolicy, CachePolicy
 from repro.core.factorized import FactorizedNode, expand_assignments
 from repro.core.instrumentation import OperationCounter
-from repro.core.leapfrog import LeapfrogJoin
+from repro.core.leapfrog import (
+    LeapfrogJoin,
+    intersect_child_count,
+    intersect_count,
+    intersect_keys,
+    intersect_positions,
+)
 from repro.core.lftj import TrieJoinBase
 from repro.decomposition.ordering import is_strongly_compatible, strongly_compatible_order
 from repro.decomposition.tree_decomposition import TreeDecomposition
@@ -181,33 +187,102 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
                 return
 
         participants = self._participants(depth)
-        for iterator in participants:
-            iterator.open()
-        join = LeapfrogJoin(participants)
         is_last_own = depth == self._last_own_depth[node]
         children = self.decomposition.children(node)
+        if depth + 1 == self.num_variables and self.encoded:
+            # Same batched deepest-level kernel as LFTJ (the two algorithms
+            # must perform identical trie operations when no caching takes
+            # place — Section 3.2): fused child-run intersection first, the
+            # opened-run variant when fusion is unavailable.  Each matched
+            # key contributes ``factor`` to the total and — children's
+            # intermediates being constants across these keys — the per-key
+            # product folds into one multiplication.
+            matches = intersect_child_count(participants, self.counter)
+            opened = False
+            if matches is None:
+                for iterator in participants:
+                    iterator.open()
+                opened = True
+                matches = intersect_count(participants, self.counter)
+            if matches is not None:
+                counter = self.counter
+                counter.recursive_calls += matches
+                counter.results_emitted += factor * matches
+                self._total += factor * matches
+                if is_last_own:
+                    self._intrmd[node] += matches * self._children_product(children)
+                if opened:
+                    for iterator in participants:
+                        iterator.up()
+                if consult_cache:
+                    self._maybe_cache_count(node, adhesion_key)
+                return
+            # No batched kernel applies: fall through to the generic loop
+            # over the already-opened iterators.
+        else:
+            opened = False
+        if not opened:
+            for iterator in participants:
+                iterator.open()
+        if self.encoded and depth + 1 < self.num_variables:
+            # Interior variable: same batched position walk as LFTJ
+            # (identical trie operations when no caching takes place —
+            # Section 3.2).
+            batch = intersect_positions(participants, self.counter)
+            if batch is not None:
+                keys, positions = batch
+                walkers = list(zip(participants, positions))
+                for index, key in enumerate(keys):
+                    for iterator, run_positions in walkers:
+                        iterator.advance_to(run_positions[index])
+                    self._assignment[depth] = key
+                    self._count_recursive(depth + 1, factor)
+                    if is_last_own:
+                        self._intrmd[node] += self._children_product(children)
+                self._assignment[depth] = None
+                for iterator in participants:
+                    iterator.up()
+                if consult_cache:
+                    self._maybe_cache_count(node, adhesion_key)
+                return
+        join = LeapfrogJoin(participants)
         while not join.at_end:
             self._assignment[depth] = join.key()
             self._count_recursive(depth + 1, factor)
             if is_last_own:
-                product = 1
-                for child in children:
-                    product *= self._intrmd[child]
-                    if product == 0:
-                        break
-                self._intrmd[node] += product
+                self._intrmd[node] += self._children_product(children)
             join.next()
         self._assignment[depth] = None
         for iterator in participants:
             iterator.up()
 
         if consult_cache:
-            intermediate = self._intrmd[node]
-            if self.policy.should_cache(
-                node, self._adhesion_vars[node], adhesion_key, intermediate
-            ):
-                if self.cache.put(node, adhesion_key, intermediate):
-                    self.counter.record_materialized(1)
+            self._maybe_cache_count(node, adhesion_key)
+
+    def _children_product(self, children) -> int:
+        """Product of the children's current intermediate counts."""
+        product = 1
+        for child in children:
+            product *= self._intrmd[child]
+            if product == 0:
+                break
+        return product
+
+    def _record_builder_entry(self, node: int, children) -> None:
+        """Append the current own-values entry to the node's factorised rep."""
+        child_reps = tuple(self._builders[child] for child in children)
+        if all(rep is not None for rep in child_reps):
+            if all(rep.entries for rep in child_reps):
+                self._builders[node].add_entry(self._own_values(node), child_reps)
+
+    def _maybe_cache_count(self, node: int, adhesion_key: Tuple[object, ...]) -> None:
+        """Offer the node's finished intermediate count to the cache policy."""
+        intermediate = self._intrmd[node]
+        if self.policy.should_cache(
+            node, self._adhesion_vars[node], adhesion_key, intermediate
+        ):
+            if self.cache.put(node, adhesion_key, intermediate):
+                self.counter.record_materialized(1)
 
     # ------------------------------------------------------------- evaluation
     def evaluate(self) -> Iterator[Tuple[object, ...]]:
@@ -215,8 +290,18 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
 
         Cached intermediates are factorised representations; on a cache hit
         the subtree's assignments are grafted into the output without
-        re-traversing the tries.
+        re-traversing the tries.  On the encoded path the traversal (and the
+        factorised cache) lives in code space; rows are decoded here for
+        direct callers, while the engine consumes :meth:`evaluate_coded` and
+        defers decoding to the result boundary.
         """
+        if self.encoded:
+            yield from self._decoded(self.evaluate_coded())
+        else:
+            yield from self.evaluate_coded()
+
+    def evaluate_coded(self) -> Iterator[Tuple[object, ...]]:
+        """Yield result tuples in storage space (codes when encoded)."""
         self.cache.bind_mode("evaluate")
         self._prepare()
         self._builders = {node: None for node in self.decomposition.preorder()}
@@ -270,21 +355,42 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
         participants = self._participants(depth)
         for iterator in participants:
             iterator.open()
-        join = LeapfrogJoin(participants)
         is_last_own = depth == self._last_own_depth[node]
         children = self.decomposition.children(node)
-        while not join.at_end:
-            self._assignment[depth] = join.key()
-            yield from self._evaluate_recursive(depth + 1)
-            if is_last_own and maintain:
-                child_reps = tuple(self._builders[child] for child in children)
-                if all(rep is not None for rep in child_reps):
-                    if all(rep.entries for rep in child_reps):
-                        self._builders[node].add_entry(self._own_values(node), child_reps)
-            join.next()
-        self._assignment[depth] = None
-        for iterator in participants:
-            iterator.up()
+        batch = None
+        if self.encoded:
+            if depth + 1 == self.num_variables:
+                keys = intersect_keys(participants, self.counter)
+                if keys is not None:
+                    batch = (keys, None)
+            else:
+                batch = intersect_positions(participants, self.counter)
+        if batch is not None:
+            keys, positions = batch
+            walkers = (
+                list(zip(participants, positions)) if positions is not None else ()
+            )
+            for index, key in enumerate(keys):
+                for iterator, run_positions in walkers:
+                    iterator.advance_to(run_positions[index])
+                self._assignment[depth] = key
+                yield from self._evaluate_recursive(depth + 1)
+                if is_last_own and maintain:
+                    self._record_builder_entry(node, children)
+            self._assignment[depth] = None
+            for iterator in participants:
+                iterator.up()
+        else:
+            join = LeapfrogJoin(participants)
+            while not join.at_end:
+                self._assignment[depth] = join.key()
+                yield from self._evaluate_recursive(depth + 1)
+                if is_last_own and maintain:
+                    self._record_builder_entry(node, children)
+                join.next()
+            self._assignment[depth] = None
+            for iterator in participants:
+                iterator.up()
 
         if consult_cache and maintain:
             builder = self._builders[node]

@@ -362,13 +362,24 @@ class QueryEngine:
             )
         )
 
+        dictionary = self.database.dictionary
+        decodes_before = dictionary.decodes
+        rows = None
+        coded_rows = None
         started = time.perf_counter()
         if mode == "count":
             value = executor.count()
-            rows = None
         elif mode == "evaluate":
-            rows = [tuple(row) for row in executor.evaluate()]
-            value = len(rows)
+            evaluate_coded = getattr(executor, "evaluate_coded", None)
+            if evaluate_coded is not None and getattr(executor, "encoded", False):
+                # Encoded executors stream code tuples; materialise them
+                # as-is and let the result decode lazily on first access —
+                # a result whose rows are never read costs zero decodes.
+                coded_rows = [tuple(row) for row in evaluate_coded()]
+                value = len(coded_rows)
+            else:
+                rows = [tuple(row) for row in executor.evaluate()]
+                value = len(rows)
         else:
             raise ValueError(f"unknown mode {mode!r}; use 'count' or 'evaluate'")
         elapsed = time.perf_counter() - started
@@ -376,7 +387,10 @@ class QueryEngine:
         result = self._result(
             query, label, value, elapsed, executor, plan, selection, before
         )
-        if rows is not None:
+        result.metadata["decodes"] = dictionary.decodes - decodes_before
+        if coded_rows is not None:
+            result.set_coded_rows(coded_rows, dictionary)
+        elif rows is not None:
             result.rows = rows
         return result
 

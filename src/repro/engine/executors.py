@@ -64,6 +64,14 @@ class Executor(Protocol):
     ``evaluate()`` must yield rows as tuples whose positions follow
     ``variable_order``; ``execution_metadata()`` reports per-algorithm facts
     that the engine merges into the result metadata.
+
+    Executors running over dictionary-encoded indexes additionally expose
+    ``encoded = True`` plus an ``evaluate_coded()`` generator yielding rows
+    of int codes; the engine then collects codes and defers decoding to the
+    result boundary (:class:`repro.engine.results.ExecutionResult.rows`),
+    so count-only executions and untouched result sets never decode.  Both
+    members are optional — the engine duck-types them and falls back to
+    plain ``evaluate()``.
     """
 
     counter: OperationCounter

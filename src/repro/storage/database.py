@@ -15,6 +15,7 @@ from typing import (
     Tuple,
 )
 
+from repro.storage.dictionary import ValueDictionary
 from repro.storage.relation import DeltaBatch, Relation, VersionedRelation
 from repro.storage.trie import LsmTrieIndex
 
@@ -69,6 +70,7 @@ class Database:
         name: str = "db",
         compaction_threshold: float = 0.25,
         compaction_floor: int = 4096,
+        encode: bool = True,
     ) -> None:
         if compaction_threshold <= 0:
             raise ValueError("compaction threshold must be positive")
@@ -77,6 +79,17 @@ class Database:
         self.name = name
         self.compaction_threshold = compaction_threshold
         self.compaction_floor = compaction_floor
+        #: The shared, append-only value <-> int-code table all encoded
+        #: indexes of this database draw from.  Shared across relations, so
+        #: code equality means value equality across atoms.
+        self.dictionary = ValueDictionary()
+        #: Whether new indexes are built in dictionary-code space.  ``False``
+        #: gives the raw-object path — the differential-testing oracle and
+        #: the fallback for un-encodable inputs (see :meth:`disable_encoding`).
+        self._encode = bool(encode)
+        #: How many times encoding was abandoned mid-build (un-encodable
+        #: values); observability for the graceful-degradation path.
+        self.encoding_fallbacks: int = 0
         self._relations: Dict[str, VersionedRelation] = {}
         self._versions: Dict[str, int] = {}
         self._index_cache: Dict[IndexKey, object] = {}
@@ -261,6 +274,42 @@ class Database:
                     self.index_compactions += 1
         return folded
 
+    # -------------------------------------------------------------- encoding
+    @property
+    def encoding_active(self) -> bool:
+        """True when indexes are built (and joins run) in int-code space."""
+        return self._encode
+
+    def index_dictionary(self) -> Optional[ValueDictionary]:
+        """The dictionary index builds should encode with (``None`` = raw)."""
+        return self.dictionary if self._encode else None
+
+    def disable_encoding(self) -> int:
+        """Fall back to the raw-object path; returns dropped cached indexes.
+
+        Called when an index build hits an un-encodable value.  Every cached
+        index is dropped — a query must never intersect encoded and raw
+        indexes — and all subsequent builds stay raw.  The transition is
+        one-way: re-enabling would strand raw indexes in the cache.
+
+        Derived state keyed in code space must not survive the flip either:
+        prepared queries hold warm adhesion caches whose keys are dictionary
+        codes, and a raw value-space probe against them would collide with
+        stale entries.  Bumping every relation version makes all version
+        holders (prepared queries, the statistics catalog) notice a change
+        and invalidate on their next run.  Long-lived ``AdhesionCache``
+        objects threaded by hand outside the engine must be invalidated by
+        their owners.
+        """
+        if not self._encode:
+            return 0
+        self._encode = False
+        self.encoding_fallbacks += 1
+        for name in self._relations:
+            self._versions[name] = self._versions.get(name, 0) + 1
+        self.data_version += 1
+        return self.clear_index_cache()
+
     # --------------------------------------------------------------- indexes
     def view_index(
         self,
@@ -301,9 +350,10 @@ class Database:
         relation = self.relation(relation_name)
         order = tuple(attribute_order)
         signature = tuple(range(relation.arity))
+        dictionary = self.index_dictionary()
         return self.view_index(
             "trie", relation_name, signature, order,
-            lambda: LsmTrieIndex.build(relation, order),
+            lambda: LsmTrieIndex.build(relation, order, dictionary),
         )
 
     def clear_index_cache(self) -> int:

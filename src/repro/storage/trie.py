@@ -28,35 +28,83 @@ The iterator interface follows Veldhuizen's LFTJ:
 * ``key``   -- the sibling value currently pointed at.
 * ``at_end``-- True when the sibling list is exhausted.
 
+The columnar backend additionally supports **integer dictionary encoding**:
+built with the database's shared :class:`~repro.storage.dictionary.ValueDictionary`,
+a trie stores ``array('q')`` int-code columns (plus zero-copy numpy views
+when numpy is importable) instead of object lists.  Levels then sort by
+code — an arbitrary but consistent total order, sufficient for equi-joins —
+and the iterators expose contiguous *runs* (``current_run``/``child_run``)
+that the batched kernels in :mod:`repro.core.leapfrog` intersect
+block-at-a-time.  Values only reappear at explicit decode boundaries
+(``LsmTrieIndex.iter_rows``/``contains``, the engine's result objects).
+
 Every operation reports an abstract *memory access* count to an optional
 :class:`~repro.core.instrumentation.OperationCounter`, which is how the
 reproduction measures the memory-traffic reductions claimed in the paper's
 introduction.  Both backends report identical counts for identical operation
-sequences, so instrumented experiments are backend-independent.
+sequences, so instrumented experiments are backend-independent.  (The
+*encoded* columnar path intentionally diverges: its batched kernels record
+block-scan costs in place of per-key rotations.)
 """
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.storage.dictionary import HAVE_NUMPY, ValueDictionary, numpy
 from repro.storage.relation import Relation, merge_sorted_rows
 
 
-def _sorted_rows(relation: Relation, attribute_order: Sequence[int]) -> Tuple[Tuple[int, ...], Sequence[Tuple[object, ...]]]:
-    """Validate the permutation and return (order, sorted permuted rows)."""
+def _sorted_rows(
+    relation: Relation,
+    attribute_order: Sequence[int],
+    dictionary: Optional[ValueDictionary] = None,
+) -> Tuple[Tuple[int, ...], Sequence[Tuple[object, ...]]]:
+    """Validate the permutation and return (order, sorted permuted rows).
+
+    With a ``dictionary``, rows are dictionary-encoded first and sorted by
+    *code* (code order is an arbitrary but consistent total order — exactly
+    what equi-joins need).  Values are encoded in sorted-value row order, so
+    dictionary growth is deterministic for a given relation.
+    """
     order = tuple(attribute_order)
     if sorted(order) != list(range(relation.arity)):
         raise ValueError(
             f"attribute order {order!r} is not a permutation of the "
             f"{relation.arity} columns of {relation.name!r}"
         )
+    if dictionary is not None:
+        encode_row = dictionary.encode_row
+        if order == tuple(range(relation.arity)):
+            permuted = sorted(encode_row(row) for row in relation.tuples)
+        else:
+            permuted = sorted(
+                encode_row(tuple(row[i] for i in order)) for row in relation.tuples
+            )
+        return order, permuted
     if order == tuple(range(relation.arity)):
         # Relations store their tuples sorted, so the identity permutation
         # needs neither re-tupling nor re-sorting.
         return order, relation.tuples
     permuted = sorted(tuple(row[i] for i in order) for row in relation.tuples)
     return order, permuted
+
+
+def _int_columns(keys: List[List[object]]) -> List[array]:
+    """Pack per-level key lists into compact ``array('q')`` int columns."""
+    return [array("q", level) for level in keys]
+
+
+def _np_views(columns: Sequence[array]) -> Optional[List[object]]:
+    """Zero-copy ``int64`` views over ``array('q')`` columns (numpy only)."""
+    if not HAVE_NUMPY:
+        return None
+    return [
+        numpy.frombuffer(column, dtype=numpy.int64) if len(column) else None
+        for column in columns
+    ]
 
 
 class TrieIndex:
@@ -70,8 +118,8 @@ class TrieIndex:
     described by an integer range plus a position per open level.
     """
 
-    __slots__ = ("_keys", "_child_begin", "_child_end", "depth",
-                 "relation_name", "attribute_order")
+    __slots__ = ("_keys", "_child_begin", "_child_end", "_np_keys", "depth",
+                 "relation_name", "attribute_order", "dictionary", "encoded")
 
     def __init__(
         self,
@@ -81,6 +129,7 @@ class TrieIndex:
         depth: int,
         relation_name: str,
         attribute_order: Tuple[int, ...],
+        dictionary: Optional[ValueDictionary] = None,
     ) -> None:
         self._keys = keys
         self._child_begin = child_begin
@@ -88,6 +137,14 @@ class TrieIndex:
         self.depth = depth
         self.relation_name = relation_name
         self.attribute_order = attribute_order
+        #: The database's value dictionary when the trie stores int codes
+        #: instead of raw values; ``None`` on the raw-object path.
+        self.dictionary = dictionary
+        self.encoded = dictionary is not None
+        self._np_keys: Optional[List[object]] = None
+        if self.encoded:
+            self._keys = _int_columns(keys)
+            self._np_keys = _np_views(self._keys)
 
     # ------------------------------------------------------------ construction
     @staticmethod
@@ -148,14 +205,25 @@ class TrieIndex:
         return keys, child_begin, child_end
 
     @classmethod
-    def build(cls, relation: Relation, attribute_order: Sequence[int]) -> "TrieIndex":
+    def build(
+        cls,
+        relation: Relation,
+        attribute_order: Sequence[int],
+        dictionary: Optional[ValueDictionary] = None,
+    ) -> "TrieIndex":
         """Build a trie for ``relation`` with levels ordered by ``attribute_order``.
 
         ``attribute_order`` must be a permutation of ``range(relation.arity)``.
+        With a ``dictionary`` the trie is built in code space: rows are
+        dictionary-encoded, levels sort by code and the key columns are
+        compact int arrays — the encoded fast path of the join kernels.
         """
-        order, permuted = _sorted_rows(relation, attribute_order)
+        order, permuted = _sorted_rows(relation, attribute_order, dictionary)
         keys, child_begin, child_end = cls._build_columns(permuted, relation.arity)
-        return cls(keys, child_begin, child_end, relation.arity, relation.name, order)
+        return cls(
+            keys, child_begin, child_end, relation.arity, relation.name, order,
+            dictionary,
+        )
 
     @classmethod
     def from_tuples(cls, rows: Sequence[Sequence[object]], name: str = "anon") -> "TrieIndex":
@@ -176,14 +244,17 @@ class TrieIndex:
         depth: int,
         name: str,
         attribute_order: Tuple[int, ...],
+        dictionary: Optional[ValueDictionary] = None,
     ) -> "TrieIndex":
         """Build from already-sorted, deduplicated, already-permuted rows.
 
         Fast path for delta side-tries and compaction, where the caller
-        maintains the sorted invariant itself.
+        maintains the sorted invariant itself.  With a ``dictionary`` the
+        rows must already be *code* tuples (sorted by code); no re-encoding
+        happens here — the flag only marks the trie as code-space.
         """
         keys, child_begin, child_end = cls._build_columns(rows, depth)
-        return cls(keys, child_begin, child_end, depth, name, attribute_order)
+        return cls(keys, child_begin, child_end, depth, name, attribute_order, dictionary)
 
     # ----------------------------------------------------------------- queries
     def iterator(self, counter: Optional[object] = None) -> "TrieIterator":
@@ -269,13 +340,14 @@ class TrieIterator:
     and tests assert the guard rails.
     """
 
-    __slots__ = ("_index", "_counter", "_keys", "_child_begin", "_child_end",
-                 "_depth", "_lo", "_hi", "_pos", "_ended")
+    __slots__ = ("_index", "_counter", "_keys", "_np_keys", "_child_begin",
+                 "_child_end", "_depth", "_lo", "_hi", "_pos", "_ended")
 
     def __init__(self, index: TrieIndex, counter: Optional[object] = None) -> None:
         self._index = index
         self._counter = counter
         self._keys = index._keys
+        self._np_keys = index._np_keys
         self._child_begin = index._child_begin
         self._child_end = index._child_end
         self._depth = 0
@@ -358,7 +430,16 @@ class TrieIterator:
             self._counter.record_trie(accesses=1, nexts=1)
 
     def seek(self, value: object) -> None:
-        """Advance to the least sibling key ``>= value`` (never moves backwards)."""
+        """Advance to the least sibling key ``>= value`` (never moves backwards).
+
+        Seeks gallop: an exponential probe from the current position finds a
+        bracketing window, then a binary search finishes inside it.  Leapfrog
+        rotations overwhelmingly seek keys a handful of positions ahead, so
+        the common case touches one or two probes instead of bisecting the
+        whole remaining run.  The *recorded* cost keeps the abstract
+        balanced-tree model (``~log2`` of the remaining span) so instrumented
+        experiments stay comparable across backends and PRs.
+        """
         if self._depth == 0:
             raise RuntimeError("iterator is not positioned at any level; call open() first")
         level = self._depth - 1
@@ -366,7 +447,20 @@ class TrieIterator:
             raise RuntimeError("cannot seek: iterator already at end")
         position = self._pos[level]
         hi = self._hi[level]
-        new_position = bisect_left(self._keys[level], value, position, hi)
+        keys = self._keys[level]
+        if keys[position] >= value:
+            new_position = position
+        else:
+            low = position
+            step = 1
+            high = position + 1
+            while high < hi and keys[high] < value:
+                low = high
+                step <<= 1
+                high = low + step
+            if high > hi:
+                high = hi
+            new_position = bisect_left(keys, value, low + 1, high)
         self._pos[level] = new_position
         if new_position >= hi:
             self._ended[level] = True
@@ -378,6 +472,67 @@ class TrieIterator:
             self._counter.record_trie(accesses=max(span.bit_length(), 1), seeks=1)
 
     # -------------------------------------------------------------- utilities
+    def current_run(self) -> Optional[Tuple[object, object, int, int]]:
+        """The open level's remaining sibling run, for the batched kernels.
+
+        Returns ``(keys, np_view_or_None, lo, hi)`` when this trie is
+        encoded (int key columns) — the contiguous slice ``keys[lo:hi]`` of
+        siblings from the current position to the end of the group — or
+        ``None`` on the raw-object path, which tells the caller to fall back
+        to the generic per-key leapfrog loop.
+        """
+        if not self._index.encoded or self._depth == 0:
+            return None
+        level = self._depth - 1
+        np_keys = self._np_keys
+        return (
+            self._keys[level],
+            np_keys[level] if np_keys is not None else None,
+            self._pos[level],
+            self._hi[level],
+        )
+
+    def advance_to(self, position: int) -> None:
+        """Trusted batched repositioning within the open level.
+
+        The batched kernels compute, for every matched key, each iterator's
+        exact position inside its current run; the walker then lands the
+        cursor here directly — no probing, no per-call cost accounting (the
+        kernel records the batch's seek cost up front).  ``position`` must
+        lie inside the current sibling slice and never move backwards; only
+        kernel-computed positions satisfy this by construction.
+        """
+        self._pos[self._depth - 1] = position
+
+    def child_run(self) -> Optional[Tuple[object, object, int, int]]:
+        """The run ``open()`` would expose below the current key, statelessly.
+
+        Same shape as :meth:`current_run`, but for the *next* level: the
+        child slice of the current key, read without opening (and so without
+        needing a closing ``up()``).  The deepest-level count kernel fuses
+        its open/intersect/up cycle through this.  ``None`` when the trie is
+        raw, nothing is open, the current level is ended, or there is no
+        deeper level.
+
+        NOTE: ``repro.core.leapfrog._fast_child_run`` flattens this body
+        into plain attribute loads for the hot 2-iterator kernel — keep the
+        two in sync.
+        """
+        depth = self._depth
+        if not self._index.encoded or depth == 0 or depth >= self._index.depth:
+            return None
+        level = depth - 1
+        if self._ended[level]:
+            return None
+        position = self._pos[level]
+        np_keys = self._np_keys
+        return (
+            self._keys[depth],
+            np_keys[depth] if np_keys is not None else None,
+            self._child_begin[level][position],
+            self._child_end[level][position],
+        )
+
     def position(self) -> int:
         """Index of the current key within the open level's flat key array."""
         if self._depth == 0:
@@ -436,11 +591,15 @@ class LsmTrieIndex:
     an O(depth) span computation instead of a subtree walk.
     """
 
-    __slots__ = ("main", "_delta_rows", "_delta_trie", "_tombstones",
-                 "_deleted_count", "patches", "compactions")
+    __slots__ = ("main", "dictionary", "_delta_rows", "_delta_trie",
+                 "_tombstones", "_deleted_count", "patches", "compactions")
 
     def __init__(self, main: TrieIndex) -> None:
         self.main = main
+        #: Inherited from the main trie: the database's value dictionary on
+        #: the encoded path (all internal state is then held in code space),
+        #: ``None`` on the raw-object path.
+        self.dictionary = main.dictionary
         self._delta_rows: Set[Tuple[object, ...]] = set()
         self._delta_trie: Optional[TrieIndex] = None
         self._tombstones: Dict[Tuple[object, ...], int] = {}
@@ -452,9 +611,14 @@ class LsmTrieIndex:
 
     # ----------------------------------------------------------- construction
     @classmethod
-    def build(cls, relation, attribute_order: Sequence[int]) -> "LsmTrieIndex":
+    def build(
+        cls,
+        relation,
+        attribute_order: Sequence[int],
+        dictionary: Optional[ValueDictionary] = None,
+    ) -> "LsmTrieIndex":
         """Build over ``relation`` in ``attribute_order`` (cf. TrieIndex.build)."""
-        return cls(TrieIndex.build(relation, attribute_order))
+        return cls(TrieIndex.build(relation, attribute_order, dictionary))
 
     # -------------------------------------------------------- index interface
     @property
@@ -471,6 +635,11 @@ class LsmTrieIndex:
     def attribute_order(self) -> Tuple[int, ...]:
         """The column permutation the trie levels follow."""
         return self.main.attribute_order
+
+    @property
+    def encoded(self) -> bool:
+        """True when the index runs in dictionary-code space."""
+        return self.main.encoded
 
     @property
     def has_deltas(self) -> bool:
@@ -509,7 +678,16 @@ class LsmTrieIndex:
         return self.main.tuple_count() - self._deleted_count + len(self._delta_rows)
 
     def contains(self, row: Tuple[object, ...]) -> bool:
-        """Membership of one already-permuted tuple in the merged contents."""
+        """Membership of one already-permuted *value* tuple in the merged contents.
+
+        On the encoded path the probe row is translated to code space first;
+        a row holding any never-seen value cannot be present.
+        """
+        if self.dictionary is not None:
+            coded = self.dictionary.try_encode_row(row)
+            if coded is None:
+                return False
+            row = coded
         if row in self._delta_rows:
             return True
         return self.main.contains(row) and self._tombstones.get(row, 0) == 0
@@ -520,6 +698,36 @@ class LsmTrieIndex:
         if order == tuple(range(self.main.depth)):
             return [tuple(row) for row in rows]
         return [tuple(row[i] for i in order) for row in rows]
+
+    def _coded_inserts(self, rows: Iterable[Sequence[object]]) -> List[Tuple[object, ...]]:
+        """Permute and (when encoded) dictionary-encode incoming insert rows.
+
+        Genuinely-new values are *appended* to the shared dictionary — codes
+        never change, so no cached index or adhesion-cache key is invalidated
+        by growth.
+        """
+        permuted = self._permute(rows)
+        if self.dictionary is None:
+            return permuted
+        encode_row = self.dictionary.encode_row
+        return [encode_row(row) for row in permuted]
+
+    def _coded_deletes(self, rows: Iterable[Sequence[object]]) -> List[Tuple[object, ...]]:
+        """Permute and (when encoded) encode delete rows, dropping unknowns.
+
+        A delete naming a value the dictionary has never seen cannot match
+        any stored tuple, so it is skipped without growing the dictionary.
+        """
+        permuted = self._permute(rows)
+        if self.dictionary is None:
+            return permuted
+        try_encode_row = self.dictionary.try_encode_row
+        coded = []
+        for row in permuted:
+            encoded = try_encode_row(row)
+            if encoded is not None:
+                coded.append(encoded)
+        return coded
 
     def _add_tombstone(self, row: Tuple[object, ...]) -> None:
         for width in range(1, len(row) + 1):
@@ -548,14 +756,16 @@ class LsmTrieIndex:
         inserts simply retract them.  Inserting a tombstoned tuple
         resurrects it.  Rows must be *effective* at the view level (the
         database's signature transform guarantees this); stray no-op rows
-        are tolerated and skipped.
+        are tolerated and skipped.  Rows arrive in value space; on the
+        encoded path they are translated here (inserts may append fresh
+        dictionary codes — never re-coding existing values).
         """
-        for row in self._permute(deleted):
+        for row in self._coded_deletes(deleted):
             if row in self._delta_rows:
                 self._delta_rows.discard(row)
             elif self.main.contains(row) and self._tombstones.get(row, 0) == 0:
                 self._add_tombstone(row)
-        for row in self._permute(inserted):
+        for row in self._coded_inserts(inserted):
             if self._tombstones.get(row, 0):
                 self._remove_tombstone(row)
             elif row not in self._delta_rows and not self.main.contains(row):
@@ -570,6 +780,7 @@ class LsmTrieIndex:
                 self.main.depth,
                 self.main.relation_name,
                 self.main.attribute_order,
+                self.dictionary,
             )
         else:
             self._delta_trie = None
@@ -591,7 +802,8 @@ class LsmTrieIndex:
             kept = list(self.main.iter_rows())
         merged = merge_sorted_rows(kept, sorted(self._delta_rows))
         self.main = TrieIndex.from_sorted_rows(
-            merged, self.main.depth, self.main.relation_name, self.main.attribute_order
+            merged, self.main.depth, self.main.relation_name,
+            self.main.attribute_order, self.dictionary,
         )
         self._delta_rows = set()
         self._delta_trie = None
@@ -601,7 +813,22 @@ class LsmTrieIndex:
         return folded
 
     def iter_rows(self) -> Iterator[Tuple[object, ...]]:
-        """Yield every live tuple in sorted order (main merged with delta)."""
+        """Yield every live *value* tuple (decoded on the encoded path).
+
+        Rows come out in code order when encoded — a consistent but
+        arbitrary total order; callers comparing contents sort or build
+        sets.  Decoding here counts against the dictionary's decode counter
+        (this is an inspection/export surface, not a join hot path).
+        """
+        if self.dictionary is None:
+            yield from self._iter_coded_rows()
+            return
+        decode_row = self.dictionary.decode_row
+        for row in self._iter_coded_rows():
+            yield decode_row(row)
+
+    def _iter_coded_rows(self) -> Iterator[Tuple[object, ...]]:
+        """Yield every live tuple in storage (code) space, sorted."""
         tombstones = self._tombstones
         kept = (
             row for row in self.main.iter_rows() if tombstones.get(row, 0) == 0
@@ -878,6 +1105,37 @@ class MergedTrieIterator:
         return tombstoned >= span
 
     # -------------------------------------------------------------- utilities
+    def current_run(self) -> Optional[Tuple[object, object, int, int]]:
+        """The remaining sibling run, when this level delegates to main.
+
+        A *pure* level (no delta reaches the current subtree, no tombstone
+        can strike it) is exactly a main-trie run, so the batched kernels
+        apply; impure levels return ``None`` and take the generic merged
+        per-key path.
+        """
+        if self._depth == 0 or not self._pure[self._depth - 1]:
+            return None
+        return self._main.current_run()
+
+    def child_run(self) -> Optional[Tuple[object, object, int, int]]:
+        """The child run below the current key, when the level is pure.
+
+        A pure level has no delta or tombstone anywhere under the current
+        path, so the whole child subtree is main-only and the main cursor's
+        stateless :meth:`TrieIterator.child_run` applies verbatim.
+        """
+        if self._depth == 0 or not self._pure[self._depth - 1]:
+            return None
+        return self._main.child_run()
+
+    def advance_to(self, position: int) -> None:
+        """Trusted batched repositioning (pure levels delegate to main).
+
+        Only reachable when :meth:`current_run` returned a run — i.e. the
+        level is pure — so the merged cursor *is* the main cursor here.
+        """
+        self._main.advance_to(position)
+
     def current_prefix(self) -> Tuple[object, ...]:
         """The sequence of merged keys selected on the path from the root."""
         parts = []
@@ -1073,17 +1331,38 @@ class NodeTrieIterator:
         self._record(accesses=1, nexts=1)
 
     def seek(self, value: object) -> None:
-        """Advance to the least sibling key ``>= value`` (never moves backwards)."""
+        """Advance to the least sibling key ``>= value`` (never moves backwards).
+
+        Gallops exactly like the columnar iterator (exponential probe from
+        the current position, then a bisect inside the bracketing window),
+        so reference-vs-columnar performance comparisons measure the storage
+        layout, not a seek-strategy gap.  The recorded cost keeps the
+        abstract ``~log2(span)`` model shared by both backends.
+        """
         node = self._current_node()
         if self._ended[-1]:
             raise RuntimeError("cannot seek: iterator already at end")
         position = self._positions[-1]
-        new_position = bisect_left(node.keys, value, lo=position)
+        keys = node.keys
+        hi = len(keys)
+        if keys[position] >= value:
+            new_position = position
+        else:
+            low = position
+            step = 1
+            high = position + 1
+            while high < hi and keys[high] < value:
+                low = high
+                step <<= 1
+                high = low + step
+            if high > hi:
+                high = hi
+            new_position = bisect_left(keys, value, low + 1, high)
         self._positions[-1] = new_position
-        if new_position >= len(node.keys):
+        if new_position >= hi:
             self._ended[-1] = True
         # A binary search over the remaining siblings costs ~log2(n) probes.
-        span = max(len(node.keys) - position, 1)
+        span = max(hi - position, 1)
         self._record(accesses=max(span.bit_length(), 1), seeks=1)
 
     # -------------------------------------------------------------- utilities

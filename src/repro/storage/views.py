@@ -165,11 +165,14 @@ def shared_atom_index(
 ):
     """Get-or-build the shared index of ``kind`` for ``atom``'s view.
 
-    ``build(view, order)`` constructs the index from the materialised view.
-    The index is memoised in the database's cache under the atom's
-    name-erased signature, so repeated executor constructions — and
-    different atoms inducing the same view, e.g. the three atoms of a
-    triangle self-join — share one physical index.
+    ``build(view, order, dictionary)`` constructs the index from the
+    materialised view; ``dictionary`` is the database's shared value
+    dictionary when integer encoding is active (the index is then built in
+    code space) and ``None`` on the raw-object path.  The index is memoised
+    in the database's cache under the atom's name-erased signature, so
+    repeated executor constructions — and different atoms inducing the same
+    view, e.g. the three atoms of a triangle self-join — share one physical
+    index.
 
     Constant-bearing atoms are *not* memoised: their signatures embed the
     constant values, so a parameterized workload (``R(x, c)`` for ever-new
@@ -177,14 +180,15 @@ def shared_atom_index(
     small, so per-construction builds stay cheap — the seed behaviour.
     """
     order = tuple(column_order)
+    dictionary = database.index_dictionary()
     if atom_has_constants(atom):
-        return build(materialize_atom(database, atom), order)
+        return build(materialize_atom(database, atom), order, dictionary)
     return database.view_index(
         kind,
         atom.relation,
         atom_signature(atom),
         order,
-        lambda: build(materialize_atom(database, atom), order),
+        lambda: build(materialize_atom(database, atom), order, dictionary),
     )
 
 

@@ -176,3 +176,24 @@ class TestReporting:
         captured = capsys.readouterr().out
         assert "demo" in captured
         assert "lftj" in captured
+
+
+class TestBenchJson:
+    def test_write_bench_json_merges_sections(self, tmp_path):
+        from repro.bench.reporting import write_bench_json
+
+        path = str(tmp_path / "BENCH.json")
+        write_bench_json(path, "alpha", {"quick": False, "value": 1})
+        document = write_bench_json(path, "beta", {"quick": False, "value": 2})
+        assert set(document) == {"alpha", "beta"}
+
+    def test_quick_runs_never_clobber_full_scale_sections(self, tmp_path):
+        from repro.bench.reporting import write_bench_json
+
+        path = str(tmp_path / "BENCH.json")
+        write_bench_json(path, "alpha", {"quick": False, "value": "full"})
+        document = write_bench_json(path, "alpha", {"quick": True, "value": "noise"})
+        assert document["alpha"]["value"] == "full"
+        # A full-scale rerun still updates the section.
+        document = write_bench_json(path, "alpha", {"quick": False, "value": "fresh"})
+        assert document["alpha"]["value"] == "fresh"

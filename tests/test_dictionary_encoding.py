@@ -1,0 +1,432 @@
+"""Integer dictionary encoding: unit, differential and zero-decode tests.
+
+The encoded execution path (PR 4) must be observationally equivalent to the
+raw-object path — same counts, same decoded row sets — across every
+algorithm, every backend regime (fresh builds, shared caches, the PR-3
+delta/LSM path) and both kernel flavours (numpy and pure Python).  The raw
+path (``Database(..., encode=False)``) is the differential-testing oracle
+throughout.
+"""
+
+import random
+
+import pytest
+
+import repro.core.leapfrog as leapfrog_module
+from repro.core.clftj import CachedLeapfrogTrieJoin
+from repro.core.lftj import LeapfrogTrieJoin
+from repro.decomposition.generic import generic_decompose
+from repro.engine.engine import QueryEngine
+from repro.query.parser import parse_query
+from repro.query.patterns import cycle_query, path_query
+from repro.storage.database import Database
+from repro.storage.dictionary import ValueDictionary, ValueEncodingError
+from repro.storage.relation import Relation
+from repro.storage.trie import TrieIndex
+
+
+# ---------------------------------------------------------------------------
+# ValueDictionary unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestValueDictionary:
+    def test_codes_are_dense_and_stable(self):
+        dictionary = ValueDictionary()
+        first = dictionary.encode("a")
+        second = dictionary.encode("b")
+        assert (first, second) == (0, 1)
+        # Append-only: re-encoding returns the original code forever.
+        assert dictionary.encode("a") == first
+        assert dictionary.encode("c") == 2
+        assert len(dictionary) == 3
+
+    def test_decode_round_trip_and_counting(self):
+        dictionary = ValueDictionary()
+        row = ("x", 7, "y")
+        coded = dictionary.encode_row(row)
+        assert dictionary.decodes == 0
+        assert dictionary.decode_row(coded) == row
+        assert dictionary.decodes == 3
+        assert dictionary.decode(coded[1]) == 7
+        assert dictionary.decodes == 4
+
+    def test_code_of_never_appends(self):
+        dictionary = ValueDictionary()
+        assert dictionary.code_of("missing") is None
+        assert len(dictionary) == 0
+        dictionary.encode("present")
+        assert dictionary.code_of("present") == 0
+
+    def test_try_encode_row_rejects_unseen_values(self):
+        dictionary = ValueDictionary()
+        dictionary.encode_row((1, 2))
+        assert dictionary.try_encode_row((1, 2)) == (0, 1)
+        assert dictionary.try_encode_row((1, 99)) is None
+        assert len(dictionary) == 2  # the miss appended nothing
+
+    def test_unhashable_value_raises_encoding_error(self):
+        dictionary = ValueDictionary()
+        with pytest.raises(ValueEncodingError):
+            dictionary.encode([1, 2])
+
+    def test_unknown_code_raises(self):
+        dictionary = ValueDictionary()
+        with pytest.raises(ValueError):
+            dictionary.decode(5)
+
+
+# ---------------------------------------------------------------------------
+# Storage-layer behaviour of encoded indexes
+# ---------------------------------------------------------------------------
+
+
+def _edge_db(edges, encode=True, name="g"):
+    return Database(
+        [Relation("E", ("src", "dst"), edges)], name=name, encode=encode
+    )
+
+
+class TestEncodedStorage:
+    def test_database_tries_are_encoded_by_default(self):
+        db = _edge_db([("a", "b"), ("b", "c")])
+        trie = db.trie_index("E", (0, 1))
+        assert trie.encoded
+        assert trie.main.encoded
+        # The public row/membership surface stays in value space.
+        assert sorted(trie.iter_rows()) == [("a", "b"), ("b", "c")]
+        assert trie.contains(("a", "b"))
+        assert not trie.contains(("a", "zzz"))
+
+    def test_encoded_key_columns_are_int_arrays(self):
+        db = _edge_db([(10, 20), (10, 30)])
+        trie = db.trie_index("E", (0, 1))
+        for level in trie.main._keys:
+            assert level.typecode == "q"
+
+    def test_encode_false_gives_raw_tries(self):
+        db = _edge_db([("a", "b")], encode=False)
+        trie = db.trie_index("E", (0, 1))
+        assert not trie.encoded
+        assert db.index_dictionary() is None
+
+    def test_disable_encoding_drops_indexes_and_goes_raw(self):
+        db = _edge_db([(1, 2), (2, 3), (3, 1)])
+        query = cycle_query(3)
+        before = LeapfrogTrieJoin(query, db).count()
+        assert db.encoding_active
+        dropped = db.disable_encoding()
+        assert dropped > 0
+        assert not db.encoding_active
+        joiner = LeapfrogTrieJoin(query, db)
+        assert not joiner.encoded
+        assert joiner.count() == before
+
+    def test_unencodable_input_falls_back_to_raw_path(self):
+        db = _edge_db([(1, 2), (2, 3), (3, 1)])
+
+        class _Poisoned(ValueDictionary):
+            def encode(self, value):
+                raise ValueEncodingError("synthetic un-encodable value")
+
+        db.dictionary = _Poisoned()
+        joiner = LeapfrogTrieJoin(cycle_query(3), db)
+        assert not joiner.encoded
+        # The directed cycle 1->2->3->1 under all three rotations.
+        assert joiner.count() == 3
+        assert not db.encoding_active
+        assert db.encoding_fallbacks == 1
+
+    def test_disable_encoding_invalidates_prepared_warm_caches(self):
+        """Code-space adhesion-cache keys must not survive the raw flip.
+
+        Regression: a prepared CLFTJ handle's warm cache holds keys in
+        dictionary-code space; after ``disable_encoding()`` raw value-space
+        probes collided with stale code keys and returned wrong counts.
+        """
+        rng = random.Random(13)
+        edges = _random_graph_edges(rng, list(range(12)), 40)
+        db = _edge_db(edges)
+        engine = QueryEngine(db)
+        prepared = engine.prepare(path_query(3), algorithm="clftj")
+        first = prepared.count()
+        warm = prepared.count()
+        assert warm.count == first.count
+        db.disable_encoding()
+        after = prepared.count()
+        assert after.count == first.count
+        assert after.metadata["encoded"] is False
+
+    def test_lftj_clftj_recursion_counters_agree_with_unary_leaf_atom(self):
+        """Regression: the inlined leaf fusion double-counted recursive calls
+        when a participant (here a unary atom on the last variable) cannot
+        expose a child run and the real recursion has to run instead."""
+        from repro.core.instrumentation import OperationCounter
+
+        rng = random.Random(23)
+        relations = [
+            Relation("R", ("a", "b"), _random_graph_edges(rng, list(range(10)), 30)),
+            Relation("S", ("b", "c"), _random_graph_edges(rng, list(range(10)), 30)),
+            Relation("U", ("c",), [(value,) for value in range(0, 10, 2)]),
+        ]
+        query = parse_query("R(x, y), S(y, z), U(z)", name="unary-leaf")
+        encoded_db = Database(relations, name="enc")
+        raw_db = Database(
+            [Relation(r.name, r.attributes, r.tuples) for r in relations],
+            name="raw", encode=False,
+        )
+        encoded_counter, raw_counter = OperationCounter(), OperationCounter()
+        encoded = LeapfrogTrieJoin(query, encoded_db, counter=encoded_counter).count()
+        raw = LeapfrogTrieJoin(query, raw_db, counter=raw_counter).count()
+        assert encoded == raw
+        assert encoded_counter.recursive_calls == raw_counter.recursive_calls
+        assert encoded_counter.results_emitted == raw_counter.results_emitted
+
+    def test_delta_updates_append_codes_never_recode(self):
+        db = _edge_db([("a", "b"), ("b", "c")])
+        db.trie_index("E", (0, 1))  # populate the cache
+        code_a = db.dictionary.code_of("a")
+        db.insert("E", [("c", "zebra")])
+        assert db.dictionary.code_of("a") == code_a
+        assert db.dictionary.code_of("zebra") is not None
+        trie = db.trie_index("E", (0, 1))
+        assert sorted(trie.iter_rows()) == [
+            ("a", "b"), ("b", "c"), ("c", "zebra"),
+        ]
+
+
+class TestGallopingSeek:
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    def test_seek_matches_bisect_oracle(self, seed):
+        rng = random.Random(seed)
+        values = sorted(rng.sample(range(0, 5000), 400))
+        trie = TrieIndex.from_tuples([(value,) for value in values])
+        iterator = trie.iterator()
+        iterator.open()
+        position = 0
+        for _ in range(100):
+            target = rng.randrange(0, 5200)
+            if iterator.at_end():
+                break
+            current = iterator.key()
+            if target < current:
+                target = current  # seeks never move backwards
+            iterator.seek(target)
+            import bisect
+            expected = bisect.bisect_left(values, target, position)
+            position = expected
+            if expected >= len(values):
+                assert iterator.at_end()
+                break
+            assert iterator.key() == values[expected]
+
+
+# ---------------------------------------------------------------------------
+# Differential: encoded vs raw across algorithms, domains and updates
+# ---------------------------------------------------------------------------
+
+ALGORITHMS = ("lftj", "clftj", "generic_join", "ytd", "pairwise")
+
+
+def _random_graph_edges(rng, nodes, num_edges):
+    edges = set()
+    while len(edges) < num_edges:
+        src, dst = rng.choice(nodes), rng.choice(nodes)
+        if src != dst:
+            edges.add((src, dst))
+    return sorted(edges)
+
+
+def _mixed_databases(seed):
+    """Identical encoded/raw database pairs over mixed str/int domains.
+
+    ``E`` is a graph over string node ids (so its trie level order by code
+    differs wildly from value order); ``R``/``S`` join a string column
+    between an int column on either side.
+    """
+    rng = random.Random(seed)
+    str_nodes = [f"v{index:02d}" for index in range(14)]
+    rng.shuffle(str_nodes)  # first-encounter order != sorted order
+    edges = _random_graph_edges(rng, str_nodes, 60)
+    r_rows = [
+        (rng.randrange(0, 9), rng.choice(str_nodes)) for _ in range(40)
+    ]
+    s_rows = [
+        (rng.choice(str_nodes), rng.randrange(0, 9)) for _ in range(40)
+    ]
+    relations = [
+        Relation("E", ("src", "dst"), edges),
+        Relation("R", ("a", "b"), r_rows),
+        Relation("S", ("b", "c"), s_rows),
+    ]
+
+    def build(encode):
+        return Database(
+            [Relation(rel.name, rel.attributes, rel.tuples) for rel in relations],
+            name=f"mixed-{seed}-{'enc' if encode else 'raw'}",
+            encode=encode,
+        )
+
+    return build(True), build(False)
+
+
+def _queries():
+    return [
+        cycle_query(3),
+        path_query(3),
+        parse_query("R(x, y), S(y, z)", name="mixed-join"),
+        parse_query("E(x, y), E(y, x)", name="sym"),
+        parse_query("E(x, x)", name="loops"),
+    ]
+
+
+class TestDifferentialEncodedVsRaw:
+    @pytest.mark.parametrize("seed", [0, 1, 2026])
+    def test_counts_and_rows_agree_for_every_algorithm(self, seed):
+        encoded_db, raw_db = _mixed_databases(seed)
+        encoded_engine, raw_engine = QueryEngine(encoded_db), QueryEngine(raw_db)
+        for query in _queries():
+            for algorithm in ALGORITHMS:
+                encoded = encoded_engine.evaluate(query, algorithm=algorithm)
+                raw = raw_engine.evaluate(query, algorithm=algorithm)
+                assert encoded.count == raw.count, (query.name, algorithm)
+                # Decoded tuple sets must match exactly (order may differ:
+                # the encoded path streams in code order).
+                key_enc = {
+                    tuple(row) for row in encoded.rows
+                }
+                key_raw = {tuple(row) for row in raw.rows}
+                assert key_enc == key_raw, (query.name, algorithm)
+
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_agreement_survives_seeded_update_streams(self, seed):
+        encoded_db, raw_db = _mixed_databases(seed)
+        encoded_engine, raw_engine = QueryEngine(encoded_db), QueryEngine(raw_db)
+        query = cycle_query(3)
+        for engine in (encoded_engine, raw_engine):  # warm every cache
+            engine.count(query)
+        rng = random.Random(seed * 31)
+        nodes = [f"v{index:02d}" for index in range(14)] + [f"w{index}" for index in range(4)]
+        for _ in range(6):
+            inserts = _random_graph_edges(rng, nodes, 5)
+            existing = list(encoded_db.relation("E").tuples)
+            deletes = [rng.choice(existing)] if existing else []
+            for db in (encoded_db, raw_db):
+                db.insert("E", inserts)
+                db.delete("E", deletes)
+            assert (
+                encoded_db.relation("E").tuples == raw_db.relation("E").tuples
+            )
+            counts = {
+                algorithm: (
+                    encoded_engine.count(query, algorithm=algorithm).count,
+                    raw_engine.count(query, algorithm=algorithm).count,
+                )
+                for algorithm in ("lftj", "clftj", "generic_join")
+            }
+            for algorithm, (encoded_count, raw_count) in counts.items():
+                assert encoded_count == raw_count, algorithm
+            # Oracle: a freshly built database over the mutated contents.
+            oracle = Database(
+                [Relation("E", ("src", "dst"), encoded_db.relation("E").tuples)],
+                name="oracle",
+            )
+            expected = LeapfrogTrieJoin(query, oracle).count()
+            assert counts["lftj"][0] == expected
+
+    def test_pure_python_kernels_agree_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(leapfrog_module, "numpy", None)
+        encoded_db, raw_db = _mixed_databases(9)
+        query = cycle_query(3)
+        assert (
+            LeapfrogTrieJoin(query, encoded_db).count()
+            == LeapfrogTrieJoin(query, raw_db).count()
+        )
+        decomposition = generic_decompose(query)
+        assert (
+            CachedLeapfrogTrieJoin(query, encoded_db, decomposition).count()
+            == LeapfrogTrieJoin(query, raw_db).count()
+        )
+
+
+# ---------------------------------------------------------------------------
+# The zero-decode guarantee and the lazy result boundary
+# ---------------------------------------------------------------------------
+
+
+class TestZeroDecodeGuarantee:
+    def test_count_queries_never_decode(self):
+        encoded_db, _ = _mixed_databases(3)
+        engine = QueryEngine(encoded_db)
+        query = cycle_query(3)
+        for algorithm in ("lftj", "clftj", "generic_join"):
+            result = engine.count(query, algorithm=algorithm)
+            assert result.metadata["encoded"] is True
+            assert result.metadata["decodes"] == 0
+        prepared = engine.prepare(query, algorithm="clftj")
+        for _ in range(3):
+            assert prepared.count().metadata["decodes"] == 0
+        assert encoded_db.dictionary.decodes == 0
+
+    def test_evaluation_decodes_lazily_at_the_result_boundary(self):
+        encoded_db, _ = _mixed_databases(4)
+        engine = QueryEngine(encoded_db)
+        query = parse_query("R(x, y), S(y, z)", name="mixed-join")
+        result = engine.evaluate(query, algorithm="lftj")
+        # Rows not touched yet: nothing has been decoded.
+        assert encoded_db.dictionary.decodes == 0
+        assert result.metadata["decodes"] == 0
+        rows = result.rows
+        assert len(rows) == result.count
+        expected_decodes = result.count * 3  # arity = |variables|
+        assert encoded_db.dictionary.decodes == expected_decodes
+        assert result.metadata["decodes"] == expected_decodes
+        # Second access reuses the decoded list.
+        assert result.rows is rows
+        assert encoded_db.dictionary.decodes == expected_decodes
+
+    def test_direct_executor_evaluate_returns_values(self):
+        encoded_db, raw_db = _mixed_databases(6)
+        query = cycle_query(3)
+        encoded_rows = set(LeapfrogTrieJoin(query, encoded_db).evaluate())
+        raw_rows = set(LeapfrogTrieJoin(query, raw_db).evaluate())
+        assert encoded_rows == raw_rows
+        for row in encoded_rows:
+            assert all(isinstance(value, str) for value in row)
+
+
+class TestEncodedAggregates:
+    def test_weighted_aggregates_decode_only_for_weights(self):
+        from repro.core.aggregates import (
+            CachedAggregateTrieJoin,
+            SumProductSemiring,
+            relation_weight_function,
+        )
+
+        encoded_db, raw_db = _mixed_databases(8)
+        query = cycle_query(3)
+        decomposition = generic_decompose(query)
+        weights = {
+            "E": {
+                row: 1.0 + (index % 3)
+                for index, row in enumerate(encoded_db.relation("E").tuples)
+            }
+        }
+
+        def run(db):
+            return CachedAggregateTrieJoin(
+                query, db, decomposition, SumProductSemiring(),
+                weight=relation_weight_function(db, weights),
+            ).aggregate()
+
+        assert run(encoded_db) == pytest.approx(run(raw_db))
+
+    def test_uniform_counting_aggregate_stays_zero_decode(self):
+        from repro.core.aggregates import aggregate_count
+
+        encoded_db, _ = _mixed_databases(8)
+        query = cycle_query(3)
+        decomposition = generic_decompose(query)
+        expected = LeapfrogTrieJoin(query, encoded_db).count()
+        assert aggregate_count(query, encoded_db, decomposition) == expected
+        assert encoded_db.dictionary.decodes == 0

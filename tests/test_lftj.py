@@ -85,9 +85,19 @@ class TestEvaluation:
         assert joiner.count() == len(list(LeapfrogTrieJoin(query, small_graph_db).evaluate()))
 
     def test_results_sorted_lexicographically(self, small_graph_db):
+        """Rows stream in trie order: value order raw, code order encoded."""
         query = path_query(2)
         rows = list(LeapfrogTrieJoin(query, small_graph_db).evaluate())
-        assert rows == sorted(rows)
+        if small_graph_db.encoding_active:
+            code = small_graph_db.dictionary.code_of
+            coded = [tuple(code(value) for value in row) for row in rows]
+            assert coded == sorted(coded)
+        else:
+            assert rows == sorted(rows)
+        raw_db = Database(list(small_graph_db), name="raw", encode=False)
+        raw_rows = list(LeapfrogTrieJoin(query, raw_db).evaluate())
+        assert raw_rows == sorted(raw_rows)
+        assert set(raw_rows) == set(rows)
 
     def test_empty_result(self):
         database = Database([Relation("E", ("src", "dst"), [(1, 2)])])
