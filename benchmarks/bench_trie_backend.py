@@ -48,9 +48,19 @@ ROUNDS = 3
 #: Machine-readable benchmark trajectory (perf baseline for future PRs).
 BENCH_JSON = str(Path(__file__).resolve().parent.parent / "BENCH_4.json")
 
+#: This PR's trajectory file: serial-vs-parallel join cells.
+BENCH5_JSON = str(Path(__file__).resolve().parent.parent / "BENCH_5.json")
+
 #: Scale of the dictionary-encoding cells: large enough for stable timing.
 ENCODING_SCALE = 2.0
 ENCODING_ROUNDS = 7
+
+#: Scale of the parallel cells: large enough that per-shard join work
+#: dominates the fixed shard startup (fork + construction, ~35ms on the
+#: calibration box, where serial triangle counting takes ~0.65s).
+PARALLEL_SCALE = 96.0
+#: Minimum warm speedup the process backend must deliver on >= 2 cores.
+PARALLEL_SPEEDUP_BAR = 1.5
 
 
 def _best_of(callable_, rounds=None):
@@ -174,6 +184,63 @@ def test_triangle_encoding_speedup():
         )
 
 
+def _parallel_report(scale=PARALLEL_SCALE, shards=None, backend="processes",
+                     rounds=3, quick=False):
+    """Serial-vs-parallel triangle / 4-clique cells over wiki-Vote.
+
+    Counts are cross-checked inside the harness; the >= 1.5x warm speedup
+    bar only applies on machines with >= 2 cores (a single core cannot beat
+    serial execution with fork workers — it can only prove agreement) and
+    never in ``--quick`` mode.
+    """
+    import os
+
+    from repro.bench.harness import run_parallel_benchmark
+    from repro.bench.workloads import snap_databases
+    from repro.query.patterns import clique_query
+
+    enforce = (
+        PARALLEL_SPEEDUP_BAR
+        if not quick and (os.cpu_count() or 1) >= 2
+        else None
+    )
+    report = run_parallel_benchmark(
+        snap_databases(("wiki-Vote",), scale=scale),
+        [cycle_query(3), clique_query(4)],
+        algorithm="lftj",
+        backend=backend,
+        shards=shards,
+        rounds=rounds,
+        assert_speedup=enforce,
+    )
+    report["query_set"] = ["3-cycle", "4-clique"]
+    report["scale"] = scale
+    report["quick"] = quick
+    report["speedup_enforced"] = enforce is not None
+    write_bench_json(BENCH5_JSON, "parallel_join", report)
+    return report
+
+
+def test_parallel_triangle_and_clique_speedup():
+    """Parallel cells recorded in BENCH_5.json; speedup enforced on >= 2 cores."""
+    report = _parallel_report()
+    for cell in report["cells"]:
+        report_row(
+            "Parallel join",
+            dataset=cell["dataset"],
+            query=cell["query"],
+            count=cell["count"],
+            serial_seconds=round(cell["serial_seconds"], 5),
+            parallel_seconds=round(cell["parallel_seconds"], 5),
+            speedup=round(cell["speedup"], 2),
+            shards=cell["shards"],
+            backend=cell["parallel_backend"],
+            skew=cell["partition_skew"],
+        )
+        assert cell["shards"] >= 1
+        assert cell["partition_bounds"] is not None
+
+
 def test_triangle_counting_backend_speedup(snap_dbs):
     """Columnar + shared cache beats the seed trie on triangle counting."""
     for dataset, seed_time, cold_time, warm_time, counts, warm_builds in _triangle_cells(snap_dbs):
@@ -271,6 +338,12 @@ def main(argv=None):
                         help="small datasets, one round, no timing assertions")
     parser.add_argument("--scale", type=float, default=None,
                         help="dataset scale (default: 0.15 with --quick, else 0.3)")
+    parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="also run the serial-vs-parallel cells with N "
+                             "shards (writes BENCH_5.json)")
+    parser.add_argument("--parallel-backend", choices=("threads", "processes"),
+                        default="processes",
+                        help="backend for the parallel cells (default: processes)")
     args = parser.parse_args(argv)
 
     scale = args.scale if args.scale is not None else (0.15 if args.quick else 0.3)
@@ -325,6 +398,31 @@ def main(argv=None):
             print(f"FAIL: encoding speedup below 2x on {cell['dataset']}",
                   file=sys.stderr)
             return 1
+    if args.parallel is not None:
+        parallel_scale = 0.5 if args.quick else PARALLEL_SCALE
+        try:
+            report = _parallel_report(
+                scale=parallel_scale,
+                shards=args.parallel,
+                backend=args.parallel_backend,
+                rounds=1 if args.quick else 3,
+                quick=args.quick,
+            )
+        except AssertionError as error:
+            print(f"FAIL: {error}", file=sys.stderr)
+            return 1
+        for cell in report["cells"]:
+            report_row(
+                "Parallel join (standalone)",
+                dataset=cell["dataset"],
+                query=cell["query"],
+                count=cell["count"],
+                serial_seconds=round(cell["serial_seconds"], 5),
+                parallel_seconds=round(cell["parallel_seconds"], 5),
+                speedup=round(cell["speedup"], 2),
+                shards=cell["shards"],
+                backend=cell["parallel_backend"],
+            )
     print("bench_trie_backend: OK")
     return 0
 

@@ -10,6 +10,7 @@ Python runtimes are not comparable to the paper's C++ numbers).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -217,6 +218,98 @@ def run_update_benchmark(
             results["delta"]["seconds"], 1e-9
         )
     return report
+
+
+def run_parallel_benchmark(
+    databases: Mapping[str, Database],
+    queries: Sequence[ConjunctiveQuery],
+    algorithm: str = "lftj",
+    backend: str = "processes",
+    shards: Optional[int] = None,
+    rounds: int = 3,
+    assert_speedup: Optional[float] = None,
+) -> Dict[str, object]:
+    """Serial-vs-parallel cells over warm caches; counts cross-checked.
+
+    For every (dataset, query) cell the harness warms the shared index cache
+    with one serial run, then measures best-of-``rounds`` wall times for the
+    serial executor and the partition-parallel executor (``backend`` x
+    ``shards``; ``shards=None`` uses the core count).  Serial and parallel
+    counts are asserted identical — a performance run doubles as a
+    correctness run — and each cell records the shard layout (bounds,
+    per-shard counts/seconds, skew).
+
+    ``assert_speedup`` (e.g. ``1.5``) raises when any cell's parallel
+    speedup falls below the bar; callers gate it on ``cores >= 2`` — the
+    process backend cannot beat serial execution on a single core, it can
+    only prove the counts still agree.
+
+    ``shards=None`` defaults to twice the core count: over-partitioning
+    lets the scheduler smooth residual per-range skew.
+    """
+    cores = os.cpu_count() or 1
+    effective_shards = shards if shards is not None else max(cores * 2, 2)
+    cells: List[Dict[str, object]] = []
+    for dataset_name, database in databases.items():
+        engine = QueryEngine(database)
+        for query in queries:
+            warmup = engine.count(query, algorithm=algorithm)
+            serial_time = parallel_time = float("inf")
+            serial_count = parallel_count = None
+            parallel_meta: Dict[str, object] = {}
+            for _ in range(max(rounds, 1)):
+                started = time.perf_counter()
+                serial_count = engine.count(query, algorithm=algorithm).count
+                serial_time = min(serial_time, time.perf_counter() - started)
+                started = time.perf_counter()
+                result = engine.count(
+                    query,
+                    algorithm=algorithm,
+                    parallel=effective_shards,
+                    parallel_backend=backend,
+                )
+                parallel_time = min(parallel_time, time.perf_counter() - started)
+                parallel_count = result.count
+                parallel_meta = result.metadata
+            if not (warmup.count == serial_count == parallel_count):
+                raise AssertionError(
+                    f"serial/parallel counts disagree on {query.name!r} over "
+                    f"{dataset_name!r}: warmup={warmup.count} "
+                    f"serial={serial_count} parallel={parallel_count}"
+                )
+            speedup = serial_time / max(parallel_time, 1e-9)
+            cells.append(
+                {
+                    "dataset": dataset_name,
+                    "query": query.name,
+                    "count": serial_count,
+                    "serial_seconds": serial_time,
+                    "parallel_seconds": parallel_time,
+                    "speedup": speedup,
+                    "shards": parallel_meta.get("shards"),
+                    "parallel_backend": parallel_meta.get("parallel_backend"),
+                    "partition_source": parallel_meta.get("partition_source"),
+                    "partition_bounds": parallel_meta.get("partition_bounds"),
+                    "shard_results": parallel_meta.get("shard_results"),
+                    "shard_seconds": parallel_meta.get("shard_seconds"),
+                    "partition_skew": parallel_meta.get("partition_skew"),
+                    "encoded": parallel_meta.get("encoded"),
+                }
+            )
+            if assert_speedup is not None and speedup < assert_speedup:
+                raise AssertionError(
+                    f"parallel speedup below {assert_speedup}x on "
+                    f"{query.name!r} over {dataset_name!r}: {speedup:.2f}x "
+                    f"(serial {serial_time:.4f}s vs parallel {parallel_time:.4f}s)"
+                )
+    return {
+        "algorithm": algorithm,
+        "backend": backend,
+        "requested_shards": effective_shards,
+        "cores": cores,
+        "rounds": rounds,
+        "cells": cells,
+    }
 
 
 def speedup_table(

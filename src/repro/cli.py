@@ -112,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(run)
     run.add_argument("--algorithm", choices=cli_algorithms(), default="clftj",
                      help="a registered algorithm, or 'auto' for cost-based selection")
+    run.add_argument("--parallel", type=int, default=None, metavar="N",
+                     help="shard the join on the top variable across N workers "
+                          "(lftj/generic_join/plftj; 0 = automatic shard count)")
+    run.add_argument("--parallel-backend", choices=("threads", "processes"),
+                     default=None,
+                     help="parallel execution backend (default: threads)")
     run.add_argument("--mode", choices=("count", "evaluate"), default="count")
     run.add_argument("--show-rows", type=int, default=0,
                      help="print the first N result rows (evaluate mode)")
@@ -136,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(explain)
     explain.add_argument("--algorithm", choices=cli_algorithms(), default=AUTO_ALGORITHM,
                          help="algorithm to explain (default: auto, with selector reasoning)")
+    explain.add_argument("--parallel", type=int, default=None, metavar="N",
+                         help="also show the partition layout for N shards "
+                              "(0 = automatic shard count; requires a concrete "
+                              "--algorithm such as plftj or lftj)")
 
     subparsers.add_parser("datasets", help="list the built-in dataset stand-ins")
     return parser
@@ -159,14 +169,32 @@ def _mutate_relation(database: Database, relation_name: str, count: int, rng) ->
     return database.insert(relation_name, rows)
 
 
+def _parallel_options(args: argparse.Namespace) -> dict:
+    """Engine kwargs for the CLI's --parallel / --parallel-backend flags.
+
+    ``--parallel 0`` requests an automatic (cost-based) shard count; any
+    positive N pins the count; omitting the flag keeps execution serial.
+    """
+    options: dict = {}
+    parallel = getattr(args, "parallel", None)
+    if parallel is not None:
+        options["parallel"] = True if parallel == 0 else parallel
+    backend = getattr(args, "parallel_backend", None)
+    if backend is not None:
+        options["parallel_backend"] = backend
+    return options
+
+
 def _command_run(args: argparse.Namespace) -> int:
     import random
 
     database = resolve_dataset(args.dataset, args.scale)
     query = resolve_query(args.query)
     engine = QueryEngine(database)
+    parallel_options = _parallel_options(args)
     prepared = engine.prepare(query, algorithm=args.algorithm,
-                              cache_capacity=args.cache_capacity)
+                              cache_capacity=args.cache_capacity,
+                              **parallel_options)
     if args.algorithm != prepared.algorithm:
         print(f"auto selected: {prepared.algorithm}\n")
     rng = random.Random(13)
@@ -232,8 +260,11 @@ def _command_explain(args: argparse.Namespace) -> int:
     database = resolve_dataset(args.dataset, args.scale)
     query = resolve_query(args.query)
     engine = QueryEngine(database)
+    # auto + --parallel is rejected by the engine itself (the selector owns
+    # auto's planning choices); the ValueError surfaces through main().
     print(engine.explain(query, algorithm=args.algorithm,
-                         cache_capacity=args.cache_capacity))
+                         cache_capacity=args.cache_capacity,
+                         **_parallel_options(args)))
     return 0
 
 

@@ -16,6 +16,11 @@ from repro.engine.executors import (
     register_algorithm,
     registered_algorithms,
 )
+from repro.engine.parallel import (
+    ParallelExecutor,
+    PartitionPlan,
+    PartitionPlanner,
+)
 from repro.engine.planner import ExecutionPlan, Planner
 from repro.engine.prepared import PreparedQuery
 from repro.engine.results import ExecutionResult
@@ -32,6 +37,9 @@ __all__ = [
     "ExecutionResult",
     "Executor",
     "ExecutorRequest",
+    "ParallelExecutor",
+    "PartitionPlan",
+    "PartitionPlanner",
     "Planner",
     "PreparedQuery",
     "QueryEngine",

@@ -90,13 +90,17 @@ class QueryEngine:
         cache_capacity: Optional[int] = None,
         policy: Optional[CachePolicy] = None,
         cache: Optional[AdhesionCache] = None,
+        parallel: Optional[object] = None,
+        parallel_backend: Optional[str] = None,
     ) -> PreparedQuery:
         """Resolve, validate and plan ``query`` once; return a reusable handle.
 
         ``algorithm="auto"`` runs the cost-based selector exactly once.  The
         returned :class:`~repro.engine.prepared.PreparedQuery` re-executes
         through the plan and index caches and, for CLFTJ, keeps a persistent
-        adhesion cache per execution mode (warm across runs).
+        adhesion cache per execution mode (warm across runs).  With
+        ``parallel=`` (on ``lftj``/``generic_join``/``plftj``), every
+        re-execution shards through the partition-parallel executor.
         """
         parameters: Dict[str, object] = {
             "decomposition": decomposition,
@@ -104,6 +108,8 @@ class QueryEngine:
             "cache_capacity": cache_capacity,
             "policy": policy,
             "cache": cache,
+            "parallel": parallel,
+            "parallel_backend": parallel_backend,
         }
         requested = algorithm
         resolved, selection = self._resolve_algorithm(query, algorithm, parameters)
@@ -137,8 +143,16 @@ class QueryEngine:
         cache_capacity: Optional[int] = None,
         policy: Optional[CachePolicy] = None,
         cache: Optional[AdhesionCache] = None,
+        parallel: Optional[object] = None,
+        parallel_backend: Optional[str] = None,
     ) -> ExecutionResult:
-        """Run a count query with the chosen algorithm and return the result."""
+        """Run a count query with the chosen algorithm and return the result.
+
+        Pass ``parallel=N`` (or ``True`` for an automatic shard count) with
+        ``algorithm`` ``"lftj"``/``"generic_join"``/``"plftj"`` to shard the
+        execution on the top join variable; ``parallel_backend`` selects
+        ``"threads"`` (default) or fork-based ``"processes"``.
+        """
         return self._execute(
             query,
             algorithm,
@@ -148,6 +162,8 @@ class QueryEngine:
             cache_capacity=cache_capacity,
             policy=policy,
             cache=cache,
+            parallel=parallel,
+            parallel_backend=parallel_backend,
         )
 
     def evaluate(
@@ -159,12 +175,16 @@ class QueryEngine:
         cache_capacity: Optional[int] = None,
         policy: Optional[CachePolicy] = None,
         cache: Optional[AdhesionCache] = None,
+        parallel: Optional[object] = None,
+        parallel_backend: Optional[str] = None,
     ) -> ExecutionResult:
         """Run a full evaluation and return the materialised result rows.
 
         Rows are reported as tuples following the executor's declared
         ``variable_order`` (the query's textual order for the row-stream
-        adapters around YTD and the pairwise baseline).
+        adapters around YTD and the pairwise baseline).  Parallel executions
+        (``parallel=``) merge shard rows deterministically in partition
+        order, which for LFTJ reproduces the serial row order exactly.
         """
         return self._execute(
             query,
@@ -175,6 +195,8 @@ class QueryEngine:
             cache_capacity=cache_capacity,
             policy=policy,
             cache=cache,
+            parallel=parallel,
+            parallel_backend=parallel_backend,
         )
 
     # -------------------------------------------------------------- comparison
@@ -187,14 +209,17 @@ class QueryEngine:
         variable_order: Optional[Sequence[Variable]] = None,
         cache_capacity: Optional[int] = None,
         policy: Optional[CachePolicy] = None,
+        parallel: Optional[object] = None,
+        parallel_backend: Optional[str] = None,
     ) -> Dict[str, ExecutionResult]:
         """Run ``query`` with several algorithms and return results keyed by name.
 
         Each planning parameter is forwarded to exactly the algorithms whose
         registry spec accepts it (forwarding e.g. a caching policy to plain
-        LFTJ would otherwise be rejected as unused).  Each run gets a fresh
-        adhesion cache — use :meth:`prepare` or pass ``cache=`` to the
-        single-algorithm methods to study warm-cache behaviour.
+        LFTJ would otherwise be rejected as unused; ``parallel`` reaches only
+        the shardable algorithms).  Each run gets a fresh adhesion cache —
+        use :meth:`prepare` or pass ``cache=`` to the single-algorithm
+        methods to study warm-cache behaviour.
         """
         if mode not in ("count", "evaluate"):
             raise ValueError(f"unknown mode {mode!r}; use 'count' or 'evaluate'")
@@ -203,6 +228,8 @@ class QueryEngine:
             "variable_order": variable_order,
             "cache_capacity": cache_capacity,
             "policy": policy,
+            "parallel": parallel,
+            "parallel_backend": parallel_backend,
         }
         results: Dict[str, ExecutionResult] = {}
         for algorithm in algorithms:
@@ -228,12 +255,15 @@ class QueryEngine:
         cache_capacity: Optional[int] = None,
         policy: Optional[CachePolicy] = None,
         cache: Optional[AdhesionCache] = None,
+        parallel: Optional[object] = None,
+        parallel_backend: Optional[str] = None,
     ) -> str:
         """A human-readable account of how ``query`` would be executed.
 
         Shows the (memoised) execution plan, the selector's reasoning when
-        ``algorithm="auto"``, and the current plan-/index-cache state of the
-        database — without executing the query.
+        ``algorithm="auto"``, the partition layout for parallel executions
+        (shard count and bounds), and the current plan-/index-cache state of
+        the database — without executing the query.
         """
         lines = []
         parameters: Dict[str, object] = {
@@ -242,6 +272,8 @@ class QueryEngine:
             "cache_capacity": cache_capacity,
             "policy": policy,
             "cache": cache,
+            "parallel": parallel,
+            "parallel_backend": parallel_backend,
         }
         plan_builds_before = self.database.plan_builds
         resolved, selection = self._resolve_algorithm(query, algorithm, parameters)
@@ -263,6 +295,10 @@ class QueryEngine:
             plan_consulted = plan_consulted or decomposition is None
             lines.append("")
             lines.append(plan.describe())
+        if resolved == "plftj" or parallel is not None:
+            lines.append("")
+            lines.append(self._describe_partitions(query, variable_order,
+                                                   parallel, parallel_backend))
         if decomposition is not None:
             plan_state = "bypassed (explicit decomposition)"
         elif not plan_consulted:
@@ -290,6 +326,36 @@ class QueryEngine:
         return "\n".join(lines)
 
     # --------------------------------------------------------------- internals
+    def _describe_partitions(
+        self,
+        query: ConjunctiveQuery,
+        variable_order: Optional[Sequence[Variable]],
+        parallel: Optional[object],
+        parallel_backend: Optional[str],
+    ) -> str:
+        """One explain line describing the parallel shard layout.
+
+        Reads through the same memoised plan as execution
+        (:func:`repro.engine.parallel.cached_partition_plan`), so the bounds
+        shown here are exactly the bounds the next execution will use.
+        """
+        from repro.engine.parallel import cached_partition_plan
+
+        order = (
+            tuple(variable_order)
+            if variable_order is not None
+            else tuple(query.variables)
+        )
+        if parallel is None or parallel is True:
+            shards = self.selector.recommend_shards(query, order)
+        else:
+            shards = max(int(parallel), 1)
+        plan = cached_partition_plan(
+            self.database, self.selector.catalog, query, order, shards
+        )
+        backend = parallel_backend or "threads"
+        return f"parallel: backend={backend}, {plan.describe()}"
+
     def _resolve_algorithm(
         self,
         query: ConjunctiveQuery,
@@ -322,6 +388,8 @@ class QueryEngine:
         cache_capacity: Optional[int] = None,
         policy: Optional[CachePolicy] = None,
         cache: Optional[AdhesionCache] = None,
+        parallel: Optional[object] = None,
+        parallel_backend: Optional[str] = None,
         selection: Optional[AlgorithmChoice] = None,
     ) -> ExecutionResult:
         """One execution through registry lookup, planning and the executor."""
@@ -332,6 +400,8 @@ class QueryEngine:
             "cache_capacity": cache_capacity,
             "policy": policy,
             "cache": cache,
+            "parallel": parallel,
+            "parallel_backend": parallel_backend,
         }
         # The result keeps the caller's label ("auto" stays "auto"); the
         # resolved name lands in metadata["selected_algorithm"].
@@ -359,6 +429,9 @@ class QueryEngine:
                 plan=plan,
                 variable_order=tuple(variable_order) if variable_order is not None else None,
                 cache=cache,
+                parallel=parallel,
+                parallel_backend=parallel_backend,
+                selector=self.selector,
             )
         )
 

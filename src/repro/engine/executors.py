@@ -54,6 +54,8 @@ PARAMETERS: Tuple[str, ...] = (
     "cache_capacity",
     "policy",
     "cache",
+    "parallel",
+    "parallel_backend",
 )
 
 
@@ -86,7 +88,15 @@ class Executor(Protocol):
 
 @dataclass
 class ExecutorRequest:
-    """Everything a factory may need to build one executor."""
+    """Everything a factory may need to build one executor.
+
+    ``parallel`` carries the shard request for the partition-parallel
+    executor: an ``int`` pins the shard count, ``True`` asks for an
+    automatic count (the cost-based ``selector``, when present, charges a
+    per-shard startup cost so tiny queries stay serial), ``None`` means
+    serial execution.  ``parallel_backend`` picks ``"threads"`` (default)
+    or ``"processes"``.
+    """
 
     query: ConjunctiveQuery
     database: Database
@@ -94,6 +104,9 @@ class ExecutorRequest:
     plan: Optional[ExecutionPlan] = None
     variable_order: Optional[Tuple[Variable, ...]] = None
     cache: Optional[AdhesionCache] = None
+    parallel: Optional[object] = None
+    parallel_backend: Optional[str] = None
+    selector: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -154,7 +167,44 @@ class RowStreamAdapter:
 
 
 # ---------------------------------------------------------------- factories
+def _build_parallel(request: ExecutorRequest, inner: str) -> Executor:
+    """Build a partition-parallel executor around ``inner``."""
+    from repro.engine.parallel import ParallelExecutor
+
+    shards = request.parallel
+    if shards is True:
+        shards = None  # auto: selector-recommended (or core count)
+    return ParallelExecutor(
+        request.query,
+        request.database,
+        variable_order=request.variable_order,
+        counter=request.counter,
+        inner=inner,
+        shards=shards,
+        backend=request.parallel_backend or "threads",
+        selector=request.selector,
+    )
+
+
+def _check_parallel_params(request: ExecutorRequest) -> bool:
+    """Should this request route through the parallel executor?
+
+    ``parallel=False`` is an explicit request for serial execution, same
+    as ``None``; ``True`` asks for an automatic shard count; any ``int``
+    pins it.
+    """
+    if request.parallel is not None and request.parallel is not False:
+        return True
+    if request.parallel_backend is not None:
+        raise ValueError(
+            "parallel_backend requires parallel= (a shard count or True)"
+        )
+    return False
+
+
 def _build_lftj(request: ExecutorRequest) -> Executor:
+    if _check_parallel_params(request):
+        return _build_parallel(request, "lftj")
     return LeapfrogTrieJoin(
         request.query, request.database, request.variable_order, request.counter
     )
@@ -181,9 +231,17 @@ def _build_ytd(request: ExecutorRequest) -> Executor:
 
 
 def _build_generic_join(request: ExecutorRequest) -> Executor:
+    if _check_parallel_params(request):
+        return _build_parallel(request, "generic_join")
     return GenericJoin(
         request.query, request.database, request.variable_order, request.counter
     )
+
+
+def _build_plftj(request: ExecutorRequest) -> Executor:
+    # Dedicated name for the parallel LFTJ: parallel even without an
+    # explicit parallel= (shard count then comes from the selector).
+    return _build_parallel(request, "lftj")
 
 
 def _build_pairwise(request: ExecutorRequest) -> Executor:
@@ -222,7 +280,7 @@ register_algorithm(
         name="lftj",
         factory=_build_lftj,
         description="vanilla Leapfrog Trie Join (Figure 1)",
-        accepts=frozenset({"variable_order"}),
+        accepts=frozenset({"variable_order", "parallel", "parallel_backend"}),
     )
 )
 register_algorithm(
@@ -250,7 +308,7 @@ register_algorithm(
         name="generic_join",
         factory=_build_generic_join,
         description="NPRR-style worst-case-optimal join over hash prefix indexes",
-        accepts=frozenset({"variable_order"}),
+        accepts=frozenset({"variable_order", "parallel", "parallel_backend"}),
     )
 )
 register_algorithm(
@@ -258,5 +316,16 @@ register_algorithm(
         name="pairwise",
         factory=_build_pairwise,
         description="left-deep pairwise hash joins with a greedy optimiser",
+    )
+)
+register_algorithm(
+    AlgorithmSpec(
+        name="plftj",
+        factory=_build_plftj,
+        description=(
+            "partition-parallel Leapfrog Trie Join (top-variable sharding "
+            "over shared tries; threads or fork-based processes)"
+        ),
+        accepts=frozenset({"variable_order", "parallel", "parallel_backend"}),
     )
 )

@@ -1,0 +1,662 @@
+"""Partition-parallel join execution.
+
+Worst-case-optimal joins partition cleanly on the first join variable: each
+value of the top variable seeds an independent sub-join, so splitting the top
+variable's key domain into disjoint ranges splits the whole query into
+independent shards whose results simply concatenate.  The shared, immutable
+index layer built in earlier PRs makes the shards nearly free to set up —
+every worker reads the same cached columnar tries and value dictionary
+through range-restricted cursor views
+(:class:`~repro.storage.trie.BoundedTrieIterator`), with no data copies.
+
+Three pieces implement this:
+
+* :class:`PartitionPlanner` — splits the top variable's code-space domain
+  into balanced ranges, weighting keys with value frequencies from the
+  :class:`~repro.storage.statistics.StatisticsCatalog` and falling back to
+  equal-width code ranges when no statistics apply;
+* range-restricted executors — :class:`LeapfrogTrieJoin` and
+  :class:`GenericJoin` subclasses that bound the top variable to one range;
+* :class:`ParallelExecutor` — fans the ranges out over one of two backends
+  behind a single interface and merges the per-shard results
+  deterministically (shard order; counters summed; skew stats surfaced):
+
+  - ``"threads"`` (default) — a thread pool; safe on every platform, and
+    wins when the numpy block kernels dominate (they run outside the
+    interpreter loop).  The pure-Python per-key path stays GIL-bound, so
+    thread shards mostly buy overlap with I/O and numpy, not CPU scaling.
+  - ``"processes"`` — ``fork``-based workers.  The fork inherits the whole
+    read-only database (warm index caches included) by copy-on-write, so a
+    shard ships nothing in and only plain counters plus code-space rows
+    out; each worker is parameterized by just its shard index and code
+    range.  This is the backend that scales CPU-bound pure-Python joins
+    across cores.  Platforms without ``fork`` fall back to threads.
+
+The executor registry exposes this as ``algorithm="plftj"`` and as
+``parallel=N`` on ``lftj`` / ``generic_join`` (see
+:mod:`repro.engine.executors`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.baselines.generic_join import GenericJoin
+from repro.core.instrumentation import OperationCounter
+from repro.core.lftj import LeapfrogTrieJoin
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.terms import Variable
+from repro.storage.database import Database
+from repro.storage.trie import BoundedTrieIterator
+from repro.storage.views import atom_has_constants
+
+#: Inner algorithms the parallel executor can shard.  CLFTJ is deliberately
+#: absent: its adhesion cache is keyed by subtree state that top-variable
+#: sharding would fracture — prepared CLFTJ handles stay serial and keep
+#: their warm caches intact.
+PARALLEL_INNER_ALGORITHMS: Tuple[str, ...] = ("lftj", "generic_join")
+
+#: Supported execution backends.
+PARALLEL_BACKENDS: Tuple[str, ...] = ("threads", "processes")
+
+
+# --------------------------------------------------------------------------
+# Partition planning.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """The shard layout for one parallel execution.
+
+    ``bounds`` holds ``k - 1`` non-decreasing cut keys in the top variable's
+    key space (dictionary codes on the encoded path, raw values otherwise):
+    shard ``i`` covers ``[bounds[i-1], bounds[i])`` with open ends at both
+    extremes, so the ranges tile the whole ordered key space regardless of
+    how the cuts were estimated — balance affects speed, never correctness.
+    Repeated cut keys produce deliberately *empty* shards (small domains
+    split more ways than they have keys).
+    """
+
+    variable: str
+    bounds: Tuple[object, ...]
+    source: str
+    weights: Tuple[float, ...]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of ranges the plan describes."""
+        return len(self.bounds) + 1
+
+    def ranges(self) -> List[Tuple[object, object]]:
+        """The ``[lo, hi)`` range per shard (``None`` = unbounded end)."""
+        cuts: List[object] = [None, *self.bounds, None]
+        return [(cuts[index], cuts[index + 1]) for index in range(len(cuts) - 1)]
+
+    def describe(self) -> str:
+        """One-line human-readable account (used by ``engine.explain``)."""
+        return (
+            f"{self.num_shards} shard(s) on variable {self.variable!r} "
+            f"(partition source: {self.source}), bounds: {list(self.bounds)!r}"
+        )
+
+
+class PartitionPlanner:
+    """Split the top join variable's key domain into balanced shard ranges.
+
+    The planner weighs each key of the top variable with its value frequency
+    from the statistics catalog (or, without a catalog, a direct
+    ``value_counts`` scan of the backing relation) and cuts the sorted key
+    sequence so every shard carries roughly equal weight — frequency mass is
+    the best cheap proxy for leapfrog work below a top-level key.  When no
+    statistics apply (every covering atom carries constants), it falls back
+    to equal-width ranges over the dictionary's code space; with nothing to
+    go on at all it degrades to a single unbounded shard.
+
+    Bounds are computed in the same key space the shards will iterate in:
+    dictionary codes when the database encodes (code order is the trie
+    order), raw values otherwise.
+    """
+
+    def __init__(self, database: Database, catalog=None) -> None:
+        self.database = database
+        self.catalog = catalog
+
+    def plan(
+        self,
+        query: ConjunctiveQuery,
+        variable_order: Sequence[Variable],
+        num_shards: int,
+    ) -> PartitionPlan:
+        """Produce a :class:`PartitionPlan` with ``num_shards`` ranges."""
+        if not variable_order:
+            raise ValueError("cannot partition a query without variables")
+        top = variable_order[0]
+        if num_shards <= 1:
+            return PartitionPlan(top.name, (), "single", (1.0,))
+        weighted = self._weighted_keys(query, top)
+        if weighted:
+            # Affine weights: every key pays a fixed toll (atoms that do
+            # not contain the top variable re-open their full level under
+            # each key, a block-intersection cost independent of the key's
+            # own frequency) plus marginal work proportional to its tuple
+            # frequency.  Measured per-shard operation counts on the bench
+            # workloads sit between the two pure models, so their mean is
+            # used as the fixed toll; residual imbalance is absorbed by
+            # over-partitioning (auto shard counts run two ranges per core,
+            # see CostBasedSelector.recommend_shards and the bench harness).
+            mean = sum(weight for _key, weight in weighted) / len(weighted)
+            weighted = [(key, mean + weight) for key, weight in weighted]
+            return self._balanced(top, weighted, num_shards, "statistics")
+        dictionary = self.database.dictionary
+        if self.database.encoding_active and len(dictionary):
+            uniform = [(code, 1.0) for code in range(len(dictionary))]
+            return self._balanced(top, uniform, num_shards, "equal-width")
+        return PartitionPlan(top.name, (), "single", (1.0,))
+
+    # ------------------------------------------------------------- internals
+    def _weighted_keys(
+        self, query: ConjunctiveQuery, top: Variable
+    ) -> Optional[List[Tuple[object, float]]]:
+        """Sorted ``(key, frequency)`` pairs for the top variable, or ``None``.
+
+        Uses the covering atom whose attribute has the fewest distinct
+        values (the tightest domain superset).  Constant-free atoms are
+        preferred — their base-relation statistics describe the view
+        exactly — but constant-bearing atoms still contribute as a second
+        tier: the unselected relation's attribute frequencies merely
+        *overapproximate* the view's domain, which is fine because bounds
+        only need to tile the key space (the intersection discards
+        non-matching keys anyway); only the balance estimate blurs.
+        """
+        exact: Optional[Dict[object, int]] = None
+        approximate: Optional[Dict[object, int]] = None
+        for atom in query.atoms:
+            position = next(
+                (
+                    index
+                    for index, term in enumerate(atom.terms)
+                    if isinstance(term, Variable) and term == top
+                ),
+                None,
+            )
+            if position is None:
+                continue
+            try:
+                relation = self.database.relation(atom.relation)
+            except KeyError:
+                continue
+            attribute = relation.attributes[position]
+            if self.catalog is not None:
+                counts = self.catalog.value_frequencies(atom.relation, attribute)
+            else:
+                counts = relation.value_counts(attribute)
+            if not counts:
+                continue
+            if atom_has_constants(atom):
+                if approximate is None or len(counts) < len(approximate):
+                    approximate = counts
+            elif exact is None or len(counts) < len(exact):
+                exact = counts
+        best = exact if exact is not None else approximate
+        if not best:
+            return None
+        if self.database.encoding_active:
+            # Translate to code space without appending: planning (and
+            # explain) must never mutate the shared dictionary.  Values the
+            # index builds have not encoded yet merely coarsen the split —
+            # bounds still tile the key space.
+            code_of = self.database.dictionary.code_of
+            items = [
+                (code, float(count))
+                for value, count in best.items()
+                if (code := code_of(value)) is not None
+            ]
+        else:
+            items = [(value, float(count)) for value, count in best.items()]
+        if not items:
+            return None
+        items.sort(key=lambda pair: pair[0])
+        return items
+
+    @staticmethod
+    def _balanced(
+        top: Variable,
+        items: List[Tuple[object, float]],
+        num_shards: int,
+        source: str,
+    ) -> PartitionPlan:
+        """Greedy weighted split of sorted keys into ``num_shards`` ranges."""
+        total = sum(weight for _key, weight in items)
+        if total <= 0:
+            total = float(len(items))
+            items = [(key, 1.0) for key, _weight in items]
+        target = total / num_shards
+        bounds: List[object] = []
+        weights = [0.0] * num_shards
+        shard = 0
+        accumulated = 0.0
+        for key, weight in items:
+            while shard < num_shards - 1 and accumulated >= target * (shard + 1) - 1e-9:
+                shard += 1
+                bounds.append(key)
+            accumulated += weight
+            weights[shard] += weight
+        # Small domains can run out of keys before cuts: pad with the last
+        # cut (or the last key), creating deliberately empty tail shards.
+        while len(bounds) < num_shards - 1:
+            bounds.append(bounds[-1] if bounds else items[-1][0])
+        return PartitionPlan(top.name, tuple(bounds), source, tuple(weights))
+
+
+def cached_partition_plan(
+    database: Database,
+    catalog,
+    query: ConjunctiveQuery,
+    variable_order: Sequence[Variable],
+    num_shards: int,
+) -> PartitionPlan:
+    """The partition plan for one (query, order, shard count), memoised in
+    the database's plan cache.
+
+    Bounds only need to *tile* the key space, so a plan computed from
+    slightly stale statistics stays correct across delta updates — the
+    cache therefore shares the relation-replacement invalidation of
+    ordinary execution plans and skips per-run re-planning entirely.  Both
+    execution (:meth:`ParallelExecutor._partition`) and
+    ``engine.explain()`` read through this function, so explain always
+    shows exactly the bounds the next execution will use.
+    """
+    from repro.storage.views import query_signature
+
+    key = (
+        "partition",
+        query_signature(query),
+        tuple(variable.name for variable in variable_order),
+        num_shards,
+        database.encoding_active,
+    )
+    return database.cached_plan(
+        key,
+        query.relation_names,
+        lambda: PartitionPlanner(database, catalog).plan(
+            query, variable_order, num_shards
+        ),
+        # A degenerate single-range plan computed before any index existed
+        # (cold explain: nothing encoded, no frequencies) must not poison
+        # the cache — once indexes exist, re-planning yields real bounds.
+        cache_if=lambda plan: num_shards <= 1 or plan.source != "single",
+    )
+
+
+# --------------------------------------------------------------------------
+# Range-restricted executors.
+# --------------------------------------------------------------------------
+
+
+class _BoundedLeapfrogTrieJoin(LeapfrogTrieJoin):
+    """LFTJ restricted to top-variable keys in ``[lo, hi)``.
+
+    Every atom containing the top variable indexes it at trie level 1 (the
+    global order puts the top variable at minimal depth), so wrapping those
+    iterators in :class:`~repro.storage.trie.BoundedTrieIterator` restricts
+    exactly the depth-0 intersection; atoms without the top variable run
+    unrestricted.
+    """
+
+    def __init__(self, query, database, variable_order, counter, lo, hi) -> None:
+        super().__init__(query, database, variable_order, counter)
+        self._range = (lo, hi)
+
+    def _prepare(self) -> None:
+        super()._prepare()
+        lo, hi = self._range
+        if lo is None and hi is None:
+            return
+        for atom_index in self._atoms_at_depth[0]:
+            self._iterators[atom_index] = BoundedTrieIterator(
+                self._iterators[atom_index], lo, hi
+            )
+        self._depth_participants = [
+            [self._iterators[atom_index] for atom_index in self._atoms_at_depth[depth]]
+            for depth in range(self.num_variables)
+        ]
+
+
+class _BoundedGenericJoin(GenericJoin):
+    """GenericJoin restricted to top-variable candidates in ``[lo, hi)``.
+
+    Candidate lists at depth 0 are sorted (by code or value), so the
+    restriction is a binary-searched slice; membership probes against the
+    other atoms need no change because probed values already lie in range.
+    """
+
+    def __init__(self, query, database, variable_order, counter, lo, hi) -> None:
+        super().__init__(query, database, variable_order, counter)
+        self._lo = lo
+        self._hi = hi
+
+    def _split_atoms(self, depth, assignment):
+        candidates, probes = super()._split_atoms(depth, assignment)
+        if depth == 0 and (self._lo is not None or self._hi is not None):
+            lo_pos = 0 if self._lo is None else bisect_left(candidates, self._lo)
+            hi_pos = (
+                len(candidates)
+                if self._hi is None
+                else bisect_left(candidates, self._hi, lo_pos)
+            )
+            candidates = candidates[lo_pos:hi_pos]
+        return candidates, probes
+
+
+# --------------------------------------------------------------------------
+# The parallel executor.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _ShardResult:
+    """Everything one shard reports back (picklable for the process backend)."""
+
+    index: int
+    value: int
+    rows: Optional[List[Tuple[object, ...]]]
+    counter: OperationCounter
+    elapsed: float
+
+
+def _shard_process_main(executor: "ParallelExecutor", index, lo, hi, mode, queue):
+    """Process-backend entry point: run one shard, ship the result back.
+
+    Only ever started with the ``fork`` context, so ``executor`` (and with
+    it the whole read-only database) arrives by copy-on-write inheritance —
+    nothing is pickled *into* the worker; the :class:`_ShardResult` going
+    back is plain counters plus code-space rows.
+    """
+    try:
+        # The fork may have happened while ANOTHER parent thread held the
+        # database lock (engines are documented as thread-shareable); that
+        # thread does not exist in the child, so the inherited lock would
+        # never be released.  The child is single-threaded, so replacing
+        # the lock is safe and makes shard construction (which takes it
+        # for index-cache hits) deadlock-free.
+        executor.database._lock = threading.RLock()
+        queue.put(executor._run_shard(index, lo, hi, mode))
+    except BaseException as error:  # noqa: BLE001 - must cross the process boundary
+        queue.put((index, f"{type(error).__name__}: {error}"))
+
+
+class ParallelExecutor:
+    """Partition-parallel execution of LFTJ or GenericJoin over shared tries.
+
+    Implements the standard executor protocol (``count`` / ``evaluate`` /
+    ``evaluate_coded`` / ``execution_metadata``), so the engine treats it
+    like any other algorithm.  Construction builds (or cache-hits) every
+    shared index once, in the calling thread, through a full-range
+    *template* executor; per-shard executors then reuse the warm cache — a
+    thread shard costs an executor construction, a process shard costs a
+    ``fork``.
+
+    The merge is deterministic: shard results are ordered by shard index
+    (ranges are ordered, and within a shard the inner algorithm emits rows
+    in trie order, so concatenation reproduces the serial row order for
+    LFTJ), per-shard operation counters are summed into the executor's
+    counter, and ``execution_metadata`` reports ``shards``,
+    ``partition_bounds``, per-shard counts/seconds and a skew measure.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        variable_order: Optional[Sequence[Variable]] = None,
+        counter: Optional[OperationCounter] = None,
+        inner: str = "lftj",
+        shards: Optional[object] = None,
+        backend: str = "threads",
+        selector=None,
+        catalog=None,
+    ) -> None:
+        if inner not in PARALLEL_INNER_ALGORITHMS:
+            raise ValueError(
+                f"algorithm {inner!r} cannot run partition-parallel; choose "
+                f"one of {PARALLEL_INNER_ALGORITHMS}"
+            )
+        if backend not in PARALLEL_BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {backend!r}; choose one of "
+                f"{PARALLEL_BACKENDS}"
+            )
+        if shards is not None and shards is not True:
+            shards = int(shards)
+            if shards < 1:
+                raise ValueError("parallel shard count must be >= 1")
+        self.query = query
+        self.database = database
+        self.counter = counter if counter is not None else OperationCounter()
+        self.inner_algorithm = inner
+        self.backend = backend
+        self.requested_shards = shards
+        self._selector = selector
+        self._catalog = catalog if catalog is not None else getattr(selector, "catalog", None)
+        # The template validates the query/order and pre-builds every shared
+        # index in the calling thread, so shard construction is cache-hits
+        # only (and, for the process backend, happens before the fork).
+        self.variable_order = (
+            tuple(variable_order) if variable_order is not None else None
+        )
+        self._template = self._make_inner(None, None, OperationCounter())
+        self.variable_order: Tuple[Variable, ...] = self._template.variable_order
+        self.encoded: bool = bool(getattr(self._template, "encoded", False))
+        self._partition_plan: Optional[PartitionPlan] = None
+        self._backend_used = backend
+        self._shard_stats: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------- execution
+    def count(self) -> int:
+        """Sum of the per-shard counts."""
+        return sum(result.value for result in self._execute_shards("count"))
+
+    def evaluate(self) -> Iterator[Tuple[object, ...]]:
+        """Yield result rows as values (decoding at this boundary if encoded)."""
+        if self.encoded:
+            decode_row = self.database.dictionary.decode_row
+            for row in self.evaluate_coded():
+                yield decode_row(row)
+        else:
+            yield from self.evaluate_coded()
+
+    def evaluate_coded(self) -> Iterator[Tuple[object, ...]]:
+        """Yield result rows in storage space, concatenated in shard order."""
+        for result in self._execute_shards("evaluate"):
+            yield from result.rows
+
+    # -------------------------------------------------------------- internals
+    def _make_inner(self, lo, hi, counter: OperationCounter):
+        """Build one range-restricted inner executor."""
+        factory = (
+            _BoundedLeapfrogTrieJoin
+            if self.inner_algorithm == "lftj"
+            else _BoundedGenericJoin
+        )
+        return factory(
+            self.query, self.database, self.variable_order, counter, lo, hi
+        )
+
+    def _resolve_shards(self) -> int:
+        requested = self.requested_shards
+        if requested is None or requested is True:
+            if self._selector is not None:
+                return self._selector.recommend_shards(self.query, self.variable_order)
+            return max(os.cpu_count() or 1, 1)
+        return requested
+
+    def _run_shard(self, index: int, lo, hi, mode: str, executor=None) -> _ShardResult:
+        counter = OperationCounter()
+        if executor is None:
+            executor = self._make_inner(lo, hi, counter)
+        else:
+            # Reusing a prebuilt executor (the full-range template on the
+            # single-shard path): iterators are created per execution with
+            # whatever counter the executor holds at that moment.
+            executor.counter = counter
+        started = time.perf_counter()
+        if mode == "count":
+            value = executor.count()
+            rows: Optional[List[Tuple[object, ...]]] = None
+        else:
+            rows = [tuple(row) for row in executor.evaluate_coded()]
+            value = len(rows)
+        elapsed = time.perf_counter() - started
+        return _ShardResult(
+            index=index, value=value, rows=rows, counter=counter, elapsed=elapsed
+        )
+
+    def _partition(self, shards: int) -> PartitionPlan:
+        """The (memoised) partition plan — see :func:`cached_partition_plan`."""
+        return cached_partition_plan(
+            self.database, self._catalog, self.query, self.variable_order, shards
+        )
+
+    def _execute_shards(self, mode: str) -> List[_ShardResult]:
+        shards = self._resolve_shards()
+        plan = self._partition(shards)
+        self._partition_plan = plan
+        ranges = plan.ranges()
+        backend = self.backend
+        if backend == "processes" and (
+            len(ranges) == 1
+            or "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            backend = "threads"
+        self._backend_used = backend
+        if len(ranges) == 1:
+            # Serial fallback: the full-range template IS this shard.
+            results = [self._run_shard(0, None, None, mode, executor=self._template)]
+        elif backend == "threads":
+            results = self._run_threads(ranges, mode)
+        else:
+            results = self._run_processes(ranges, mode)
+        results.sort(key=lambda result: result.index)
+        for result in results:
+            self.counter.merge(result.counter)
+        self._shard_stats = self._collect_stats(results, plan, backend)
+        return results
+
+    def _run_threads(self, ranges, mode: str) -> List[_ShardResult]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = min(len(ranges), max(os.cpu_count() or 1, 2))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(self._run_shard, index, lo, hi, mode)
+                for index, (lo, hi) in enumerate(ranges)
+            ]
+            return [future.result() for future in futures]
+
+    def _run_processes(self, ranges, mode: str) -> List[_ShardResult]:
+        from queue import Empty
+
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        processes = []
+        for index, (lo, hi) in enumerate(ranges):
+            process = context.Process(
+                target=_shard_process_main,
+                args=(self, index, lo, hi, mode, queue),
+            )
+            process.start()
+            processes.append(process)
+        results: List[_ShardResult] = []
+        failures: List[Tuple[int, str]] = []
+        reported = set()
+        # Workers that raise ship an error tuple themselves; the poll loop
+        # additionally notices workers that die without ever reaching the
+        # queue (OOM kill, segfault) so a lost shard can never hang the
+        # parent forever.
+        grace = 0
+        while len(reported) < len(processes):
+            try:
+                outcome = queue.get(timeout=0.5)
+            except Empty:
+                for index, process in enumerate(processes):
+                    if index in reported or process.is_alive():
+                        continue
+                    if process.exitcode not in (0, None):
+                        reported.add(index)
+                        failures.append(
+                            (index, f"worker died with exit code {process.exitcode}")
+                        )
+                if all(not process.is_alive() for process in processes):
+                    # Every worker is gone; whatever is still in flight must
+                    # drain within a short grace window or count as lost.
+                    grace += 1
+                    if grace >= 10:
+                        for index in range(len(processes)):
+                            if index not in reported:
+                                reported.add(index)
+                                failures.append(
+                                    (index, "worker exited without reporting a result")
+                                )
+                continue
+            grace = 0
+            if isinstance(outcome, _ShardResult):
+                reported.add(outcome.index)
+                results.append(outcome)
+            else:
+                reported.add(outcome[0])
+                failures.append(outcome)
+        for process in processes:
+            process.join()
+        if failures:
+            failures.sort()
+            details = "; ".join(f"shard {index}: {error}" for index, error in failures)
+            raise RuntimeError(f"parallel shard worker(s) failed: {details}")
+        return results
+
+    def _collect_stats(
+        self, results: List[_ShardResult], plan: PartitionPlan, backend: str
+    ) -> Dict[str, object]:
+        work = [result.counter.memory_accesses for result in results]
+        mean_work = sum(work) / len(work) if work else 0.0
+        skew = (max(work) / mean_work) if mean_work > 0 else 1.0
+        return {
+            "parallel": True,
+            "inner_algorithm": self.inner_algorithm,
+            "parallel_backend": backend,
+            "shards": len(results),
+            "partition_source": plan.source,
+            "partition_bounds": list(plan.bounds),
+            "shard_results": [result.value for result in results],
+            "shard_seconds": [round(result.elapsed, 6) for result in results],
+            "partition_skew": round(skew, 3),
+        }
+
+    # -------------------------------------------------------------- reporting
+    def execution_metadata(self) -> Dict[str, object]:
+        """Template facts (backend, encodedness) plus per-shard merge stats."""
+        metadata = dict(self._template.execution_metadata())
+        if self._shard_stats is not None:
+            metadata.update(self._shard_stats)
+        else:
+            metadata.update(
+                {
+                    "parallel": True,
+                    "inner_algorithm": self.inner_algorithm,
+                    "parallel_backend": self._backend_used,
+                    "shards": 0,
+                }
+            )
+        return metadata
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelExecutor({self.query.name!r}, inner={self.inner_algorithm!r}, "
+            f"backend={self.backend!r}, shards={self.requested_shards!r})"
+        )

@@ -29,6 +29,7 @@ query never touch the handle at all.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from repro.core.cache import AdhesionCache, affected_cache_nodes
@@ -41,6 +42,17 @@ class PreparedQuery:
 
     Built by :meth:`repro.engine.engine.QueryEngine.prepare`; not meant to be
     constructed directly.
+
+    **Locking model**: one handle may be executed from several threads.
+    Version bookkeeping (noticing relation changes, creating the per-mode
+    caches) always runs under the handle's lock.  For **clftj** the whole
+    execution stays under the lock — the warm adhesion caches are plain
+    dictionaries mutated during the join, so concurrent cached executions
+    serialise rather than corrupt each other (per-shard isolation for the
+    parallel algorithms makes this a clftj-only cost).  Every other
+    algorithm (lftj, generic_join, plftj, ytd, pairwise) executes outside
+    the lock and scales across threads; the underlying shared caches are
+    protected by the database's own lock.
     """
 
     def __init__(
@@ -71,6 +83,9 @@ class PreparedQuery:
         )
         #: Total warm-cache entries dropped by selective invalidation.
         self.cache_invalidations = 0
+        #: Guards version refreshes and (for clftj) whole executions — see
+        #: the class docstring's locking model.
+        self._lock = threading.RLock()
 
     # -------------------------------------------------------------- execution
     def count(self) -> ExecutionResult:
@@ -82,10 +97,25 @@ class PreparedQuery:
         return self._run("evaluate")
 
     def _run(self, mode: str) -> ExecutionResult:
+        if self.algorithm == "clftj":
+            # The warm adhesion caches are mutated during execution, so
+            # cached runs serialise (see the locking model).
+            with self._lock:
+                return self._run_unlocked(mode)
+        with self._lock:
+            dropped = self._refresh_versions()
+        return self._execute(mode, dict(self._parameters), dropped)
+
+    def _run_unlocked(self, mode: str) -> ExecutionResult:
         dropped = self._refresh_versions()
         parameters = dict(self._parameters)
         if self.algorithm == "clftj" and parameters.get("cache") is None:
             parameters["cache"] = self._persistent_cache(mode)
+        return self._execute(mode, parameters, dropped)
+
+    def _execute(
+        self, mode: str, parameters: Dict[str, object], dropped: int
+    ) -> ExecutionResult:
         result = self.engine._execute(
             self.query,
             self.algorithm,
@@ -93,9 +123,11 @@ class PreparedQuery:
             selection=self.selection,
             **parameters,
         )
-        self.executions += 1
+        with self._lock:
+            self.executions += 1
+            executions = self.executions
         result.metadata["prepared"] = True
-        result.metadata["prepared_executions"] = self.executions
+        result.metadata["prepared_executions"] = executions
         if dropped:
             result.metadata["prepared_cache_invalidations"] = dropped
         if self.requested_algorithm != self.algorithm:

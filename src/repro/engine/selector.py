@@ -24,8 +24,9 @@ decomposition planner, keeping the two cost views consistent.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.decomposition.cost import ChuCostModel
 from repro.engine.planner import ExecutionPlan
@@ -51,6 +52,13 @@ _YTD_MATERIALIZE_FACTOR = 3.0
 #: Calibrated against the BENCH_4 triangle workload, where encoded trie
 #: executions run >= 2x faster than raw ones.
 _ENCODED_SEEK_UNIT = 0.5
+
+#: Estimated cost units one parallel shard pays before doing useful work:
+#: partition planning amortised per shard, executor construction (cache-hit
+#: index lookups), and — on the process backend — a fork.  Auto shard counts
+#: only add a shard per this many units of estimated serial work, so tiny
+#: queries stay serial instead of drowning in startup overhead.
+_SHARD_STARTUP_COST = 400.0
 
 
 @dataclass(frozen=True)
@@ -97,6 +105,31 @@ class CostBasedSelector:
         algorithm = min(AUTO_CANDIDATES, key=lambda name: costs[name])
         reasons = self._reasons(query, plan, costs, algorithm)
         return AlgorithmChoice(algorithm=algorithm, costs=costs, reasons=reasons)
+
+    def recommend_shards(
+        self,
+        query: ConjunctiveQuery,
+        variable_order: Sequence,
+        available: Optional[int] = None,
+    ) -> int:
+        """Auto shard count for ``parallel=True``: scale with estimated work.
+
+        Every shard is charged :data:`_SHARD_STARTUP_COST` units of setup,
+        so a query whose whole estimated LFTJ cost is below two startups
+        runs serial (1 shard); larger queries get one shard per startup-cost
+        multiple, capped at **twice** the core count (or ``available``) —
+        over-partitioning lets the worker pool / OS scheduler smooth out
+        per-range skew that the partition planner's weight model misses.
+        """
+        if available is None:
+            available = os.cpu_count() or 1
+        available = max(int(available), 1)
+        if available == 1:
+            return 1
+        model = ChuCostModel(self.database, query, catalog=self.catalog)
+        cost = model.order_cost(tuple(variable_order)) * self._seek_unit()
+        affordable = int(cost // _SHARD_STARTUP_COST)
+        return max(1, min(available * 2, affordable))
 
     # ----------------------------------------------------------- cost models
     def _seek_unit(self) -> float:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import (
     Callable,
     Dict,
@@ -62,6 +63,19 @@ class Database:
     merging iterator, so the LSM delta level only stays resident where it
     pays — over indexes large enough that folding per batch would hurt.
     Raise or lower the floor to taste per deployment.
+
+    **Locking model**: one re-entrant lock serialises every cache fill
+    (:meth:`view_index`, :meth:`cached_plan`) and every mutation
+    (:meth:`add_relation`, :meth:`insert`, :meth:`delete`, :meth:`compact`,
+    :meth:`disable_encoding`).  Concurrent executors — thread shards of the
+    parallel executor, or independent engine calls from request threads —
+    may therefore share one database: a cold index is built exactly once
+    (the losing threads block on the lock and then take the cache hit, so
+    ``index_builds`` never double-counts), and readers of an already-cached
+    index only pay an uncontended lock acquisition.  Join execution itself
+    never takes the lock: iterators carry their own state and tries are
+    immutable between mutations.  Interleaving mutations with running
+    queries remains the caller's race to reason about, exactly as before.
     """
 
     def __init__(
@@ -79,6 +93,8 @@ class Database:
         self.name = name
         self.compaction_threshold = compaction_threshold
         self.compaction_floor = compaction_floor
+        #: Guards cache fills and mutations (see the locking model above).
+        self._lock = threading.RLock()
         #: The shared, append-only value <-> int-code table all encoded
         #: indexes of this database draw from.  Shared across relations, so
         #: code equality means value equality across atoms.
@@ -122,21 +138,28 @@ class Database:
         data-only changes prefer :meth:`insert` / :meth:`delete`, which keep
         the caches warm.
         """
-        if relation.name in self._relations and not replace:
-            raise ValueError(f"relation {relation.name!r} already exists in {self.name!r}")
-        version = self._versions.get(relation.name, 0) + 1
-        self._versions[relation.name] = version
-        self._relations[relation.name] = VersionedRelation(relation, created_version=version)
-        stale = [key for key in self._index_cache if key[1] == relation.name]
-        for key in stale:
-            del self._index_cache[key]
-        stale_plans = [
-            key for key, names in self._plan_relations.items() if relation.name in names
-        ]
-        for key in stale_plans:
-            del self._plan_cache[key]
-            del self._plan_relations[key]
-        self.data_version += 1
+        with self._lock:
+            if relation.name in self._relations and not replace:
+                raise ValueError(
+                    f"relation {relation.name!r} already exists in {self.name!r}"
+                )
+            version = self._versions.get(relation.name, 0) + 1
+            self._versions[relation.name] = version
+            self._relations[relation.name] = VersionedRelation(
+                relation, created_version=version
+            )
+            stale = [key for key in self._index_cache if key[1] == relation.name]
+            for key in stale:
+                del self._index_cache[key]
+            stale_plans = [
+                key
+                for key, names in self._plan_relations.items()
+                if relation.name in names
+            ]
+            for key in stale_plans:
+                del self._plan_cache[key]
+                del self._plan_relations[key]
+            self.data_version += 1
 
     def _versioned(self, name: str) -> VersionedRelation:
         try:
@@ -185,12 +208,13 @@ class Database:
         dropped.  Already-present rows are no-ops; an all-no-op batch leaves
         the version untouched (so downstream caches stay warm).
         """
-        versioned = self._versioned(name)
-        batch = versioned.apply(self.relation_version(name) + 1, inserts=rows)
-        if batch.is_empty:
-            return 0
-        self._after_mutation(name, versioned, batch)
-        return len(batch.inserted)
+        with self._lock:
+            versioned = self._versioned(name)
+            batch = versioned.apply(self.relation_version(name) + 1, inserts=rows)
+            if batch.is_empty:
+                return 0
+            self._after_mutation(name, versioned, batch)
+            return len(batch.inserted)
 
     def delete(self, name: str, rows: Iterable[Sequence[object]]) -> int:
         """Delete ``rows`` from relation ``name``; returns how many existed.
@@ -198,12 +222,13 @@ class Database:
         The delta/patching behaviour mirrors :meth:`insert`; deletes reach
         cached tries as tombstones.
         """
-        versioned = self._versioned(name)
-        batch = versioned.apply(self.relation_version(name) + 1, deletes=rows)
-        if batch.is_empty:
-            return 0
-        self._after_mutation(name, versioned, batch)
-        return len(batch.deleted)
+        with self._lock:
+            versioned = self._versioned(name)
+            batch = versioned.apply(self.relation_version(name) + 1, deletes=rows)
+            if batch.is_empty:
+                return 0
+            self._after_mutation(name, versioned, batch)
+            return len(batch.deleted)
 
     def _after_mutation(
         self, name: str, versioned: VersionedRelation, batch: DeltaBatch
@@ -257,22 +282,23 @@ class Database:
         ``name=None`` every relation is compacted.  Versions do not change —
         compaction is a physical reorganisation, not a logical mutation.
         """
-        names = [name] if name is not None else list(self._relations)
-        folded = 0
-        for target in names:
-            versioned = self._versioned(target)
-            folded += versioned.compact()
-            for key in [key for key in self._index_cache if key[1] == target]:
-                index = self._index_cache[key]
-                if not getattr(index, "has_deltas", False):
-                    continue  # nothing pending (or not a delta-carrying index)
-                compact = getattr(index, "compact", None)
-                if compact is None:
-                    del self._index_cache[key]
-                else:
-                    compact()
-                    self.index_compactions += 1
-        return folded
+        with self._lock:
+            names = [name] if name is not None else list(self._relations)
+            folded = 0
+            for target in names:
+                versioned = self._versioned(target)
+                folded += versioned.compact()
+                for key in [key for key in self._index_cache if key[1] == target]:
+                    index = self._index_cache[key]
+                    if not getattr(index, "has_deltas", False):
+                        continue  # nothing pending (or not a delta-carrying index)
+                    compact = getattr(index, "compact", None)
+                    if compact is None:
+                        del self._index_cache[key]
+                    else:
+                        compact()
+                        self.index_compactions += 1
+            return folded
 
     # -------------------------------------------------------------- encoding
     @property
@@ -301,14 +327,15 @@ class Database:
         objects threaded by hand outside the engine must be invalidated by
         their owners.
         """
-        if not self._encode:
-            return 0
-        self._encode = False
-        self.encoding_fallbacks += 1
-        for name in self._relations:
-            self._versions[name] = self._versions.get(name, 0) + 1
-        self.data_version += 1
-        return self.clear_index_cache()
+        with self._lock:
+            if not self._encode:
+                return 0
+            self._encode = False
+            self.encoding_fallbacks += 1
+            for name in self._relations:
+                self._versions[name] = self._versions.get(name, 0) + 1
+            self.data_version += 1
+            return self.clear_index_cache()
 
     # --------------------------------------------------------------- indexes
     def view_index(
@@ -327,14 +354,15 @@ class Database:
         "prefix", ...) so they never collide.
         """
         key = (kind, relation_name, signature, tuple(column_order))
-        index = self._index_cache.get(key)
-        if index is None:
-            index = build()
-            self._index_cache[key] = index
-            self.index_builds += 1
-        else:
-            self.index_cache_hits += 1
-        return index
+        with self._lock:
+            index = self._index_cache.get(key)
+            if index is None:
+                index = build()
+                self._index_cache[key] = index
+                self.index_builds += 1
+            else:
+                self.index_cache_hits += 1
+            return index
 
     def trie_index(self, relation_name: str, attribute_order: Sequence[int]) -> LsmTrieIndex:
         """Return (and memoise) a trie over ``relation_name`` in the given column order.
@@ -358,9 +386,10 @@ class Database:
 
     def clear_index_cache(self) -> int:
         """Drop every cached index; returns how many were dropped."""
-        dropped = len(self._index_cache)
-        self._index_cache.clear()
-        return dropped
+        with self._lock:
+            dropped = len(self._index_cache)
+            self._index_cache.clear()
+            return dropped
 
     def index_cache_size(self) -> int:
         """Number of indexes currently cached."""
@@ -372,6 +401,7 @@ class Database:
         key: Hashable,
         relation_names: Iterable[str],
         build: Callable[[], object],
+        cache_if: Optional[Callable[[object], bool]] = None,
     ) -> object:
         """Return (and memoise) a planning artifact under ``key``.
 
@@ -386,23 +416,31 @@ class Database:
         drift.  The ``plan_builds`` / ``plan_cache_hits`` counters mirror the
         index cache's and are surfaced per execution in
         :class:`~repro.engine.results.ExecutionResult` metadata.
+
+        ``cache_if`` lets a builder veto memoisation of a degenerate
+        artifact (e.g. a partition plan computed before any index existed):
+        the entry is still returned and counted as a build, but the next
+        call re-plans instead of serving the degenerate choice forever.
         """
-        entry = self._plan_cache.get(key)
-        if entry is None:
-            entry = build()
-            self._plan_cache[key] = entry
-            self._plan_relations[key] = frozenset(relation_names)
-            self.plan_builds += 1
-        else:
-            self.plan_cache_hits += 1
-        return entry
+        with self._lock:
+            entry = self._plan_cache.get(key)
+            if entry is None:
+                entry = build()
+                self.plan_builds += 1
+                if cache_if is None or cache_if(entry):
+                    self._plan_cache[key] = entry
+                    self._plan_relations[key] = frozenset(relation_names)
+            else:
+                self.plan_cache_hits += 1
+            return entry
 
     def clear_plan_cache(self) -> int:
         """Drop every cached plan; returns how many were dropped."""
-        dropped = len(self._plan_cache)
-        self._plan_cache.clear()
-        self._plan_relations.clear()
-        return dropped
+        with self._lock:
+            dropped = len(self._plan_cache)
+            self._plan_cache.clear()
+            self._plan_relations.clear()
+            return dropped
 
     def plan_cache_size(self) -> int:
         """Number of plans currently cached."""

@@ -10,6 +10,7 @@ and keeps them in small dataclasses.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
@@ -148,11 +149,19 @@ class StatisticsCatalog:
     maps, applies the batch tuples to them, and re-derives the aggregate
     statistics — no rescan of the relation.  Whole-relation replacement (or
     a trimmed delta log) falls back to a full recompute.
+
+    **Locking model**: one re-entrant lock serialises every cache fill and
+    incremental refresh, so the catalog may be consulted concurrently (the
+    parallel executor's partition planner and a cost-based selection can
+    race) without ever serving a half-refreshed entry.  Reads of a fresh
+    entry still pay the lock — statistics lookups are planner-frequency,
+    not join-hot-loop-frequency, so contention is negligible.
     """
 
     def __init__(self, database: Database, top_k: int = 5) -> None:
         self._database = database
         self._top_k = top_k
+        self._lock = threading.RLock()
         self._cache: Dict[str, RelationStatistics] = {}
         self._versions: Dict[str, int] = {}
         self._counts: Dict[str, Dict[str, Dict[object, int]]] = {}
@@ -164,15 +173,33 @@ class StatisticsCatalog:
 
     def relation(self, name: str) -> RelationStatistics:
         """Statistics of ``name`` (computed on first use, version-checked)."""
-        current_version = self._database.relation_version(name)
-        stats = self._cache.get(name)
-        if stats is not None and self._versions.get(name) == current_version:
-            return stats
-        if stats is not None:
-            deltas = self._database.deltas_since(name, self._versions[name])
-            if deltas is not None:
-                return self._refresh_incrementally(name, current_version, deltas)
-        return self._recompute(name, current_version)
+        with self._lock:
+            current_version = self._database.relation_version(name)
+            stats = self._cache.get(name)
+            if stats is not None and self._versions.get(name) == current_version:
+                return stats
+            if stats is not None:
+                deltas = self._database.deltas_since(name, self._versions[name])
+                if deltas is not None:
+                    return self._refresh_incrementally(name, current_version, deltas)
+            return self._recompute(name, current_version)
+
+    def value_frequencies(self, name: str, attribute: str) -> Dict[object, int]:
+        """A fresh copy of one attribute's value -> frequency map.
+
+        The live per-value counts the catalog maintains across delta
+        batches; the partition planner weighs top-variable keys with them
+        to balance parallel shards.  Returns a copy so callers can never
+        observe (or cause) concurrent mutation.
+        """
+        with self._lock:
+            self.relation(name)  # ensure the counts are fresh
+            counts = self._counts[name]
+            if attribute not in counts:
+                raise KeyError(
+                    f"no statistics for attribute {attribute!r} of {name!r}"
+                )
+            return dict(counts[attribute])
 
     def _recompute(self, name: str, version: int) -> RelationStatistics:
         relation = self._database.relation(name)

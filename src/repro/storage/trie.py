@@ -1161,6 +1161,181 @@ class MergedTrieIterator:
 
 
 # --------------------------------------------------------------------------
+# Range-restricted cursor views (partition-parallel execution).
+# --------------------------------------------------------------------------
+
+
+class BoundedTrieIterator:
+    """A range-restricted view over any trie cursor, without copying data.
+
+    Wraps a :class:`TrieIterator`, :class:`NodeTrieIterator` or
+    :class:`MergedTrieIterator` and restricts the keys visible at **one**
+    trie level (``level``, default the first) to the half-open interval
+    ``[lo, hi)``; every other level behaves exactly like the wrapped cursor.
+    ``lo=None`` means unbounded below, ``hi=None`` unbounded above.  Bounds
+    live in the wrapped trie's key space — dictionary codes for encoded
+    tries, raw values otherwise.
+
+    This is how the partition-parallel executor
+    (:mod:`repro.engine.parallel`) shards a join on its top variable: each
+    shard runs over the same shared, immutable tries through bounded views
+    of the atoms containing that variable.
+
+    The bounded-cursor contract (pinned by ``tests/test_parallel.py``):
+
+    * ``open()`` into the bound level lands on the least key ``>= lo``;
+    * a key ``>= hi`` is indistinguishable from the end of the sibling
+      list — ``at_end()`` is True and ``next()``/``seek()``/``key()``
+      raise, exactly as on a genuinely exhausted level;
+    * the restriction *keeps holding* after any interleaving of
+      ``open()``/``up()``/``next()``/``seek()`` across level boundaries
+      (leaving the bound level and coming back must not leak keys outside
+      ``[lo, hi)``);
+    * batched-kernel hooks (``current_run``/``child_run``/``advance_to``)
+      expose runs clamped to the bound, so encoded block intersections see
+      the same restriction as the per-key protocol.
+    """
+
+    __slots__ = ("_inner", "_lo", "_hi", "_level", "_bound_ended")
+
+    def __init__(self, inner, lo=None, hi=None, level: int = 1) -> None:
+        if level < 1:
+            raise ValueError("bound level must be >= 1 (the first open level)")
+        self._inner = inner
+        self._lo = lo
+        self._hi = hi
+        self._level = level
+        #: True while the bound level's current key is ``>= hi`` — the
+        #: wrapper then reports the level as ended although the underlying
+        #: cursor still has (out-of-range) siblings left.
+        self._bound_ended = False
+
+    # ---------------------------------------------------------------- depth
+    @property
+    def depth(self) -> int:
+        """Number of currently open levels."""
+        return self._inner.depth
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the underlying trie."""
+        return self._inner.max_depth
+
+    @property
+    def bounds(self) -> Tuple[object, object]:
+        """The ``(lo, hi)`` restriction of the bound level."""
+        return (self._lo, self._hi)
+
+    def _check_upper(self) -> None:
+        inner = self._inner
+        if self._hi is not None and not inner.at_end() and inner.key() >= self._hi:
+            self._bound_ended = True
+
+    # ------------------------------------------------------------ navigation
+    def open(self) -> None:
+        """Descend one level; entering the bound level applies ``[lo, hi)``."""
+        inner = self._inner
+        inner.open()
+        if inner.depth == self._level:
+            self._bound_ended = False
+            lo = self._lo
+            if lo is not None and not inner.at_end() and inner.key() < lo:
+                inner.seek(lo)
+            self._check_upper()
+
+    def up(self) -> None:
+        """Return to the parent level (leaving the bound level clears state)."""
+        if self._inner.depth == self._level:
+            self._bound_ended = False
+        self._inner.up()
+
+    def key(self) -> object:
+        """The current key (never outside ``[lo, hi)`` at the bound level)."""
+        if self.at_end():
+            raise RuntimeError("iterator is at end; no current key")
+        return self._inner.key()
+
+    def at_end(self) -> bool:
+        """True when the (restricted) sibling list is exhausted."""
+        if self._bound_ended and self._inner.depth == self._level:
+            return True
+        return self._inner.at_end()
+
+    def next(self) -> None:
+        """Advance to the next sibling; crossing ``hi`` ends the level."""
+        inner = self._inner
+        if inner.depth == self._level:
+            if self._bound_ended:
+                raise RuntimeError("cannot advance: iterator already at end")
+            inner.next()
+            self._check_upper()
+        else:
+            inner.next()
+
+    def seek(self, value: object) -> None:
+        """Advance to the least sibling ``>= max(value, lo)``; clamp at ``hi``."""
+        inner = self._inner
+        if inner.depth == self._level:
+            if self._bound_ended:
+                raise RuntimeError("cannot seek: iterator already at end")
+            lo = self._lo
+            if lo is not None and value < lo:
+                value = lo
+            inner.seek(value)
+            self._check_upper()
+        else:
+            inner.seek(value)
+
+    # -------------------------------------------------------------- utilities
+    def current_run(self) -> Optional[Tuple[object, object, int, int]]:
+        """The remaining sibling run, clamped to ``hi`` at the bound level."""
+        current_run = getattr(self._inner, "current_run", None)
+        if current_run is None:
+            return None
+        run = current_run()
+        if run is None or self._inner.depth != self._level:
+            return run
+        keys, view, lo_pos, hi_pos = run
+        if self._bound_ended:
+            return keys, view, lo_pos, lo_pos
+        if self._hi is not None:
+            hi_pos = bisect_left(keys, self._hi, lo_pos, hi_pos)
+        return keys, view, lo_pos, hi_pos
+
+    def child_run(self) -> Optional[Tuple[object, object, int, int]]:
+        """The child run below the current key (no clamp: children are one
+        level past the bound, and the current key is in range by contract)."""
+        if self._bound_ended and self._inner.depth == self._level:
+            return None
+        child_run = getattr(self._inner, "child_run", None)
+        return child_run() if child_run is not None else None
+
+    def advance_to(self, position: int) -> None:
+        """Trusted batched repositioning (kernel positions are in-bounds by
+        construction: they come from a clamped :meth:`current_run`)."""
+        self._inner.advance_to(position)
+
+    def position(self) -> int:
+        """Index of the current key within the open level's key array."""
+        return self._inner.position()
+
+    def current_prefix(self) -> Tuple[object, ...]:
+        """The sequence of keys selected on the path from the root."""
+        return self._inner.current_prefix()
+
+    def reset(self) -> None:
+        """Close all levels, returning the iterator to the root."""
+        self._bound_ended = False
+        self._inner.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedTrieIterator({self._inner!r}, lo={self._lo!r}, "
+            f"hi={self._hi!r}, level={self._level})"
+        )
+
+
+# --------------------------------------------------------------------------
 # Reference backend: the original pointer-chasing object graph.
 # --------------------------------------------------------------------------
 

@@ -7,6 +7,7 @@ from repro.bench.harness import (
     consistency_check,
     run_cell,
     run_grid,
+    run_parallel_benchmark,
     run_update_benchmark,
     speedup_table,
 )
@@ -139,6 +140,35 @@ class TestUpdateBenchmark:
         assert rebuild["index_builds"] > 0
         assert rebuild["plan_builds"] > 0
         assert len(report["final_counts"]) == len(workload.queries)
+
+    def test_parallel_benchmark_cross_checks_counts(self, databases):
+        report = run_parallel_benchmark(
+            databases,
+            [cycle_query(3)],
+            backend="threads",
+            shards=3,
+            rounds=1,
+        )
+        assert report["requested_shards"] == 3
+        assert len(report["cells"]) == len(databases)
+        for cell in report["cells"]:
+            assert cell["shards"] == 3
+            assert sum(cell["shard_results"]) == cell["count"]
+            assert cell["partition_skew"] >= 1.0
+            assert cell["serial_seconds"] > 0 and cell["parallel_seconds"] > 0
+
+    def test_parallel_benchmark_speedup_bar_fails_loudly(self, databases):
+        # A tiny workload cannot beat an absurd bar; the harness must raise
+        # rather than record a silently-failed cell.
+        with pytest.raises(AssertionError, match="speedup below"):
+            run_parallel_benchmark(
+                {"g1": databases["g1"]},
+                [cycle_query(3)],
+                backend="threads",
+                shards=2,
+                rounds=1,
+                assert_speedup=1000.0,
+            )
 
     def test_unknown_strategy_fails_loudly(self):
         workload = update_stream_workload(scale=0.25, num_batches=2, batch_size=4)

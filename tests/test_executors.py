@@ -30,7 +30,9 @@ def engine(database):
 
 class TestRegistry:
     def test_all_paper_algorithms_registered(self):
-        assert set(ALGORITHMS) == {"lftj", "clftj", "ytd", "generic_join", "pairwise"}
+        assert set(ALGORITHMS) == {
+            "lftj", "clftj", "ytd", "generic_join", "pairwise", "plftj",
+        }
         assert registered_algorithms() == ALGORITHMS
 
     def test_unknown_algorithm_has_helpful_error(self):
