@@ -51,6 +51,9 @@ BENCH_JSON = str(Path(__file__).resolve().parent.parent / "BENCH_4.json")
 #: This PR's trajectory file: serial-vs-parallel join cells.
 BENCH5_JSON = str(Path(__file__).resolve().parent.parent / "BENCH_5.json")
 
+#: This PR's trajectory file: compiled-vs-interpreted driver cells.
+BENCH6_JSON = str(Path(__file__).resolve().parent.parent / "BENCH_6.json")
+
 #: Scale of the dictionary-encoding cells: large enough for stable timing.
 ENCODING_SCALE = 2.0
 ENCODING_ROUNDS = 7
@@ -184,6 +187,100 @@ def test_triangle_encoding_speedup():
         )
 
 
+
+def _compiled_cells(scale=ENCODING_SCALE, rounds=ENCODING_ROUNDS):
+    """Warm compiled vs interpreted join loop, both over encoded tries.
+
+    The interpreted side (``compile=False``) is the PR-4/BENCH_4 encoded
+    configuration — the acceptance baseline the compiled driver must beat by
+    2x.  Runs are interleaved so CPU frequency drift hits both sides
+    equally; each cell also proves instrumentation parity (identical
+    ``OperationCounter`` dictionaries) and that the warm compiled run serves
+    the driver from the cache instead of recompiling.
+    """
+    from repro.bench.workloads import snap_databases
+    from repro.engine import QueryEngine
+    from repro.query.patterns import clique_query
+
+    queries = [cycle_query(3), clique_query(4)]
+    for dataset in DATASETS:
+        database = snap_databases((dataset,), scale=scale)[dataset]
+        engine = QueryEngine(database)
+        for query in queries:
+            # Warm everything: tries, plan cache, and the compiled driver.
+            interpreted = engine.count(query, algorithm="lftj", compile=False)
+            compiled = engine.count(query, algorithm="lftj")
+            compiled_time = interpreted_time = float("inf")
+            compiled_count = interpreted_count = None
+            hits = None
+            for _ in range(rounds):
+                started = time.perf_counter()
+                result = engine.count(query, algorithm="lftj")
+                compiled_time = min(compiled_time, time.perf_counter() - started)
+                compiled_count = result.count
+                hits = result.metadata["compiled_cache_hits"]
+                started = time.perf_counter()
+                interpreted_count = engine.count(
+                    query, algorithm="lftj", compile=False
+                ).count
+                interpreted_time = min(
+                    interpreted_time, time.perf_counter() - started
+                )
+            yield {
+                "dataset": dataset,
+                "query": query.name,
+                "scale": scale,
+                "count_compiled": compiled_count,
+                "count_interpreted": interpreted_count,
+                "compiled_seconds": compiled_time,
+                "interpreted_seconds": interpreted_time,
+                "speedup": interpreted_time / compiled_time,
+                "counters_match": compiled.counter.as_dict()
+                == interpreted.counter.as_dict(),
+                "compiled_cache_hits": hits,
+                "compiled_builds_total": database.compiled_builds,
+            }
+
+
+def _record_compiled_cells(cells, quick=False):
+    """Write the compiled cells into BENCH_6.json (keyed by dataset/query)."""
+    payload = {
+        "mode": "count",
+        "algorithm": "lftj",
+        "quick": quick,
+        "cells": {f"{c['dataset']}/{c['query']}": c for c in cells},
+    }
+    write_bench_json(BENCH6_JSON, "compiled_execution", payload)
+
+
+def test_compiled_triangle_and_clique_speedup():
+    """Warm compiled triangle/4-clique >= 2x the interpreted encoded path."""
+    cells = list(_compiled_cells())
+    _record_compiled_cells(cells)
+    for cell in cells:
+        report_row(
+            "Compiled execution",
+            dataset=cell["dataset"],
+            query=cell["query"],
+            count=cell["count_compiled"],
+            interpreted_seconds=round(cell["interpreted_seconds"], 5),
+            compiled_seconds=round(cell["compiled_seconds"], 5),
+            speedup=round(cell["speedup"], 2),
+            cache_hits=cell["compiled_cache_hits"],
+        )
+        assert cell["count_compiled"] == cell["count_interpreted"]
+        assert cell["counters_match"], (
+            "compiled drivers must replicate the interpreted instrumentation"
+        )
+        assert cell["compiled_cache_hits"] == 1, (
+            "warm runs must reuse the cached driver, not recompile"
+        )
+        assert cell["speedup"] >= 2.0, (
+            f"warm compiled {cell['query']} on {cell['dataset']} should be "
+            f">= 2x the interpreted encoded path, got {cell['speedup']:.2f}x"
+        )
+
+
 def _parallel_report(scale=PARALLEL_SCALE, shards=None, backend="processes",
                      rounds=3, quick=False):
     """Serial-vs-parallel triangle / 4-clique cells over wiki-Vote.
@@ -212,6 +309,10 @@ def _parallel_report(scale=PARALLEL_SCALE, shards=None, backend="processes",
         shards=shards,
         rounds=rounds,
         assert_speedup=enforce,
+        # BENCH_5 tracks partition-parallel scaling of the *interpreted*
+        # loop (its PR-5 baseline); the compiled driver has its own
+        # BENCH_6 cells below.
+        compile=False,
     )
     report["query_set"] = ["3-cycle", "4-clique"]
     report["scale"] = scale
@@ -397,6 +498,34 @@ def main(argv=None):
         if not args.quick and cell["speedup"] < 2.0:
             print(f"FAIL: encoding speedup below 2x on {cell['dataset']}",
                   file=sys.stderr)
+            return 1
+    compiled_scale = 0.5 if args.quick else ENCODING_SCALE
+    compiled_rounds = 2 if args.quick else ENCODING_ROUNDS
+    compiled_cells = list(
+        _compiled_cells(scale=compiled_scale, rounds=compiled_rounds)
+    )
+    _record_compiled_cells(compiled_cells, quick=args.quick)
+    for cell in compiled_cells:
+        report_row(
+            "Compiled execution (standalone)",
+            dataset=cell["dataset"],
+            query=cell["query"],
+            count=cell["count_compiled"],
+            interpreted_seconds=round(cell["interpreted_seconds"], 5),
+            compiled_seconds=round(cell["compiled_seconds"], 5),
+            speedup=round(cell["speedup"], 2),
+        )
+        if cell["count_compiled"] != cell["count_interpreted"]:
+            print(f"FAIL: compiled/interpreted counts disagree on "
+                  f"{cell['dataset']}/{cell['query']}", file=sys.stderr)
+            return 1
+        if not cell["counters_match"]:
+            print(f"FAIL: compiled instrumentation diverges on "
+                  f"{cell['dataset']}/{cell['query']}", file=sys.stderr)
+            return 1
+        if not args.quick and cell["speedup"] < 2.0:
+            print(f"FAIL: compiled speedup below 2x on "
+                  f"{cell['dataset']}/{cell['query']}", file=sys.stderr)
             return 1
     if args.parallel is not None:
         parallel_scale = 0.5 if args.quick else PARALLEL_SCALE

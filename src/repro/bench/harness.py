@@ -228,8 +228,14 @@ def run_parallel_benchmark(
     shards: Optional[int] = None,
     rounds: int = 3,
     assert_speedup: Optional[float] = None,
+    compile: Optional[bool] = None,
 ) -> Dict[str, object]:
     """Serial-vs-parallel cells over warm caches; counts cross-checked.
+
+    ``compile`` is passed through to the engine for lftj/plftj cells:
+    ``False`` pins the interpreted join loop (so parallel speedups are
+    measured against the interpreter on both sides), ``None`` keeps the
+    engine default.
 
     For every (dataset, query) cell the harness warms the shared index cache
     with one serial run, then measures best-of-``rounds`` wall times for the
@@ -253,13 +259,15 @@ def run_parallel_benchmark(
     for dataset_name, database in databases.items():
         engine = QueryEngine(database)
         for query in queries:
-            warmup = engine.count(query, algorithm=algorithm)
+            warmup = engine.count(query, algorithm=algorithm, compile=compile)
             serial_time = parallel_time = float("inf")
             serial_count = parallel_count = None
             parallel_meta: Dict[str, object] = {}
             for _ in range(max(rounds, 1)):
                 started = time.perf_counter()
-                serial_count = engine.count(query, algorithm=algorithm).count
+                serial_count = engine.count(
+                    query, algorithm=algorithm, compile=compile
+                ).count
                 serial_time = min(serial_time, time.perf_counter() - started)
                 started = time.perf_counter()
                 result = engine.count(
@@ -267,6 +275,7 @@ def run_parallel_benchmark(
                     algorithm=algorithm,
                     parallel=effective_shards,
                     parallel_backend=backend,
+                    compile=compile,
                 )
                 parallel_time = min(parallel_time, time.perf_counter() - started)
                 parallel_count = result.count

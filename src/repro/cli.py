@@ -118,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--parallel-backend", choices=("threads", "processes"),
                      default=None,
                      help="parallel execution backend (default: threads)")
+    run.add_argument("--no-compile", action="store_true",
+                     help="run the interpreted join loop instead of the "
+                          "compiled driver (lftj/plftj; the differential "
+                          "oracle path)")
     run.add_argument("--mode", choices=("count", "evaluate"), default="count")
     run.add_argument("--show-rows", type=int, default=0,
                      help="print the first N result rows (evaluate mode)")
@@ -146,6 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also show the partition layout for N shards "
                               "(0 = automatic shard count; requires a concrete "
                               "--algorithm such as plftj or lftj)")
+    explain.add_argument("--no-compile", action="store_true",
+                         help="explain the interpreted path instead of the "
+                              "compiled driver (lftj/plftj)")
 
     subparsers.add_parser("datasets", help="list the built-in dataset stand-ins")
     return parser
@@ -182,6 +189,11 @@ def _parallel_options(args: argparse.Namespace) -> dict:
     backend = getattr(args, "parallel_backend", None)
     if backend is not None:
         options["parallel_backend"] = backend
+    # --no-compile is an explicit request, so it is passed through even for
+    # algorithms that reject it — the engine's ValueError then exits with 2
+    # instead of silently dropping the flag.
+    if getattr(args, "no_compile", False):
+        options["compile"] = False
     return options
 
 

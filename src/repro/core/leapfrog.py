@@ -18,6 +18,7 @@ where no recursion hangs off the matched keys and only their number matters
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_left
 from typing import Iterator, List, Optional, Sequence
 
@@ -181,12 +182,31 @@ def _pair_intersection(a, alo: int, ahi: int, b, blo: int, bhi: int) -> List[int
     return out
 
 
-#: Total spanned elements below which the pure-Python galloping merge beats
-#: numpy's set ops.  Calibrated on the BENCH_4 triangle workload: short
-#: adjacency runs lose more to numpy's fixed per-call overhead (slicing,
-#: concat, sort) than its C inner loop wins back; from a few hundred
-#: elements up the C path dominates (>20x at 8k-element runs).
-_NUMPY_SPAN_THRESHOLD = 256
+def _kernel_crossover() -> int:
+    """The numpy/two-pointer crossover, overridable via the environment.
+
+    Total spanned elements below which the pure-Python galloping merge beats
+    numpy's set ops.  The default of 256 was calibrated on the BENCH_4
+    triangle workload (wiki-Vote / ego-Facebook adjacency runs): short runs
+    lose more to numpy's fixed per-call overhead (slicing, concat, sort)
+    than its C inner loop wins back; from a few hundred elements up the C
+    path dominates (>20x at 8k-element runs).  Set ``REPRO_KERNEL_CROSSOVER``
+    to re-tune for a different box without editing code; invalid values fall
+    back to the calibrated default.
+    """
+    raw = os.environ.get("REPRO_KERNEL_CROSSOVER", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return 256
+    return value if value >= 0 else 256
+
+
+#: Total spanned elements at or above which intersections take the numpy
+#: path.  See :func:`_kernel_crossover` for calibration; the compiled-driver
+#: codegen reads this at compile time, so a monkeypatched value specializes
+#: freshly generated drivers too.
+KERNEL_CROSSOVER: int = _kernel_crossover()
 
 
 def _fast_child_run(iterator):
@@ -254,7 +274,7 @@ def _use_numpy(runs, span_total: int) -> bool:
     """Should this intersection take the vectorised path?"""
     return (
         numpy is not None
-        and span_total >= _NUMPY_SPAN_THRESHOLD
+        and span_total >= KERNEL_CROSSOVER
         and all(run[1] is not None for run in runs)
     )
 
@@ -370,7 +390,7 @@ def intersect_child_count(iterators: Sequence[object], counter: Optional[object]
             return 0
         if (
             numpy is not None
-            and span_total >= _NUMPY_SPAN_THRESHOLD
+            and span_total >= KERNEL_CROSSOVER
             and a_view is not None
             and b_view is not None
         ):
@@ -415,61 +435,7 @@ def intersect_positions(iterators: Sequence[object], counter: Optional[object] =
     runs, span_total = gathered
     if counter is not None:
         counter.record_trie(accesses=max(span_total, 1), seeks=len(runs))
-    count = len(runs)
-    if count == 1:
-        keys, _view, lo, hi = runs[0]
-        if hi <= lo:
-            return [], [[]]
-        return list(keys[lo:hi]), [list(range(lo, hi))]
-    if count == 2 and runs[0][0] is runs[1][0] and runs[0][2:] == runs[1][2:]:
-        # Self-join over one shared physical trie, both cursors on the same
-        # slice (e.g. the root level of a triangle query): the intersection
-        # is the slice itself.
-        keys, _view, lo, hi = runs[0]
-        if hi <= lo:
-            return [], [[], []]
-        positions = list(range(lo, hi))
-        return list(keys[lo:hi]), [positions, positions]
-    if count == 2 and not _use_numpy(runs, span_total):
-        a, _va, i, ahi = runs[0]
-        b, _vb, j, bhi = runs[1]
-        keys_out: List[int] = []
-        first_positions: List[int] = []
-        second_positions: List[int] = []
-        while i < ahi and j < bhi:
-            x = a[i]
-            y = b[j]
-            if x == y:
-                keys_out.append(x)
-                first_positions.append(i)
-                second_positions.append(j)
-                i += 1
-                j += 1
-            elif x < y:
-                i = bisect_left(a, y, i + 1, ahi)
-            else:
-                j = bisect_left(b, x, j + 1, bhi)
-        return keys_out, [first_positions, second_positions]
-    # The helper may reorder its argument (smallest run first); positions
-    # must stay aligned with the caller's iterator order, so hand it a copy.
-    common = _common_of_runs(list(runs), span_total)
-    if getattr(common, "size", None) is not None:  # vectorised path
-        if common.size == 0:
-            return [], [[] for _ in runs]
-        positions = [
-            (numpy.searchsorted(view[lo:hi], common) + lo).tolist()
-            for _keys, view, lo, hi in runs
-        ]
-        return common.tolist(), positions
-    positions = []
-    for keys, _view, lo, hi in runs:
-        pointer = lo
-        run_positions = []
-        for key in common:
-            pointer = bisect_left(keys, key, pointer, hi)
-            run_positions.append(pointer)
-        positions.append(run_positions)
-    return common, positions
+    return run_intersect(runs, (True,) * len(runs))
 
 
 def intersect_keys(iterators: Sequence[object], counter: Optional[object] = None) -> Optional[List[int]]:
@@ -489,6 +455,29 @@ def intersect_keys(iterators: Sequence[object], counter: Optional[object] = None
     runs, span_total = gathered
     if counter is not None:
         counter.record_trie(accesses=max(span_total, 1), seeks=len(runs))
+    return run_keys(runs)
+
+
+# --------------------------------------------------------------------------
+# Run-level kernels: the same cores as the iterator-level functions above,
+# but over already-gathered ``(keys, np_view, lo, hi)`` run tuples.  The
+# compiled drivers (:mod:`repro.engine.compiler`) read trie columns directly
+# and call these, so the generated straight-line loops and the interpreted
+# iterator walk share one set of intersection kernels.
+# --------------------------------------------------------------------------
+
+
+def run_count(runs) -> int:
+    """Size of the intersection of run tuples (shared with ``intersect_count``)."""
+    runs = list(runs)
+    span_total = sum(run[3] - run[2] for run in runs)
+    return _count_common(runs, span_total)
+
+
+def run_keys(runs) -> List[int]:
+    """Sorted common keys of run tuples (shared with ``intersect_keys``)."""
+    runs = list(runs)
+    span_total = sum(run[3] - run[2] for run in runs)
     _smallest_first(runs)
     keys, _view, lo, hi = runs[0]
     if hi <= lo:
@@ -498,3 +487,84 @@ def intersect_keys(iterators: Sequence[object], counter: Optional[object] = None
         return result.tolist() if hasattr(result, "tolist") else list(result)
     common = _common_of_runs(runs, span_total)
     return common.tolist() if hasattr(common, "tolist") else common
+
+
+def run_intersect(runs, need):
+    """Common keys of run tuples plus, per run, the matched positions.
+
+    ``need[i]`` says whether caller wants positions for run ``i``; skipped
+    runs get ``None`` (interior walkers only reposition cursors that still
+    descend — a run at its atom's last level never needs its positions).
+    The key sequence is computed exactly like :func:`intersect_positions`,
+    so compiled and interpreted executions visit identical keys in
+    identical order.
+    """
+    runs = list(runs)
+    span_total = sum(run[3] - run[2] for run in runs)
+    count = len(runs)
+    if count == 1:
+        keys, _view, lo, hi = runs[0]
+        if hi <= lo:
+            return [], [None if not need[0] else []]
+        return (
+            list(keys[lo:hi]),
+            [list(range(lo, hi)) if need[0] else None],
+        )
+    if count == 2 and runs[0][0] is runs[1][0] and runs[0][2:] == runs[1][2:]:
+        # Self-join over one shared slice: the intersection is the slice.
+        keys, _view, lo, hi = runs[0]
+        if hi <= lo:
+            return [], [[] if needed else None for needed in need]
+        positions = list(range(lo, hi))
+        return (
+            list(keys[lo:hi]),
+            [positions if needed else None for needed in need],
+        )
+    if count == 2 and not _use_numpy(runs, span_total):
+        a, _va, i, ahi = runs[0]
+        b, _vb, j, bhi = runs[1]
+        keys_out: List[int] = []
+        first_positions: Optional[List[int]] = [] if need[0] else None
+        second_positions: Optional[List[int]] = [] if need[1] else None
+        while i < ahi and j < bhi:
+            x = a[i]
+            y = b[j]
+            if x == y:
+                keys_out.append(x)
+                if first_positions is not None:
+                    first_positions.append(i)
+                if second_positions is not None:
+                    second_positions.append(j)
+                i += 1
+                j += 1
+            elif x < y:
+                i = bisect_left(a, y, i + 1, ahi)
+            else:
+                j = bisect_left(b, x, j + 1, bhi)
+        return keys_out, [first_positions, second_positions]
+    # ``_common_of_runs`` may reorder its argument; hand it a copy so the
+    # returned positions stay aligned with the caller's run order.
+    common = _common_of_runs(list(runs), span_total)
+    if getattr(common, "size", None) is not None:  # vectorised path
+        if common.size == 0:
+            return [], [[] if needed else None for needed in need]
+        positions = [
+            (numpy.searchsorted(run[1][run[2]:run[3]], common) + run[2]).tolist()
+            if needed
+            else None
+            for run, needed in zip(runs, need)
+        ]
+        return common.tolist(), positions
+    positions = []
+    for run, needed in zip(runs, need):
+        if not needed:
+            positions.append(None)
+            continue
+        keys, _view, lo, hi = run
+        pointer = lo
+        run_positions = []
+        for key in common:
+            pointer = bisect_left(keys, key, pointer, hi)
+            run_positions.append(pointer)
+        positions.append(run_positions)
+    return common, positions

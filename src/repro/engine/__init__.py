@@ -8,6 +8,12 @@ cost-based selector (``algorithm="auto"``).  :meth:`QueryEngine.prepare`
 returns a :class:`PreparedQuery` handle for plan-once/run-many workloads.
 """
 
+from repro.engine.compiler import (
+    COMPILED_ALGORITHMS,
+    CompiledDriver,
+    CompiledTrieJoin,
+    driver_cache_key,
+)
 from repro.engine.executors import (
     AlgorithmSpec,
     Executor,
@@ -30,8 +36,11 @@ from repro.engine.engine import ALGORITHMS, AUTO_ALGORITHM, QueryEngine
 __all__ = [
     "ALGORITHMS",
     "AUTO_ALGORITHM",
+    "COMPILED_ALGORITHMS",
     "AlgorithmChoice",
     "AlgorithmSpec",
+    "CompiledDriver",
+    "CompiledTrieJoin",
     "CostBasedSelector",
     "ExecutionPlan",
     "ExecutionResult",
@@ -44,6 +53,7 @@ __all__ = [
     "PreparedQuery",
     "QueryEngine",
     "algorithm_spec",
+    "driver_cache_key",
     "register_algorithm",
     "registered_algorithms",
 ]

@@ -92,6 +92,7 @@ class QueryEngine:
         cache: Optional[AdhesionCache] = None,
         parallel: Optional[object] = None,
         parallel_backend: Optional[str] = None,
+        compile: Optional[bool] = None,
     ) -> PreparedQuery:
         """Resolve, validate and plan ``query`` once; return a reusable handle.
 
@@ -110,6 +111,7 @@ class QueryEngine:
             "cache": cache,
             "parallel": parallel,
             "parallel_backend": parallel_backend,
+            "compile": compile,
         }
         requested = algorithm
         resolved, selection = self._resolve_algorithm(query, algorithm, parameters)
@@ -145,6 +147,7 @@ class QueryEngine:
         cache: Optional[AdhesionCache] = None,
         parallel: Optional[object] = None,
         parallel_backend: Optional[str] = None,
+        compile: Optional[bool] = None,
     ) -> ExecutionResult:
         """Run a count query with the chosen algorithm and return the result.
 
@@ -164,6 +167,7 @@ class QueryEngine:
             cache=cache,
             parallel=parallel,
             parallel_backend=parallel_backend,
+            compile=compile,
         )
 
     def evaluate(
@@ -177,6 +181,7 @@ class QueryEngine:
         cache: Optional[AdhesionCache] = None,
         parallel: Optional[object] = None,
         parallel_backend: Optional[str] = None,
+        compile: Optional[bool] = None,
     ) -> ExecutionResult:
         """Run a full evaluation and return the materialised result rows.
 
@@ -197,6 +202,7 @@ class QueryEngine:
             cache=cache,
             parallel=parallel,
             parallel_backend=parallel_backend,
+            compile=compile,
         )
 
     # -------------------------------------------------------------- comparison
@@ -211,6 +217,7 @@ class QueryEngine:
         policy: Optional[CachePolicy] = None,
         parallel: Optional[object] = None,
         parallel_backend: Optional[str] = None,
+        compile: Optional[bool] = None,
     ) -> Dict[str, ExecutionResult]:
         """Run ``query`` with several algorithms and return results keyed by name.
 
@@ -230,6 +237,7 @@ class QueryEngine:
             "policy": policy,
             "parallel": parallel,
             "parallel_backend": parallel_backend,
+            "compile": compile,
         }
         results: Dict[str, ExecutionResult] = {}
         for algorithm in algorithms:
@@ -257,6 +265,7 @@ class QueryEngine:
         cache: Optional[AdhesionCache] = None,
         parallel: Optional[object] = None,
         parallel_backend: Optional[str] = None,
+        compile: Optional[bool] = None,
     ) -> str:
         """A human-readable account of how ``query`` would be executed.
 
@@ -274,6 +283,7 @@ class QueryEngine:
             "cache": cache,
             "parallel": parallel,
             "parallel_backend": parallel_backend,
+            "compile": compile,
         }
         plan_builds_before = self.database.plan_builds
         resolved, selection = self._resolve_algorithm(query, algorithm, parameters)
@@ -323,6 +333,13 @@ class QueryEngine:
             f"{self.database.index_patches} delta patch(es), "
             f"{self.database.index_compactions} compaction(s)"
         )
+        lines.append(
+            "compiled drivers: "
+            f"{self.database.compiled_cache_size()} driver(s) cached, "
+            f"{self.database.compiled_builds} build(s), "
+            f"{self.database.compiled_cache_hits} hit(s); "
+            f"this query: {self._compiled_state(query, resolved, variable_order, compile)}"
+        )
         return "\n".join(lines)
 
     # --------------------------------------------------------------- internals
@@ -355,6 +372,32 @@ class QueryEngine:
         )
         backend = parallel_backend or "threads"
         return f"parallel: backend={backend}, {plan.describe()}"
+
+    def _compiled_state(
+        self,
+        query: ConjunctiveQuery,
+        algorithm: str,
+        variable_order: Optional[Sequence[Variable]],
+        compile: Optional[bool],
+    ) -> str:
+        """The explain() account of this query's compiled-driver state."""
+        from repro.engine.compiler import COMPILED_ALGORITHMS, driver_cache_key
+
+        if algorithm not in COMPILED_ALGORITHMS:
+            return f"not applicable (algorithm {algorithm!r} runs interpreted)"
+        if compile is False:
+            return "disabled (compile=False; interpreted oracle path)"
+        if not self.database.encoding_active:
+            return "unavailable (raw storage; falls back to interpreted)"
+        order = (
+            tuple(variable_order)
+            if variable_order is not None
+            else tuple(query.variables)
+        )
+        key = driver_cache_key(query, order)
+        if self.database.has_compiled_driver(key):
+            return "cached"
+        return "will compile on first execution"
 
     def _resolve_algorithm(
         self,
@@ -390,6 +433,7 @@ class QueryEngine:
         cache: Optional[AdhesionCache] = None,
         parallel: Optional[object] = None,
         parallel_backend: Optional[str] = None,
+        compile: Optional[bool] = None,
         selection: Optional[AlgorithmChoice] = None,
     ) -> ExecutionResult:
         """One execution through registry lookup, planning and the executor."""
@@ -402,6 +446,7 @@ class QueryEngine:
             "cache": cache,
             "parallel": parallel,
             "parallel_backend": parallel_backend,
+            "compile": compile,
         }
         # The result keeps the caller's label ("auto" stays "auto"); the
         # resolved name lands in metadata["selected_algorithm"].
@@ -432,8 +477,15 @@ class QueryEngine:
                 parallel=parallel,
                 parallel_backend=parallel_backend,
                 selector=self.selector,
+                compile=compile,
             )
         )
+        # Two-phase build/execute: compile (or cache-hit) the specialized
+        # driver before the clock starts, so codegen cost never pollutes
+        # measured runtimes — the compiled_builds metadata reports it.
+        build = getattr(executor, "build", None)
+        if build is not None:
+            build()
 
         dictionary = self.database.dictionary
         decodes_before = dictionary.decodes
@@ -467,7 +519,7 @@ class QueryEngine:
             result.rows = rows
         return result
 
-    def _cache_counters(self) -> Tuple[int, int, int, int, int, int]:
+    def _cache_counters(self) -> Tuple[int, ...]:
         database = self.database
         return (
             database.index_builds,
@@ -476,6 +528,8 @@ class QueryEngine:
             database.plan_cache_hits,
             database.index_patches,
             database.index_compactions,
+            database.compiled_builds,
+            database.compiled_cache_hits,
         )
 
     def _result(
@@ -499,7 +553,16 @@ class QueryEngine:
             metadata["selector_costs"] = {
                 name: round(cost, 2) for name, cost in selection.costs.items()
             }
-        builds, hits, plan_builds, plan_hits, patches, compactions = (
+        (
+            builds,
+            hits,
+            plan_builds,
+            plan_hits,
+            patches,
+            compactions,
+            compiled_builds,
+            compiled_hits,
+        ) = (
             after - before
             for after, before in zip(self._cache_counters(), counters_before)
         )
@@ -507,6 +570,8 @@ class QueryEngine:
         metadata["index_cache_hits"] = hits
         metadata["plan_builds"] = plan_builds
         metadata["plan_cache_hits"] = plan_hits
+        metadata["compiled_builds"] = compiled_builds
+        metadata["compiled_cache_hits"] = compiled_hits
         # Index mutations observed during this execution (an executor never
         # mutates, but a caller interleaving updates sees them attributed to
         # the run that noticed them).

@@ -56,6 +56,7 @@ PARAMETERS: Tuple[str, ...] = (
     "cache",
     "parallel",
     "parallel_backend",
+    "compile",
 )
 
 
@@ -107,6 +108,7 @@ class ExecutorRequest:
     parallel: Optional[object] = None
     parallel_backend: Optional[str] = None
     selector: Optional[object] = None
+    compile: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -183,6 +185,7 @@ def _build_parallel(request: ExecutorRequest, inner: str) -> Executor:
         shards=shards,
         backend=request.parallel_backend or "threads",
         selector=request.selector,
+        compile=request.compile,
     )
 
 
@@ -205,7 +208,14 @@ def _check_parallel_params(request: ExecutorRequest) -> bool:
 def _build_lftj(request: ExecutorRequest) -> Executor:
     if _check_parallel_params(request):
         return _build_parallel(request, "lftj")
-    return LeapfrogTrieJoin(
+    if request.compile is False:
+        # The interpreted path, retained as the differential oracle.
+        return LeapfrogTrieJoin(
+            request.query, request.database, request.variable_order, request.counter
+        )
+    from repro.engine.compiler import CompiledTrieJoin
+
+    return CompiledTrieJoin(
         request.query, request.database, request.variable_order, request.counter
     )
 
@@ -280,7 +290,9 @@ register_algorithm(
         name="lftj",
         factory=_build_lftj,
         description="vanilla Leapfrog Trie Join (Figure 1)",
-        accepts=frozenset({"variable_order", "parallel", "parallel_backend"}),
+        accepts=frozenset(
+            {"variable_order", "parallel", "parallel_backend", "compile"}
+        ),
     )
 )
 register_algorithm(
@@ -326,6 +338,8 @@ register_algorithm(
             "partition-parallel Leapfrog Trie Join (top-variable sharding "
             "over shared tries; threads or fork-based processes)"
         ),
-        accepts=frozenset({"variable_order", "parallel", "parallel_backend"}),
+        accepts=frozenset(
+            {"variable_order", "parallel", "parallel_backend", "compile"}
+        ),
     )
 )

@@ -422,6 +422,7 @@ class ParallelExecutor:
         backend: str = "threads",
         selector=None,
         catalog=None,
+        compile: Optional[bool] = None,
     ) -> None:
         if inner not in PARALLEL_INNER_ALGORITHMS:
             raise ValueError(
@@ -443,6 +444,9 @@ class ParallelExecutor:
         self.inner_algorithm = inner
         self.backend = backend
         self.requested_shards = shards
+        #: ``False`` pins the interpreted inner executors (the differential
+        #: oracle); anything else lets lftj shards run compiled drivers.
+        self.compile = compile
         self._selector = selector
         self._catalog = catalog if catalog is not None else getattr(selector, "catalog", None)
         # The template validates the query/order and pre-builds every shared
@@ -459,6 +463,17 @@ class ParallelExecutor:
         self._shard_stats: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------- execution
+    def build(self) -> None:
+        """Phase one of build/execute: compile (or fetch) the shared driver.
+
+        Runs in the calling thread before any timing starts, so shard
+        workers only ever cache-hit.  Interpreted inners have no build
+        phase; this is then a no-op.
+        """
+        build = getattr(self._template, "build", None)
+        if build is not None:
+            build()
+
     def count(self) -> int:
         """Sum of the per-shard counts."""
         return sum(result.value for result in self._execute_shards("count"))
@@ -479,13 +494,23 @@ class ParallelExecutor:
 
     # -------------------------------------------------------------- internals
     def _make_inner(self, lo, hi, counter: OperationCounter):
-        """Build one range-restricted inner executor."""
-        factory = (
-            _BoundedLeapfrogTrieJoin
-            if self.inner_algorithm == "lftj"
-            else _BoundedGenericJoin
-        )
-        return factory(
+        """Build one range-restricted inner executor.
+
+        Compiled lftj shards all resolve to the *same* cached driver (the
+        cache key has no range in it) — each shard merely calls it with its
+        own ``[lo, hi)``, so sharding costs one compilation total.
+        """
+        if self.inner_algorithm == "lftj":
+            if self.compile is False:
+                return _BoundedLeapfrogTrieJoin(
+                    self.query, self.database, self.variable_order, counter, lo, hi
+                )
+            from repro.engine.compiler import CompiledTrieJoin
+
+            return CompiledTrieJoin(
+                self.query, self.database, self.variable_order, counter, lo, hi
+            )
+        return _BoundedGenericJoin(
             self.query, self.database, self.variable_order, counter, lo, hi
         )
 

@@ -212,6 +212,30 @@ class PreparedQuery:
                 )
         return cache
 
+    # ---------------------------------------------------------- compiled view
+    def compiled_driver(self):
+        """The specialized driver this handle currently resolves to, or
+        ``None``.
+
+        The handle does not pin a driver object: it always reads through the
+        database's compiled-driver cache, so a version bump on any tracked
+        relation (delta update, replacement, or compaction) that dropped the
+        driver is visible here immediately as ``None`` — and the next
+        ``count()``/``evaluate()`` recompiles during its build phase.  The
+        returned :class:`~repro.engine.compiler.CompiledDriver` exposes
+        ``debug_source(mode)`` for inspection.
+        """
+        from repro.engine.compiler import COMPILED_ALGORITHMS, driver_cache_key
+
+        if self.algorithm not in COMPILED_ALGORITHMS:
+            return None
+        if self._parameters.get("compile") is False:
+            return None
+        order = self._parameters.get("variable_order")
+        order = tuple(order) if order is not None else tuple(self.query.variables)
+        key = driver_cache_key(self.query, order)
+        return self.engine.database.peek_compiled_driver(key)
+
     # -------------------------------------------------------------- reporting
     def explain(self) -> str:
         """The engine's explain output for this handle's query and algorithm."""

@@ -53,6 +53,14 @@ _YTD_MATERIALIZE_FACTOR = 3.0
 #: executions run >= 2x faster than raw ones.
 _ENCODED_SEEK_UNIT = 0.5
 
+#: Ceiling on the one-time codegen cost charged to lftj when its specialized
+#: driver is not yet in the database's compiled-driver cache.  Compilation is
+#: a few milliseconds of pure-Python source emission + ``exec``, independent
+#: of data size, so the charge is the *smaller* of this cap and 2% of the
+#: interpreted estimate — it can break near-ties toward an already-warm
+#: algorithm, but can never overturn clftj's 1.05x probe-overhead margin.
+_COMPILE_CHARGE_CAP = 64.0
+
 #: Estimated cost units one parallel shard pays before doing useful work:
 #: partition planning amortised per shard, executor construction (cache-hit
 #: index lookups), and — on the process backend — a fork.  Auto shard counts
@@ -139,7 +147,26 @@ class CostBasedSelector:
     def _lftj_cost(
         self, model: ChuCostModel, query: ConjunctiveQuery, plan: ExecutionPlan
     ) -> float:
-        return model.order_cost(plan.variable_order) * self._seek_unit()
+        base = model.order_cost(plan.variable_order) * self._seek_unit()
+        return base + self._compile_charge(query, plan, base)
+
+    def _compile_charge(
+        self, query: ConjunctiveQuery, plan: ExecutionPlan, base: float
+    ) -> float:
+        """One-time codegen cost for lftj's compiled driver, if still cold.
+
+        Zero when the driver is already cached (warm re-executions compile
+        nothing) and on raw storage (the compiler requires dictionary
+        encoding, so lftj falls back to the interpreted path for free).
+        """
+        if not self.database.encoding_active:
+            return 0.0
+        from repro.engine.compiler import driver_cache_key
+
+        key = driver_cache_key(query, tuple(plan.variable_order))
+        if self.database.has_compiled_driver(key):
+            return 0.0
+        return min(_COMPILE_CHARGE_CAP, 0.02 * base)
 
     def _clftj_cost(
         self, model: ChuCostModel, query: ConjunctiveQuery, plan: ExecutionPlan
@@ -239,6 +266,30 @@ class CostBasedSelector:
                 f"adhesion caching caps subtree work at the estimated distinct "
                 f"adhesion keys across {decomposition.num_nodes - 1} cached node(s)"
             )
+        if not self.database.encoding_active:
+            reasons.append(
+                "raw storage: lftj would run interpreted (no codegen charge)"
+            )
+        else:
+            from repro.engine.compiler import driver_cache_key
+
+            key = driver_cache_key(query, tuple(plan.variable_order))
+            if self.database.has_compiled_driver(key):
+                reasons.append(
+                    "lftj's specialized driver is already compiled and cached"
+                )
+            else:
+                # Recover the charge from the charged total: below the cap
+                # boundary (base >= 50x cap) the charge was 2% of the base.
+                total = costs["lftj"]
+                if total >= _COMPILE_CHARGE_CAP * 51.0:
+                    charge = _COMPILE_CHARGE_CAP
+                else:
+                    charge = total - total / 1.02
+                reasons.append(
+                    f"lftj is charged {charge:.1f} unit(s) of one-time driver "
+                    f"compilation (driver not cached yet)"
+                )
         runner_up = min(
             (name for name in AUTO_CANDIDATES if name != algorithm),
             key=lambda name: costs[name],

@@ -123,6 +123,12 @@ class Database:
         self.plan_builds: int = 0
         #: Number of plan-cache hits since creation.
         self.plan_cache_hits: int = 0
+        self._compiled_cache: Dict[Hashable, object] = {}
+        self._compiled_relations: Dict[Hashable, FrozenSet[str]] = {}
+        #: Number of compiled-driver builds (codegen runs) since creation.
+        self.compiled_builds: int = 0
+        #: Number of compiled-driver cache hits since creation.
+        self.compiled_cache_hits: int = 0
         #: Bumped on every mutation (add/replace/insert/delete) — a coarse
         #: "anything changed" observability counter.  Cache holders should
         #: prefer the per-relation :meth:`relation_version`.
@@ -159,6 +165,7 @@ class Database:
             for key in stale_plans:
                 del self._plan_cache[key]
                 del self._plan_relations[key]
+            self._drop_compiled_for(relation.name)
             self.data_version += 1
 
     def _versioned(self, name: str) -> VersionedRelation:
@@ -235,6 +242,7 @@ class Database:
     ) -> None:
         self._versions[name] = batch.version
         self.data_version += 1
+        self._drop_compiled_for(name)
         self._patch_indexes(name, batch)
         if (
             len(versioned.base) <= self.compaction_floor
@@ -288,6 +296,9 @@ class Database:
             for target in names:
                 versioned = self._versioned(target)
                 folded += versioned.compact()
+                # Compaction swaps the backing column arrays without a
+                # version bump, so drivers that captured them go stale.
+                self._drop_compiled_for(target)
                 for key in [key for key in self._index_cache if key[1] == target]:
                     index = self._index_cache[key]
                     if not getattr(index, "has_deltas", False):
@@ -335,6 +346,7 @@ class Database:
             for name in self._relations:
                 self._versions[name] = self._versions.get(name, 0) + 1
             self.data_version += 1
+            self.clear_compiled_cache()
             return self.clear_index_cache()
 
     # --------------------------------------------------------------- indexes
@@ -445,6 +457,66 @@ class Database:
     def plan_cache_size(self) -> int:
         """Number of plans currently cached."""
         return len(self._plan_cache)
+
+    # ------------------------------------------------------- compiled drivers
+    def compiled_driver(
+        self,
+        key: Hashable,
+        relation_names: Iterable[str],
+        build: Callable[[], object],
+    ) -> object:
+        """Return (and memoise) a compiled execution driver under ``key``.
+
+        The compiled cache sits alongside the plan cache and shares its
+        per-relation invalidation on replacement — but, unlike plans,
+        compiled drivers capture the *physical* trie columns, so they are
+        additionally dropped on every data mutation (:meth:`insert` /
+        :meth:`delete`) and on :meth:`compact`, which swaps the backing
+        arrays without a logical version bump.  The ``compiled_builds`` /
+        ``compiled_cache_hits`` counters mirror the index and plan cache
+        conventions and are surfaced per execution in result metadata.
+        """
+        with self._lock:
+            entry = self._compiled_cache.get(key)
+            if entry is None:
+                entry = build()
+                self.compiled_builds += 1
+                self._compiled_cache[key] = entry
+                self._compiled_relations[key] = frozenset(relation_names)
+            else:
+                self.compiled_cache_hits += 1
+            return entry
+
+    def has_compiled_driver(self, key: Hashable) -> bool:
+        """Whether a compiled driver is currently cached under ``key``."""
+        return key in self._compiled_cache
+
+    def peek_compiled_driver(self, key: Hashable) -> Optional[object]:
+        """The cached compiled driver under ``key``, or ``None`` — a pure
+        read: never builds, never counts as a cache hit."""
+        return self._compiled_cache.get(key)
+
+    def _drop_compiled_for(self, name: str) -> None:
+        stale = [
+            key
+            for key, names in self._compiled_relations.items()
+            if name in names
+        ]
+        for key in stale:
+            del self._compiled_cache[key]
+            del self._compiled_relations[key]
+
+    def clear_compiled_cache(self) -> int:
+        """Drop every compiled driver; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._compiled_cache)
+            self._compiled_cache.clear()
+            self._compiled_relations.clear()
+            return dropped
+
+    def compiled_cache_size(self) -> int:
+        """Number of compiled drivers currently cached."""
+        return len(self._compiled_cache)
 
     # ------------------------------------------------------------- reporting
     def total_tuples(self) -> int:

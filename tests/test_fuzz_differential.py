@@ -6,6 +6,11 @@ registered serial algorithms *and* the partition-parallel configurations
 produce exactly the brute-force oracle's result set — on the encoded and the
 raw storage path, and optionally after a random insert/delete stream.
 
+The compiled-driver configurations (lftj/plftj with ``compile=True``, serial
+and parallel, over both storage paths) are additionally checked *ordered and
+byte-identical* against their interpreted twins (``compile=False``), and the
+serial pair must report identical instrumentation counters.
+
 Tier-1 runs a small deterministic corpus (seeds ``0..7``); set the
 ``REPRO_FUZZ_ITERS`` environment variable to fuzz deeper locally::
 
@@ -27,6 +32,16 @@ from tests.conftest import brute_force_evaluate
 
 #: All serial algorithms under differential test.
 SERIAL_ALGORITHMS = ("lftj", "clftj", "ytd", "generic_join", "pairwise")
+
+#: Compiled configurations per instance: (algorithm, extra engine kwargs).
+#: Each runs twice — compiled and interpreted — and must agree byte for
+#: byte; on raw storage the compiled executor falls back to the interpreted
+#: loop, which keeps the comparison meaningful on both paths.
+COMPILED_CONFIGS = (
+    ("lftj", {}),
+    ("lftj", {"parallel": 3, "parallel_backend": "threads"}),
+    ("plftj", {"parallel": 2, "parallel_backend": "threads"}),
+)
 
 #: Parallel configurations exercised per instance: (algorithm, shards, backend).
 PARALLEL_CONFIGS = (
@@ -147,6 +162,33 @@ def _check_all_agree(query, database, expected):
             assert result.metadata["shards"] == shards
 
 
+def _check_compiled_agrees(query, database, expected):
+    """Compiled executions must equal their interpreted twins byte for byte."""
+    engine = QueryEngine(database)
+    for algorithm, options in COMPILED_CONFIGS:
+        compiled = engine.evaluate(
+            query, algorithm=algorithm, compile=True, **options
+        )
+        interpreted = engine.evaluate(
+            query, algorithm=algorithm, compile=False, **options
+        )
+        assert compiled.rows == interpreted.rows, (
+            f"compiled {algorithm} {options} row stream diverges from the "
+            f"interpreted oracle on {query.name!r} over {database.name!r}"
+        )
+        assert compiled.count == interpreted.count == len(compiled.rows)
+        rows = _rows_in_query_order(compiled, query)
+        assert rows == expected, (
+            f"compiled {algorithm} {options} disagrees with brute force on "
+            f"{query.name!r} over {database.name!r}"
+        )
+        if not options:
+            assert compiled.counter.as_dict() == interpreted.counter.as_dict(), (
+                f"compiled {algorithm} instrumentation diverges on "
+                f"{query.name!r} over {database.name!r}"
+            )
+
+
 def _random_update_stream(rng, database, schemas):
     """Apply 1-2 random insert/delete batches to one relation."""
     name, classes = rng.choice(schemas)
@@ -177,10 +219,12 @@ def _fuzz_one(seed):
         database = build(encode)
         expected = brute_force_evaluate(query, database)
         _check_all_agree(query, database, expected)
+        _check_compiled_agrees(query, database, expected)
         if rng.random() < 0.5:
             _random_update_stream(rng, database, schemas)
             updated = brute_force_evaluate(query, database)
             _check_all_agree(query, database, updated)
+            _check_compiled_agrees(query, database, updated)
 
 
 @pytest.mark.parametrize("seed", range(FUZZ_ITERATIONS))
