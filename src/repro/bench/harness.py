@@ -220,17 +220,26 @@ def run_update_benchmark(
     return report
 
 
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (0.5 = p50, 0.95 = p95)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
 def run_parallel_benchmark(
     databases: Mapping[str, Database],
     queries: Sequence[ConjunctiveQuery],
     algorithm: str = "lftj",
     backend: str = "processes",
-    shards: Optional[int] = None,
+    workers: Optional[int] = None,
     rounds: int = 3,
     assert_speedup: Optional[float] = None,
     compile: Optional[bool] = None,
 ) -> Dict[str, object]:
-    """Serial-vs-parallel cells over warm caches; counts cross-checked.
+    """Serial vs static vs morsel cells over warm caches; counts cross-checked.
 
     ``compile`` is passed through to the engine for lftj/plftj cells:
     ``False`` pins the interpreted join loop (so parallel speedups are
@@ -238,83 +247,124 @@ def run_parallel_benchmark(
     engine default.
 
     For every (dataset, query) cell the harness warms the shared index cache
-    with one serial run, then measures best-of-``rounds`` wall times for the
-    serial executor and the partition-parallel executor (``backend`` x
-    ``shards``; ``shards=None`` uses the core count).  Serial and parallel
-    counts are asserted identical — a performance run doubles as a
-    correctness run — and each cell records the shard layout (bounds,
-    per-shard counts/seconds, skew).
+    with one serial run, then measures best-of-``rounds`` wall times for
+    three executions on a **persistent worker pool** (the first parallel
+    round also pays the pool's one-time worker spawn, which best-of absorbs):
 
-    ``assert_speedup`` (e.g. ``1.5``) raises when any cell's parallel
-    speedup falls below the bar; callers gate it on ``cores >= 2`` — the
-    process backend cannot beat serial execution on a single core, it can
-    only prove the counts still agree.
+    * the serial executor;
+    * ``parallel_mode="static"`` — one range per worker, no stealing
+      (PR 5's scheduling discipline, the skew baseline);
+    * ``parallel_mode="morsel"`` — over-partitioned ranges with work
+      stealing and adaptive splitting (this PR's scheduler).
 
-    ``shards=None`` defaults to twice the core count: over-partitioning
-    lets the scheduler smooth residual per-range skew.
+    All three counts are asserted identical — a performance run doubles as
+    a correctness run.  Each cell records the static and morsel
+    ``partition_skew`` (max/mean per-worker work) side by side — the
+    skew-reduction evidence — plus per-morsel p50/p95 task seconds,
+    utilization, worker-busy max/mean, steal and split counts.
+
+    ``assert_speedup`` (e.g. ``1.5``) raises when any cell's morsel speedup
+    falls below the bar; callers gate it on ``cores >= 2`` — fork workers
+    cannot beat serial execution on a single core, they can only prove the
+    counts still agree.
+
+    ``workers=None`` sizes the pool to the usable core count
+    (:func:`repro.engine.pool.available_workers`).
     """
+    from repro.engine.pool import available_workers
+
     cores = os.cpu_count() or 1
-    effective_shards = shards if shards is not None else max(cores * 2, 2)
+    effective_workers = workers if workers is not None else available_workers()
     cells: List[Dict[str, object]] = []
     for dataset_name, database in databases.items():
         engine = QueryEngine(database)
         for query in queries:
             warmup = engine.count(query, algorithm=algorithm, compile=compile)
-            serial_time = parallel_time = float("inf")
-            serial_count = parallel_count = None
-            parallel_meta: Dict[str, object] = {}
+            times = {"serial": float("inf"), "static": float("inf"),
+                     "morsel": float("inf")}
+            counts: Dict[str, Optional[int]] = {}
+            metas: Dict[str, Dict[str, object]] = {"static": {}, "morsel": {}}
             for _ in range(max(rounds, 1)):
                 started = time.perf_counter()
-                serial_count = engine.count(
+                counts["serial"] = engine.count(
                     query, algorithm=algorithm, compile=compile
                 ).count
-                serial_time = min(serial_time, time.perf_counter() - started)
-                started = time.perf_counter()
-                result = engine.count(
-                    query,
-                    algorithm=algorithm,
-                    parallel=effective_shards,
-                    parallel_backend=backend,
-                    compile=compile,
+                times["serial"] = min(
+                    times["serial"], time.perf_counter() - started
                 )
-                parallel_time = min(parallel_time, time.perf_counter() - started)
-                parallel_count = result.count
-                parallel_meta = result.metadata
-            if not (warmup.count == serial_count == parallel_count):
+                for mode in ("static", "morsel"):
+                    started = time.perf_counter()
+                    result = engine.count(
+                        query,
+                        algorithm=algorithm,
+                        parallel=effective_workers,
+                        parallel_backend=backend,
+                        parallel_mode=mode,
+                        compile=compile,
+                    )
+                    times[mode] = min(times[mode], time.perf_counter() - started)
+                    counts[mode] = result.count
+                    metas[mode] = result.metadata
+            if not (
+                warmup.count == counts["serial"] == counts["static"]
+                == counts["morsel"]
+            ):
                 raise AssertionError(
                     f"serial/parallel counts disagree on {query.name!r} over "
                     f"{dataset_name!r}: warmup={warmup.count} "
-                    f"serial={serial_count} parallel={parallel_count}"
+                    f"serial={counts['serial']} static={counts['static']} "
+                    f"morsel={counts['morsel']}"
                 )
-            speedup = serial_time / max(parallel_time, 1e-9)
+            speedup = times["serial"] / max(times["morsel"], 1e-9)
+            morsel_meta = metas["morsel"]
+            task_seconds = list(morsel_meta.get("task_seconds") or [])
+            busy = list(morsel_meta.get("worker_busy_seconds") or [])
             cells.append(
                 {
                     "dataset": dataset_name,
                     "query": query.name,
-                    "count": serial_count,
-                    "serial_seconds": serial_time,
-                    "parallel_seconds": parallel_time,
+                    "count": counts["serial"],
+                    "serial_seconds": times["serial"],
+                    "static_seconds": times["static"],
+                    "parallel_seconds": times["morsel"],
                     "speedup": speedup,
-                    "shards": parallel_meta.get("shards"),
-                    "parallel_backend": parallel_meta.get("parallel_backend"),
-                    "partition_source": parallel_meta.get("partition_source"),
-                    "partition_bounds": parallel_meta.get("partition_bounds"),
-                    "shard_results": parallel_meta.get("shard_results"),
-                    "shard_seconds": parallel_meta.get("shard_seconds"),
-                    "partition_skew": parallel_meta.get("partition_skew"),
-                    "encoded": parallel_meta.get("encoded"),
+                    "static_speedup": times["serial"] / max(times["static"], 1e-9),
+                    "workers": morsel_meta.get("workers"),
+                    "morsels": morsel_meta.get("morsels"),
+                    "tasks_executed": morsel_meta.get("tasks_executed"),
+                    "steals": morsel_meta.get("steals"),
+                    "splits": morsel_meta.get("splits"),
+                    "parallel_backend": morsel_meta.get("parallel_backend"),
+                    "partition_source": morsel_meta.get("partition_source"),
+                    "partition_bounds": morsel_meta.get("partition_bounds"),
+                    "shard_results": morsel_meta.get("shard_results"),
+                    "task_seconds_p50": _percentile(task_seconds, 0.5),
+                    "task_seconds_p95": _percentile(task_seconds, 0.95),
+                    "utilization": morsel_meta.get("utilization"),
+                    "worker_busy_max": max(busy) if busy else 0.0,
+                    "worker_busy_mean": (
+                        sum(busy) / len(busy) if busy else 0.0
+                    ),
+                    # The skew-reduction headline: per-worker imbalance under
+                    # static scheduling vs under the morsel scheduler.
+                    "partition_skew_static": metas["static"].get("partition_skew"),
+                    "partition_skew_morsel": morsel_meta.get("partition_skew"),
+                    "morsel_skew": morsel_meta.get("morsel_skew"),
+                    "encoded": morsel_meta.get("encoded"),
                 }
             )
             if assert_speedup is not None and speedup < assert_speedup:
                 raise AssertionError(
-                    f"parallel speedup below {assert_speedup}x on "
+                    f"morsel speedup below {assert_speedup}x on "
                     f"{query.name!r} over {dataset_name!r}: {speedup:.2f}x "
-                    f"(serial {serial_time:.4f}s vs parallel {parallel_time:.4f}s)"
+                    f"(serial {times['serial']:.4f}s vs morsel "
+                    f"{times['morsel']:.4f}s)"
                 )
+        database.close_pools()
     return {
         "algorithm": algorithm,
         "backend": backend,
-        "requested_shards": effective_shards,
+        "workers": effective_workers,
         "cores": cores,
         "rounds": rounds,
         "cells": cells,

@@ -113,11 +113,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--algorithm", choices=cli_algorithms(), default="clftj",
                      help="a registered algorithm, or 'auto' for cost-based selection")
     run.add_argument("--parallel", type=int, default=None, metavar="N",
-                     help="shard the join on the top variable across N workers "
-                          "(lftj/generic_join/plftj; 0 = automatic shard count)")
+                     help="run the join morsel-parallel on a persistent pool "
+                          "of N workers (lftj/generic_join/plftj; 0 = "
+                          "automatic worker count)")
     run.add_argument("--parallel-backend", choices=("threads", "processes"),
                      default=None,
                      help="parallel execution backend (default: threads)")
+    run.add_argument("--parallel-mode", choices=("morsel", "static"),
+                     default=None,
+                     help="scheduling mode: morsel (over-partitioned ranges "
+                          "with work stealing, default) or static (one range "
+                          "per worker)")
     run.add_argument("--no-compile", action="store_true",
                      help="run the interpreted join loop instead of the "
                           "compiled driver (lftj/plftj; the differential "
@@ -147,9 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--algorithm", choices=cli_algorithms(), default=AUTO_ALGORITHM,
                          help="algorithm to explain (default: auto, with selector reasoning)")
     explain.add_argument("--parallel", type=int, default=None, metavar="N",
-                         help="also show the partition layout for N shards "
-                              "(0 = automatic shard count; requires a concrete "
+                         help="also show the morsel layout for N workers "
+                              "(0 = automatic worker count; requires a concrete "
                               "--algorithm such as plftj or lftj)")
+    explain.add_argument("--parallel-mode", choices=("morsel", "static"),
+                         default=None,
+                         help="scheduling mode to explain (default: morsel)")
     explain.add_argument("--no-compile", action="store_true",
                          help="explain the interpreted path instead of the "
                               "compiled driver (lftj/plftj)")
@@ -177,9 +186,9 @@ def _mutate_relation(database: Database, relation_name: str, count: int, rng) ->
 
 
 def _parallel_options(args: argparse.Namespace) -> dict:
-    """Engine kwargs for the CLI's --parallel / --parallel-backend flags.
+    """Engine kwargs for the CLI's --parallel* flags.
 
-    ``--parallel 0`` requests an automatic (cost-based) shard count; any
+    ``--parallel 0`` requests an automatic (cost-based) worker count; any
     positive N pins the count; omitting the flag keeps execution serial.
     """
     options: dict = {}
@@ -189,6 +198,9 @@ def _parallel_options(args: argparse.Namespace) -> dict:
     backend = getattr(args, "parallel_backend", None)
     if backend is not None:
         options["parallel_backend"] = backend
+    mode = getattr(args, "parallel_mode", None)
+    if mode is not None:
+        options["parallel_mode"] = mode
     # --no-compile is an explicit request, so it is passed through even for
     # algorithms that reject it — the engine's ValueError then exits with 2
     # instead of silently dropping the flag.

@@ -711,6 +711,16 @@ class CompiledTrieJoin(_BoundedLeapfrogTrieJoin):
     pending deltas fall back to the inherited interpreted execution — the
     executor is then byte-for-byte the interpreted ``lftj`` (or its bounded
     shard variant when a ``[lo, hi)`` range is given).
+
+    **Shared-driver handoff to morsel-parallel execution**: the cache key
+    carries no range, so every morsel of a parallel query resolves to the
+    *same* driver — one compilation per (query, order, physical state)
+    regardless of how many ranges the scheduler runs, and fork-backend
+    workers inherit the parent's already-built driver by copy-on-write
+    (the parallel executor's ``build()`` runs before the pool forks or
+    re-arms).  ``count()``/``evaluate_coded()`` also call :meth:`build`
+    lazily, so a worker constructing an executor per morsel only ever
+    cache-hits.
     """
 
     def __init__(

@@ -92,6 +92,7 @@ class QueryEngine:
         cache: Optional[AdhesionCache] = None,
         parallel: Optional[object] = None,
         parallel_backend: Optional[str] = None,
+        parallel_mode: Optional[str] = None,
         compile: Optional[bool] = None,
     ) -> PreparedQuery:
         """Resolve, validate and plan ``query`` once; return a reusable handle.
@@ -101,7 +102,8 @@ class QueryEngine:
         through the plan and index caches and, for CLFTJ, keeps a persistent
         adhesion cache per execution mode (warm across runs).  With
         ``parallel=`` (on ``lftj``/``generic_join``/``plftj``), every
-        re-execution shards through the partition-parallel executor.
+        re-execution runs morsel-parallel on the database's persistent
+        worker pool — warm repeats spawn no new workers.
         """
         parameters: Dict[str, object] = {
             "decomposition": decomposition,
@@ -111,6 +113,7 @@ class QueryEngine:
             "cache": cache,
             "parallel": parallel,
             "parallel_backend": parallel_backend,
+            "parallel_mode": parallel_mode,
             "compile": compile,
         }
         requested = algorithm
@@ -147,14 +150,18 @@ class QueryEngine:
         cache: Optional[AdhesionCache] = None,
         parallel: Optional[object] = None,
         parallel_backend: Optional[str] = None,
+        parallel_mode: Optional[str] = None,
         compile: Optional[bool] = None,
     ) -> ExecutionResult:
         """Run a count query with the chosen algorithm and return the result.
 
-        Pass ``parallel=N`` (or ``True`` for an automatic shard count) with
-        ``algorithm`` ``"lftj"``/``"generic_join"``/``"plftj"`` to shard the
-        execution on the top join variable; ``parallel_backend`` selects
-        ``"threads"`` (default) or fork-based ``"processes"``.
+        Pass ``parallel=N`` (worker count; ``True`` for automatic) with
+        ``algorithm`` ``"lftj"``/``"generic_join"``/``"plftj"`` to run the
+        execution morsel-parallel over the top join variable on the
+        database's persistent worker pool; ``parallel_backend`` selects
+        ``"threads"`` (default) or fork-based ``"processes"``, and
+        ``parallel_mode`` picks ``"morsel"`` (work stealing, default) or
+        ``"static"`` (one range per worker).
         """
         return self._execute(
             query,
@@ -167,6 +174,7 @@ class QueryEngine:
             cache=cache,
             parallel=parallel,
             parallel_backend=parallel_backend,
+            parallel_mode=parallel_mode,
             compile=compile,
         )
 
@@ -181,6 +189,7 @@ class QueryEngine:
         cache: Optional[AdhesionCache] = None,
         parallel: Optional[object] = None,
         parallel_backend: Optional[str] = None,
+        parallel_mode: Optional[str] = None,
         compile: Optional[bool] = None,
     ) -> ExecutionResult:
         """Run a full evaluation and return the materialised result rows.
@@ -202,6 +211,7 @@ class QueryEngine:
             cache=cache,
             parallel=parallel,
             parallel_backend=parallel_backend,
+            parallel_mode=parallel_mode,
             compile=compile,
         )
 
@@ -217,6 +227,7 @@ class QueryEngine:
         policy: Optional[CachePolicy] = None,
         parallel: Optional[object] = None,
         parallel_backend: Optional[str] = None,
+        parallel_mode: Optional[str] = None,
         compile: Optional[bool] = None,
     ) -> Dict[str, ExecutionResult]:
         """Run ``query`` with several algorithms and return results keyed by name.
@@ -237,6 +248,7 @@ class QueryEngine:
             "policy": policy,
             "parallel": parallel,
             "parallel_backend": parallel_backend,
+            "parallel_mode": parallel_mode,
             "compile": compile,
         }
         results: Dict[str, ExecutionResult] = {}
@@ -265,6 +277,7 @@ class QueryEngine:
         cache: Optional[AdhesionCache] = None,
         parallel: Optional[object] = None,
         parallel_backend: Optional[str] = None,
+        parallel_mode: Optional[str] = None,
         compile: Optional[bool] = None,
     ) -> str:
         """A human-readable account of how ``query`` would be executed.
@@ -283,6 +296,7 @@ class QueryEngine:
             "cache": cache,
             "parallel": parallel,
             "parallel_backend": parallel_backend,
+            "parallel_mode": parallel_mode,
             "compile": compile,
         }
         plan_builds_before = self.database.plan_builds
@@ -307,8 +321,11 @@ class QueryEngine:
             lines.append(plan.describe())
         if resolved == "plftj" or parallel is not None:
             lines.append("")
-            lines.append(self._describe_partitions(query, variable_order,
-                                                   parallel, parallel_backend))
+            lines.append(
+                self._describe_partitions(
+                    query, variable_order, parallel, parallel_backend, parallel_mode
+                )
+            )
         if decomposition is not None:
             plan_state = "bypassed (explicit decomposition)"
         elif not plan_consulted:
@@ -349,29 +366,44 @@ class QueryEngine:
         variable_order: Optional[Sequence[Variable]],
         parallel: Optional[object],
         parallel_backend: Optional[str],
+        parallel_mode: Optional[str],
     ) -> str:
-        """One explain line describing the parallel shard layout.
+        """One explain line describing the morsel/worker layout.
 
         Reads through the same memoised plan as execution
         (:func:`repro.engine.parallel.cached_partition_plan`), so the bounds
         shown here are exactly the bounds the next execution will use.
         """
-        from repro.engine.parallel import cached_partition_plan
+        from repro.engine.parallel import MIN_MORSEL_KEYS, cached_partition_plan
 
         order = (
             tuple(variable_order)
             if variable_order is not None
             else tuple(query.variables)
         )
+        mode = parallel_mode or "morsel"
         if parallel is None or parallel is True:
-            shards = self.selector.recommend_shards(query, order)
+            workers = self.selector.recommend_workers(query, order)
         else:
-            shards = max(int(parallel), 1)
+            workers = max(int(parallel), 1)
+        if mode == "static" or workers <= 1:
+            morsels, min_keys = workers, 1
+        else:
+            morsels = self.selector.recommend_morsels(query, order, workers=workers)
+            min_keys = MIN_MORSEL_KEYS
         plan = cached_partition_plan(
-            self.database, self.selector.catalog, query, order, shards
+            self.database,
+            self.selector.catalog,
+            query,
+            order,
+            morsels,
+            min_keys_per_range=min_keys,
         )
         backend = parallel_backend or "threads"
-        return f"parallel: backend={backend}, {plan.describe()}"
+        return (
+            f"parallel: backend={backend}, mode={mode}, "
+            f"workers={workers}, {plan.describe()}"
+        )
 
     def _compiled_state(
         self,
@@ -433,6 +465,7 @@ class QueryEngine:
         cache: Optional[AdhesionCache] = None,
         parallel: Optional[object] = None,
         parallel_backend: Optional[str] = None,
+        parallel_mode: Optional[str] = None,
         compile: Optional[bool] = None,
         selection: Optional[AlgorithmChoice] = None,
     ) -> ExecutionResult:
@@ -446,6 +479,7 @@ class QueryEngine:
             "cache": cache,
             "parallel": parallel,
             "parallel_backend": parallel_backend,
+            "parallel_mode": parallel_mode,
             "compile": compile,
         }
         # The result keeps the caller's label ("auto" stays "auto"); the
@@ -476,6 +510,7 @@ class QueryEngine:
                 cache=cache,
                 parallel=parallel,
                 parallel_backend=parallel_backend,
+                parallel_mode=parallel_mode,
                 selector=self.selector,
                 compile=compile,
             )

@@ -56,6 +56,7 @@ PARAMETERS: Tuple[str, ...] = (
     "cache",
     "parallel",
     "parallel_backend",
+    "parallel_mode",
     "compile",
 )
 
@@ -91,12 +92,14 @@ class Executor(Protocol):
 class ExecutorRequest:
     """Everything a factory may need to build one executor.
 
-    ``parallel`` carries the shard request for the partition-parallel
-    executor: an ``int`` pins the shard count, ``True`` asks for an
+    ``parallel`` carries the worker request for the morsel-parallel
+    executor: an ``int`` pins the worker count, ``True`` asks for an
     automatic count (the cost-based ``selector``, when present, charges a
-    per-shard startup cost so tiny queries stay serial), ``None`` means
+    per-worker engagement cost so tiny queries stay serial), ``None`` means
     serial execution.  ``parallel_backend`` picks ``"threads"`` (default)
-    or ``"processes"``.
+    or ``"processes"``; ``parallel_mode`` picks ``"morsel"`` (default:
+    over-partitioned ranges with work stealing and adaptive splitting) or
+    ``"static"`` (one range per worker, PR 5's scheduling discipline).
     """
 
     query: ConjunctiveQuery
@@ -107,6 +110,7 @@ class ExecutorRequest:
     cache: Optional[AdhesionCache] = None
     parallel: Optional[object] = None
     parallel_backend: Optional[str] = None
+    parallel_mode: Optional[str] = None
     selector: Optional[object] = None
     compile: Optional[bool] = None
 
@@ -170,20 +174,21 @@ class RowStreamAdapter:
 
 # ---------------------------------------------------------------- factories
 def _build_parallel(request: ExecutorRequest, inner: str) -> Executor:
-    """Build a partition-parallel executor around ``inner``."""
+    """Build a morsel-parallel executor around ``inner``."""
     from repro.engine.parallel import ParallelExecutor
 
-    shards = request.parallel
-    if shards is True:
-        shards = None  # auto: selector-recommended (or core count)
+    workers = request.parallel
+    if workers is True:
+        workers = None  # auto: selector-recommended (or usable core count)
     return ParallelExecutor(
         request.query,
         request.database,
         variable_order=request.variable_order,
         counter=request.counter,
         inner=inner,
-        shards=shards,
+        workers=workers,
         backend=request.parallel_backend or "threads",
+        mode=request.parallel_mode or "morsel",
         selector=request.selector,
         compile=request.compile,
     )
@@ -193,14 +198,18 @@ def _check_parallel_params(request: ExecutorRequest) -> bool:
     """Should this request route through the parallel executor?
 
     ``parallel=False`` is an explicit request for serial execution, same
-    as ``None``; ``True`` asks for an automatic shard count; any ``int``
+    as ``None``; ``True`` asks for an automatic worker count; any ``int``
     pins it.
     """
     if request.parallel is not None and request.parallel is not False:
         return True
     if request.parallel_backend is not None:
         raise ValueError(
-            "parallel_backend requires parallel= (a shard count or True)"
+            "parallel_backend requires parallel= (a worker count or True)"
+        )
+    if request.parallel_mode is not None:
+        raise ValueError(
+            "parallel_mode requires parallel= (a worker count or True)"
         )
     return False
 
@@ -291,7 +300,13 @@ register_algorithm(
         factory=_build_lftj,
         description="vanilla Leapfrog Trie Join (Figure 1)",
         accepts=frozenset(
-            {"variable_order", "parallel", "parallel_backend", "compile"}
+            {
+                "variable_order",
+                "parallel",
+                "parallel_backend",
+                "parallel_mode",
+                "compile",
+            }
         ),
     )
 )
@@ -320,7 +335,9 @@ register_algorithm(
         name="generic_join",
         factory=_build_generic_join,
         description="NPRR-style worst-case-optimal join over hash prefix indexes",
-        accepts=frozenset({"variable_order", "parallel", "parallel_backend"}),
+        accepts=frozenset(
+            {"variable_order", "parallel", "parallel_backend", "parallel_mode"}
+        ),
     )
 )
 register_algorithm(
@@ -339,7 +356,13 @@ register_algorithm(
             "over shared tries; threads or fork-based processes)"
         ),
         accepts=frozenset(
-            {"variable_order", "parallel", "parallel_backend", "compile"}
+            {
+                "variable_order",
+                "parallel",
+                "parallel_backend",
+                "parallel_mode",
+                "compile",
+            }
         ),
     )
 )

@@ -1,47 +1,61 @@
-"""Partition-parallel join execution.
+"""Morsel-driven partition-parallel join execution.
 
 Worst-case-optimal joins partition cleanly on the first join variable: each
 value of the top variable seeds an independent sub-join, so splitting the top
 variable's key domain into disjoint ranges splits the whole query into
-independent shards whose results simply concatenate.  The shared, immutable
-index layer built in earlier PRs makes the shards nearly free to set up —
+independent units whose results simply concatenate.  The shared, immutable
+index layer built in earlier PRs makes the units nearly free to set up —
 every worker reads the same cached columnar tries and value dictionary
 through range-restricted cursor views
 (:class:`~repro.storage.trie.BoundedTrieIterator`), with no data copies.
 
-Three pieces implement this:
+Earlier PRs ran a *static* plan — a fixed 2-ranges-per-core tiling executed
+on a fresh thread pool (or fresh forks) per query — which left two costs on
+the table once compiled drivers (PR 6) shrank per-range compute: scheduling
+setup paid per execution, and partition skew (one hot range serialises the
+tail).  This module now runs the classic fix, morsel-driven parallelism:
 
 * :class:`PartitionPlanner` — splits the top variable's code-space domain
   into balanced ranges, weighting keys with value frequencies from the
   :class:`~repro.storage.statistics.StatisticsCatalog` and falling back to
-  equal-width code ranges when no statistics apply;
+  equal-width code ranges when no statistics apply.  In morsel mode the
+  executor asks for many more ranges than workers (see
+  ``MORSEL_OVERPARTITION``), subject to a per-range key floor
+  (``MIN_MORSEL_KEYS``), so mis-estimated weights average out across the
+  pool instead of deciding the critical path;
 * range-restricted executors — :class:`LeapfrogTrieJoin` and
   :class:`GenericJoin` subclasses that bound the top variable to one range;
-* :class:`ParallelExecutor` — fans the ranges out over one of two backends
-  behind a single interface and merges the per-shard results
-  deterministically (shard order; counters summed; skew stats surfaced):
+* :class:`ParallelExecutor` — submits the ranges as one
+  :class:`~repro.engine.pool.MorselJob` to the database's **persistent**
+  :class:`~repro.engine.pool.WorkerPool` (threads or forked processes; see
+  :mod:`repro.engine.pool` for the stealing, adaptive-split and lifecycle
+  machinery) and merges results deterministically: tasks are tagged with
+  their planner index (plus split path) and reassembled in that order, so
+  parallel LFTJ reproduces the serial row stream byte-for-byte under any
+  stealing schedule; counters are summed; scheduling stats (steals, splits,
+  per-worker busy seconds, utilization, skew) are surfaced in metadata.
 
-  - ``"threads"`` (default) — a thread pool; safe on every platform, and
-    wins when the numpy block kernels dominate (they run outside the
-    interpreter loop).  The pure-Python per-key path stays GIL-bound, so
-    thread shards mostly buy overlap with I/O and numpy, not CPU scaling.
-  - ``"processes"`` — ``fork``-based workers.  The fork inherits the whole
-    read-only database (warm index caches included) by copy-on-write, so a
-    shard ships nothing in and only plain counters plus code-space rows
-    out; each worker is parameterized by just its shard index and code
-    range.  This is the backend that scales CPU-bound pure-Python joins
-    across cores.  Platforms without ``fork`` fall back to threads.
+Scheduling modes (``parallel_mode``):
 
-The executor registry exposes this as ``algorithm="plftj"`` and as
-``parallel=N`` on ``lftj`` / ``generic_join`` (see
-:mod:`repro.engine.executors`).
+* ``"morsel"`` (default) — over-partition, steal, adaptively split any
+  morsel whose run exceeds ``MORSEL_SPLIT_THRESHOLD`` seconds.
+* ``"static"`` — exactly one range per worker, stealing and splitting off;
+  this reproduces the PR 5 scheduling discipline (now on a persistent
+  pool) and is kept as the bench baseline that makes skew visible.
+
+Backend choice is unchanged in spirit: ``"threads"`` is safe everywhere and
+wins when numpy block kernels dominate; ``"processes"`` forks workers that
+inherit the whole read-only database (warm index and compiled-driver caches
+included) by copy-on-write and is the backend that scales CPU-bound
+pure-Python joins across cores.  Platforms without ``fork`` fall back to
+threads.  The executor registry exposes all of this as ``algorithm="plftj"``
+and as ``parallel=N`` on ``lftj`` / ``generic_join`` (see
+:mod:`repro.engine.executors`); ``N`` now means **workers**, not ranges.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import os
-import threading
 import time
 from bisect import bisect_left
 from dataclasses import dataclass
@@ -50,6 +64,14 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.baselines.generic_join import GenericJoin
 from repro.core.instrumentation import OperationCounter
 from repro.core.lftj import LeapfrogTrieJoin
+from repro.engine.pool import (
+    JobReport,
+    MorselJob,
+    MorselResult,
+    MorselTask,
+    TaskOutcome,
+    available_workers,
+)
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.terms import Variable
 from repro.storage.database import Database
@@ -65,6 +87,24 @@ PARALLEL_INNER_ALGORITHMS: Tuple[str, ...] = ("lftj", "generic_join")
 #: Supported execution backends.
 PARALLEL_BACKENDS: Tuple[str, ...] = ("threads", "processes")
 
+#: Supported scheduling modes.
+PARALLEL_MODES: Tuple[str, ...] = ("morsel", "static")
+
+#: Morsel mode plans this many ranges per worker (before the cost model and
+#: the key floor cap it): enough over-partitioning that one hot range is a
+#: small fraction of the total work, small enough that per-morsel setup
+#: (one executor construction over warm caches) stays negligible.
+MORSEL_OVERPARTITION: int = 16
+
+#: Floor on keys per planned morsel: domains too small to feed the
+#: over-partitioning simply get fewer morsels.
+MIN_MORSEL_KEYS: int = 4
+
+#: A morsel running longer than this (seconds) arms the adaptive splitter:
+#: still-wide queued morsels are halved and requeued so a single hot key
+#: range cannot serialise the query mid-flight.
+MORSEL_SPLIT_THRESHOLD: float = 0.05
+
 
 # --------------------------------------------------------------------------
 # Partition planning.
@@ -73,14 +113,14 @@ PARALLEL_BACKENDS: Tuple[str, ...] = ("threads", "processes")
 
 @dataclass(frozen=True)
 class PartitionPlan:
-    """The shard layout for one parallel execution.
+    """The range layout for one parallel execution.
 
     ``bounds`` holds ``k - 1`` non-decreasing cut keys in the top variable's
     key space (dictionary codes on the encoded path, raw values otherwise):
-    shard ``i`` covers ``[bounds[i-1], bounds[i])`` with open ends at both
+    range ``i`` covers ``[bounds[i-1], bounds[i])`` with open ends at both
     extremes, so the ranges tile the whole ordered key space regardless of
     how the cuts were estimated — balance affects speed, never correctness.
-    Repeated cut keys produce deliberately *empty* shards (small domains
+    Repeated cut keys produce deliberately *empty* ranges (small domains
     split more ways than they have keys).
     """
 
@@ -95,29 +135,34 @@ class PartitionPlan:
         return len(self.bounds) + 1
 
     def ranges(self) -> List[Tuple[object, object]]:
-        """The ``[lo, hi)`` range per shard (``None`` = unbounded end)."""
+        """The ``[lo, hi)`` range per morsel (``None`` = unbounded end)."""
         cuts: List[object] = [None, *self.bounds, None]
         return [(cuts[index], cuts[index + 1]) for index in range(len(cuts) - 1)]
 
     def describe(self) -> str:
         """One-line human-readable account (used by ``engine.explain``)."""
         return (
-            f"{self.num_shards} shard(s) on variable {self.variable!r} "
+            f"{self.num_shards} range(s) on variable {self.variable!r} "
             f"(partition source: {self.source}), bounds: {list(self.bounds)!r}"
         )
 
 
 class PartitionPlanner:
-    """Split the top join variable's key domain into balanced shard ranges.
+    """Split the top join variable's key domain into balanced ranges.
 
     The planner weighs each key of the top variable with its value frequency
     from the statistics catalog (or, without a catalog, a direct
     ``value_counts`` scan of the backing relation) and cuts the sorted key
-    sequence so every shard carries roughly equal weight — frequency mass is
+    sequence so every range carries roughly equal weight — frequency mass is
     the best cheap proxy for leapfrog work below a top-level key.  When no
     statistics apply (every covering atom carries constants), it falls back
     to equal-width ranges over the dictionary's code space; with nothing to
-    go on at all it degrades to a single unbounded shard.
+    go on at all it degrades to a single unbounded range.
+
+    ``min_keys_per_range`` caps how finely a domain splits: morsel mode
+    over-partitions aggressively, and the floor keeps tiny domains from
+    shattering into per-key (or empty) morsels whose scheduling overhead
+    exceeds their work.
 
     Bounds are computed in the same key space the shards will iterate in:
     dictionary codes when the database encodes (code order is the trie
@@ -133,8 +178,9 @@ class PartitionPlanner:
         query: ConjunctiveQuery,
         variable_order: Sequence[Variable],
         num_shards: int,
+        min_keys_per_range: int = 1,
     ) -> PartitionPlan:
-        """Produce a :class:`PartitionPlan` with ``num_shards`` ranges."""
+        """Produce a :class:`PartitionPlan` with up to ``num_shards`` ranges."""
         if not variable_order:
             raise ValueError("cannot partition a query without variables")
         top = variable_order[0]
@@ -149,18 +195,30 @@ class PartitionPlanner:
             # frequency.  Measured per-shard operation counts on the bench
             # workloads sit between the two pure models, so their mean is
             # used as the fixed toll; residual imbalance is absorbed by
-            # over-partitioning (auto shard counts run two ranges per core,
-            # see CostBasedSelector.recommend_shards and the bench harness).
+            # over-partitioning plus work stealing (see ParallelExecutor).
+            shards = self._clamp(num_shards, len(weighted), min_keys_per_range)
+            if shards <= 1:
+                return PartitionPlan(top.name, (), "single", (1.0,))
             mean = sum(weight for _key, weight in weighted) / len(weighted)
             weighted = [(key, mean + weight) for key, weight in weighted]
-            return self._balanced(top, weighted, num_shards, "statistics")
+            return self._balanced(top, weighted, shards, "statistics")
         dictionary = self.database.dictionary
         if self.database.encoding_active and len(dictionary):
+            shards = self._clamp(num_shards, len(dictionary), min_keys_per_range)
+            if shards <= 1:
+                return PartitionPlan(top.name, (), "single", (1.0,))
             uniform = [(code, 1.0) for code in range(len(dictionary))]
-            return self._balanced(top, uniform, num_shards, "equal-width")
+            return self._balanced(top, uniform, shards, "equal-width")
         return PartitionPlan(top.name, (), "single", (1.0,))
 
     # ------------------------------------------------------------- internals
+    @staticmethod
+    def _clamp(requested: int, num_keys: int, min_keys_per_range: int) -> int:
+        """Cap the range count so every range spans enough keys."""
+        if min_keys_per_range <= 1:
+            return requested
+        return max(1, min(requested, num_keys // min_keys_per_range))
+
     def _weighted_keys(
         self, query: ConjunctiveQuery, top: Variable
     ) -> Optional[List[Tuple[object, float]]]:
@@ -249,7 +307,7 @@ class PartitionPlanner:
             accumulated += weight
             weights[shard] += weight
         # Small domains can run out of keys before cuts: pad with the last
-        # cut (or the last key), creating deliberately empty tail shards.
+        # cut (or the last key), creating deliberately empty tail ranges.
         while len(bounds) < num_shards - 1:
             bounds.append(bounds[-1] if bounds else items[-1][0])
         return PartitionPlan(top.name, tuple(bounds), source, tuple(weights))
@@ -261,8 +319,9 @@ def cached_partition_plan(
     query: ConjunctiveQuery,
     variable_order: Sequence[Variable],
     num_shards: int,
+    min_keys_per_range: int = 1,
 ) -> PartitionPlan:
-    """The partition plan for one (query, order, shard count), memoised in
+    """The partition plan for one (query, order, range count), memoised in
     the database's plan cache.
 
     Bounds only need to *tile* the key space, so a plan computed from
@@ -280,13 +339,14 @@ def cached_partition_plan(
         query_signature(query),
         tuple(variable.name for variable in variable_order),
         num_shards,
+        min_keys_per_range,
         database.encoding_active,
     )
     return database.cached_plan(
         key,
         query.relation_names,
         lambda: PartitionPlanner(database, catalog).plan(
-            query, variable_order, num_shards
+            query, variable_order, num_shards, min_keys_per_range
         ),
         # A degenerate single-range plan computed before any index existed
         # (cold explain: nothing encoded, no frequencies) must not poison
@@ -356,59 +416,105 @@ class _BoundedGenericJoin(GenericJoin):
 
 
 # --------------------------------------------------------------------------
+# The morsel runner (module-level: the fork backend pickles it by reference).
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MorselSpec:
+    """Per-job parameters every morsel of a query shares (picklable)."""
+
+    query: ConjunctiveQuery
+    variable_order: Tuple[Variable, ...]
+    inner: str
+    compile: Optional[bool]
+    run_mode: str
+
+
+def make_range_executor(
+    query: ConjunctiveQuery,
+    database: Database,
+    variable_order: Sequence[Variable],
+    inner: str,
+    compile: Optional[bool],
+    counter: OperationCounter,
+    lo,
+    hi,
+):
+    """Build one range-restricted inner executor.
+
+    Compiled lftj morsels all resolve to the *same* cached driver (the
+    cache key has no range in it) — each morsel merely calls it with its
+    own ``[lo, hi)``, so a parallel query costs one compilation total, and
+    forked workers inherit the parent's already-built driver for free.
+    """
+    if inner == "lftj":
+        if compile is False:
+            return _BoundedLeapfrogTrieJoin(
+                query, database, variable_order, counter, lo, hi
+            )
+        from repro.engine.compiler import CompiledTrieJoin
+
+        return CompiledTrieJoin(query, database, variable_order, counter, lo, hi)
+    return _BoundedGenericJoin(query, database, variable_order, counter, lo, hi)
+
+
+def _run_morsel(database: Database, spec: MorselSpec, task: MorselTask) -> TaskOutcome:
+    """The pool runner: execute one morsel's range, return its outcome."""
+    counter = OperationCounter()
+    executor = make_range_executor(
+        spec.query,
+        database,
+        spec.variable_order,
+        spec.inner,
+        spec.compile,
+        counter,
+        task.lo,
+        task.hi,
+    )
+    if spec.run_mode == "count":
+        value = executor.count()
+        rows: Optional[List[Tuple[object, ...]]] = None
+    else:
+        rows = [tuple(row) for row in executor.evaluate_coded()]
+        value = len(rows)
+    return TaskOutcome(value=value, rows=rows, counter=counter)
+
+
+def _skew(work: Sequence[float]) -> float:
+    """Max/mean imbalance of a work distribution (1.0 = perfectly even)."""
+    total = sum(work)
+    if not work or total <= 0:
+        return 1.0
+    return max(work) / (total / len(work))
+
+
+# --------------------------------------------------------------------------
 # The parallel executor.
 # --------------------------------------------------------------------------
 
 
-@dataclass
-class _ShardResult:
-    """Everything one shard reports back (picklable for the process backend)."""
-
-    index: int
-    value: int
-    rows: Optional[List[Tuple[object, ...]]]
-    counter: OperationCounter
-    elapsed: float
-
-
-def _shard_process_main(executor: "ParallelExecutor", index, lo, hi, mode, queue):
-    """Process-backend entry point: run one shard, ship the result back.
-
-    Only ever started with the ``fork`` context, so ``executor`` (and with
-    it the whole read-only database) arrives by copy-on-write inheritance —
-    nothing is pickled *into* the worker; the :class:`_ShardResult` going
-    back is plain counters plus code-space rows.
-    """
-    try:
-        # The fork may have happened while ANOTHER parent thread held the
-        # database lock (engines are documented as thread-shareable); that
-        # thread does not exist in the child, so the inherited lock would
-        # never be released.  The child is single-threaded, so replacing
-        # the lock is safe and makes shard construction (which takes it
-        # for index-cache hits) deadlock-free.
-        executor.database._lock = threading.RLock()
-        queue.put(executor._run_shard(index, lo, hi, mode))
-    except BaseException as error:  # noqa: BLE001 - must cross the process boundary
-        queue.put((index, f"{type(error).__name__}: {error}"))
-
-
 class ParallelExecutor:
-    """Partition-parallel execution of LFTJ or GenericJoin over shared tries.
+    """Morsel-parallel execution of LFTJ or GenericJoin over shared tries.
 
     Implements the standard executor protocol (``count`` / ``evaluate`` /
     ``evaluate_coded`` / ``execution_metadata``), so the engine treats it
     like any other algorithm.  Construction builds (or cache-hits) every
     shared index once, in the calling thread, through a full-range
-    *template* executor; per-shard executors then reuse the warm cache — a
-    thread shard costs an executor construction, a process shard costs a
-    ``fork``.
+    *template* executor; morsel tasks then reuse the warm cache through the
+    database's persistent :class:`~repro.engine.pool.WorkerPool` — a thread
+    morsel costs an executor construction, and fork workers are spawned
+    once and re-armed across queries.
 
-    The merge is deterministic: shard results are ordered by shard index
-    (ranges are ordered, and within a shard the inner algorithm emits rows
-    in trie order, so concatenation reproduces the serial row order for
-    LFTJ), per-shard operation counters are summed into the executor's
-    counter, and ``execution_metadata`` reports ``shards``,
-    ``partition_bounds``, per-shard counts/seconds and a skew measure.
+    The merge is deterministic: results are ordered by ``(planner index,
+    split path)`` (ranges are ordered, and within a range the inner
+    algorithm emits rows in trie order, so concatenation reproduces the
+    serial row order for LFTJ regardless of which worker ran what),
+    per-morsel operation counters are summed into the executor's counter,
+    and ``execution_metadata`` reports workers, morsels, steals, splits,
+    per-worker busy seconds, utilization and two skew measures
+    (``partition_skew`` per worker — what stealing equalises — and
+    ``morsel_skew`` per planned range).
     """
 
     def __init__(
@@ -418,8 +524,9 @@ class ParallelExecutor:
         variable_order: Optional[Sequence[Variable]] = None,
         counter: Optional[OperationCounter] = None,
         inner: str = "lftj",
-        shards: Optional[object] = None,
+        workers: Optional[object] = None,
         backend: str = "threads",
+        mode: str = "morsel",
         selector=None,
         catalog=None,
         compile: Optional[bool] = None,
@@ -434,28 +541,42 @@ class ParallelExecutor:
                 f"unknown parallel backend {backend!r}; choose one of "
                 f"{PARALLEL_BACKENDS}"
             )
-        if shards is not None and shards is not True:
-            shards = int(shards)
-            if shards < 1:
-                raise ValueError("parallel shard count must be >= 1")
+        if mode not in PARALLEL_MODES:
+            raise ValueError(
+                f"unknown parallel mode {mode!r}; choose one of {PARALLEL_MODES}"
+            )
+        if workers is not None and workers is not True:
+            workers = int(workers)
+            if workers < 1:
+                raise ValueError("parallel worker count must be >= 1")
         self.query = query
         self.database = database
         self.counter = counter if counter is not None else OperationCounter()
         self.inner_algorithm = inner
         self.backend = backend
-        self.requested_shards = shards
+        self.mode = mode
+        self.requested_workers = workers
         #: ``False`` pins the interpreted inner executors (the differential
-        #: oracle); anything else lets lftj shards run compiled drivers.
+        #: oracle); anything else lets lftj morsels run compiled drivers.
         self.compile = compile
         self._selector = selector
         self._catalog = catalog if catalog is not None else getattr(selector, "catalog", None)
         # The template validates the query/order and pre-builds every shared
-        # index in the calling thread, so shard construction is cache-hits
+        # index in the calling thread, so morsel construction is cache-hits
         # only (and, for the process backend, happens before the fork).
         self.variable_order = (
             tuple(variable_order) if variable_order is not None else None
         )
-        self._template = self._make_inner(None, None, OperationCounter())
+        self._template = make_range_executor(
+            query,
+            database,
+            self.variable_order,
+            inner,
+            compile,
+            OperationCounter(),
+            None,
+            None,
+        )
         self.variable_order: Tuple[Variable, ...] = self._template.variable_order
         self.encoded: bool = bool(getattr(self._template, "encoded", False))
         self._partition_plan: Optional[PartitionPlan] = None
@@ -466,17 +587,18 @@ class ParallelExecutor:
     def build(self) -> None:
         """Phase one of build/execute: compile (or fetch) the shared driver.
 
-        Runs in the calling thread before any timing starts, so shard
-        workers only ever cache-hit.  Interpreted inners have no build
-        phase; this is then a no-op.
+        Runs in the calling thread before any timing starts — and before
+        the fork backend spawns or re-arms workers — so morsels only ever
+        cache-hit (forked children inherit the driver by copy-on-write).
+        Interpreted inners have no build phase; this is then a no-op.
         """
         build = getattr(self._template, "build", None)
         if build is not None:
             build()
 
     def count(self) -> int:
-        """Sum of the per-shard counts."""
-        return sum(result.value for result in self._execute_shards("count"))
+        """Sum of the per-morsel counts."""
+        return sum(result.value for result in self._execute_morsels("count"))
 
     def evaluate(self) -> Iterator[Tuple[object, ...]]:
         """Yield result rows as values (decoding at this boundary if encoded)."""
@@ -488,70 +610,71 @@ class ParallelExecutor:
             yield from self.evaluate_coded()
 
     def evaluate_coded(self) -> Iterator[Tuple[object, ...]]:
-        """Yield result rows in storage space, concatenated in shard order."""
-        for result in self._execute_shards("evaluate"):
+        """Yield result rows in storage space, concatenated in range order."""
+        for result in self._execute_morsels("evaluate"):
             yield from result.rows
 
     # -------------------------------------------------------------- internals
-    def _make_inner(self, lo, hi, counter: OperationCounter):
-        """Build one range-restricted inner executor.
-
-        Compiled lftj shards all resolve to the *same* cached driver (the
-        cache key has no range in it) — each shard merely calls it with its
-        own ``[lo, hi)``, so sharding costs one compilation total.
-        """
-        if self.inner_algorithm == "lftj":
-            if self.compile is False:
-                return _BoundedLeapfrogTrieJoin(
-                    self.query, self.database, self.variable_order, counter, lo, hi
-                )
-            from repro.engine.compiler import CompiledTrieJoin
-
-            return CompiledTrieJoin(
-                self.query, self.database, self.variable_order, counter, lo, hi
-            )
-        return _BoundedGenericJoin(
-            self.query, self.database, self.variable_order, counter, lo, hi
-        )
-
-    def _resolve_shards(self) -> int:
-        requested = self.requested_shards
+    def _resolve_workers(self) -> int:
+        requested = self.requested_workers
         if requested is None or requested is True:
             if self._selector is not None:
-                return self._selector.recommend_shards(self.query, self.variable_order)
-            return max(os.cpu_count() or 1, 1)
+                return self._selector.recommend_workers(self.query, self.variable_order)
+            return available_workers()
         return requested
 
-    def _run_shard(self, index: int, lo, hi, mode: str, executor=None) -> _ShardResult:
+    def _resolve_morsels(self, workers: int) -> int:
+        if self.mode == "static" or workers <= 1:
+            return workers
+        if self._selector is not None:
+            return self._selector.recommend_morsels(
+                self.query, self.variable_order, workers=workers
+            )
+        return workers * MORSEL_OVERPARTITION
+
+    def _partition(self, morsels: int) -> PartitionPlan:
+        """The (memoised) partition plan — see :func:`cached_partition_plan`."""
+        min_keys = MIN_MORSEL_KEYS if self.mode == "morsel" else 1
+        return cached_partition_plan(
+            self.database,
+            self._catalog,
+            self.query,
+            self.variable_order,
+            morsels,
+            min_keys_per_range=min_keys,
+        )
+
+    def _run_template(self, run_mode: str) -> MorselResult:
+        """Serial fallback: the full-range template IS the single morsel."""
         counter = OperationCounter()
-        if executor is None:
-            executor = self._make_inner(lo, hi, counter)
-        else:
-            # Reusing a prebuilt executor (the full-range template on the
-            # single-shard path): iterators are created per execution with
-            # whatever counter the executor holds at that moment.
-            executor.counter = counter
+        executor = self._template
+        # Iterators are created per execution with whatever counter the
+        # executor holds at that moment, so swapping it in is safe.
+        executor.counter = counter
         started = time.perf_counter()
-        if mode == "count":
+        if run_mode == "count":
             value = executor.count()
             rows: Optional[List[Tuple[object, ...]]] = None
         else:
             rows = [tuple(row) for row in executor.evaluate_coded()]
             value = len(rows)
         elapsed = time.perf_counter() - started
-        return _ShardResult(
-            index=index, value=value, rows=rows, counter=counter, elapsed=elapsed
+        return MorselResult(
+            index=0,
+            path=(),
+            lo=None,
+            hi=None,
+            value=value,
+            rows=rows,
+            counter=counter,
+            elapsed=elapsed,
+            worker=0,
+            stolen=False,
         )
 
-    def _partition(self, shards: int) -> PartitionPlan:
-        """The (memoised) partition plan — see :func:`cached_partition_plan`."""
-        return cached_partition_plan(
-            self.database, self._catalog, self.query, self.variable_order, shards
-        )
-
-    def _execute_shards(self, mode: str) -> List[_ShardResult]:
-        shards = self._resolve_shards()
-        plan = self._partition(shards)
+    def _execute_morsels(self, run_mode: str) -> List[MorselResult]:
+        workers = self._resolve_workers()
+        plan = self._partition(self._resolve_morsels(workers))
         self._partition_plan = plan
         ranges = plan.ranges()
         backend = self.backend
@@ -562,110 +685,120 @@ class ParallelExecutor:
             backend = "threads"
         self._backend_used = backend
         if len(ranges) == 1:
-            # Serial fallback: the full-range template IS this shard.
-            results = [self._run_shard(0, None, None, mode, executor=self._template)]
-        elif backend == "threads":
-            results = self._run_threads(ranges, mode)
-        else:
-            results = self._run_processes(ranges, mode)
-        results.sort(key=lambda result: result.index)
-        for result in results:
+            result = self._run_template(run_mode)
             self.counter.merge(result.counter)
-        self._shard_stats = self._collect_stats(results, plan, backend)
-        return results
+            self._shard_stats = self._serial_stats(result, plan, backend)
+            return [result]
+        tasks = [
+            MorselTask(index=index, path=(), lo=lo, hi=hi)
+            for index, (lo, hi) in enumerate(ranges)
+        ]
+        morsel_mode = self.mode == "morsel"
+        split_domain = None
+        if morsel_mode and self.database.encoding_active:
+            # The splitter needs integer midpoints: the dictionary's code
+            # span.  Raw-value key spaces never split (stealing still works).
+            split_domain = (0, len(self.database.dictionary))
+        job = MorselJob(
+            spec=MorselSpec(
+                query=self.query,
+                variable_order=self.variable_order,
+                inner=self.inner_algorithm,
+                compile=self.compile,
+                run_mode=run_mode,
+            ),
+            runner=_run_morsel,
+            tasks=tasks,
+            allow_steal=morsel_mode,
+            split_threshold=MORSEL_SPLIT_THRESHOLD if morsel_mode else None,
+            min_split_span=max(2, MIN_MORSEL_KEYS),
+            split_domain=split_domain,
+        )
+        pool = self.database.worker_pool(backend, workers)
+        report = pool.run(job)
+        for result in report.results:
+            self.counter.merge(result.counter)
+        self._shard_stats = self._collect_stats(report, plan, backend, workers)
+        return report.results
 
-    def _run_threads(self, ranges, mode: str) -> List[_ShardResult]:
-        from concurrent.futures import ThreadPoolExecutor
-
-        workers = min(len(ranges), max(os.cpu_count() or 1, 2))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(self._run_shard, index, lo, hi, mode)
-                for index, (lo, hi) in enumerate(ranges)
-            ]
-            return [future.result() for future in futures]
-
-    def _run_processes(self, ranges, mode: str) -> List[_ShardResult]:
-        from queue import Empty
-
-        context = multiprocessing.get_context("fork")
-        queue = context.Queue()
-        processes = []
-        for index, (lo, hi) in enumerate(ranges):
-            process = context.Process(
-                target=_shard_process_main,
-                args=(self, index, lo, hi, mode, queue),
-            )
-            process.start()
-            processes.append(process)
-        results: List[_ShardResult] = []
-        failures: List[Tuple[int, str]] = []
-        reported = set()
-        # Workers that raise ship an error tuple themselves; the poll loop
-        # additionally notices workers that die without ever reaching the
-        # queue (OOM kill, segfault) so a lost shard can never hang the
-        # parent forever.
-        grace = 0
-        while len(reported) < len(processes):
-            try:
-                outcome = queue.get(timeout=0.5)
-            except Empty:
-                for index, process in enumerate(processes):
-                    if index in reported or process.is_alive():
-                        continue
-                    if process.exitcode not in (0, None):
-                        reported.add(index)
-                        failures.append(
-                            (index, f"worker died with exit code {process.exitcode}")
-                        )
-                if all(not process.is_alive() for process in processes):
-                    # Every worker is gone; whatever is still in flight must
-                    # drain within a short grace window or count as lost.
-                    grace += 1
-                    if grace >= 10:
-                        for index in range(len(processes)):
-                            if index not in reported:
-                                reported.add(index)
-                                failures.append(
-                                    (index, "worker exited without reporting a result")
-                                )
-                continue
-            grace = 0
-            if isinstance(outcome, _ShardResult):
-                reported.add(outcome.index)
-                results.append(outcome)
-            else:
-                reported.add(outcome[0])
-                failures.append(outcome)
-        for process in processes:
-            process.join()
-        if failures:
-            failures.sort()
-            details = "; ".join(f"shard {index}: {error}" for index, error in failures)
-            raise RuntimeError(f"parallel shard worker(s) failed: {details}")
-        return results
-
-    def _collect_stats(
-        self, results: List[_ShardResult], plan: PartitionPlan, backend: str
+    def _serial_stats(
+        self, result: MorselResult, plan: PartitionPlan, backend: str
     ) -> Dict[str, object]:
-        work = [result.counter.memory_accesses for result in results]
-        mean_work = sum(work) / len(work) if work else 0.0
-        skew = (max(work) / mean_work) if mean_work > 0 else 1.0
         return {
             "parallel": True,
             "inner_algorithm": self.inner_algorithm,
             "parallel_backend": backend,
-            "shards": len(results),
+            "parallel_mode": self.mode,
+            "workers": 1,
+            "morsels": 1,
+            "shards": 1,
+            "tasks_executed": 1,
+            "steals": 0,
+            "splits": 0,
             "partition_source": plan.source,
             "partition_bounds": list(plan.bounds),
-            "shard_results": [result.value for result in results],
-            "shard_seconds": [round(result.elapsed, 6) for result in results],
-            "partition_skew": round(skew, 3),
+            "shard_results": [result.value],
+            "shard_seconds": [round(result.elapsed, 6)],
+            "task_seconds": [round(result.elapsed, 6)],
+            "worker_busy_seconds": [round(result.elapsed, 6)],
+            "utilization": 1.0,
+            "partition_skew": 1.0,
+            "morsel_skew": 1.0,
+        }
+
+    def _collect_stats(
+        self,
+        report: JobReport,
+        plan: PartitionPlan,
+        backend: str,
+        workers: int,
+    ) -> Dict[str, object]:
+        results = report.results
+        morsel_values = [0] * plan.num_shards
+        morsel_seconds = [0.0] * plan.num_shards
+        morsel_work = [0.0] * plan.num_shards
+        worker_work = [0.0] * report.workers
+        for result in results:
+            morsel_values[result.index] += result.value
+            morsel_seconds[result.index] += result.elapsed
+            work = result.counter.memory_accesses
+            morsel_work[result.index] += work
+            worker_work[result.worker] += work
+        busy = report.worker_busy
+        wall = report.wall_seconds
+        utilization = (
+            sum(busy) / (len(busy) * wall) if busy and wall > 0 else 1.0
+        )
+        return {
+            "parallel": True,
+            "inner_algorithm": self.inner_algorithm,
+            "parallel_backend": backend,
+            "parallel_mode": self.mode,
+            "workers": workers,
+            "morsels": plan.num_shards,
+            # Legacy alias: pre-pool metadata called the planned ranges
+            # "shards"; kept so dashboards comparing BENCH_5 still line up.
+            "shards": plan.num_shards,
+            "tasks_executed": len(results),
+            "steals": report.steals,
+            "splits": report.splits,
+            "partition_source": plan.source,
+            "partition_bounds": list(plan.bounds),
+            "shard_results": morsel_values,
+            "shard_seconds": [round(seconds, 6) for seconds in morsel_seconds],
+            "task_seconds": [round(result.elapsed, 6) for result in results],
+            "worker_busy_seconds": [round(seconds, 6) for seconds in busy],
+            "utilization": round(min(utilization, 1.0), 3),
+            # Per-worker imbalance of actual work done — the number work
+            # stealing drives toward 1.0 — vs the planner's per-range
+            # imbalance the pool had to absorb.
+            "partition_skew": round(_skew(worker_work), 3),
+            "morsel_skew": round(_skew(morsel_work), 3),
         }
 
     # -------------------------------------------------------------- reporting
     def execution_metadata(self) -> Dict[str, object]:
-        """Template facts (backend, encodedness) plus per-shard merge stats."""
+        """Template facts (backend, encodedness) plus scheduling merge stats."""
         metadata = dict(self._template.execution_metadata())
         if self._shard_stats is not None:
             metadata.update(self._shard_stats)
@@ -675,6 +808,9 @@ class ParallelExecutor:
                     "parallel": True,
                     "inner_algorithm": self.inner_algorithm,
                     "parallel_backend": self._backend_used,
+                    "parallel_mode": self.mode,
+                    "workers": 0,
+                    "morsels": 0,
                     "shards": 0,
                 }
             )
@@ -683,5 +819,6 @@ class ParallelExecutor:
     def __repr__(self) -> str:
         return (
             f"ParallelExecutor({self.query.name!r}, inner={self.inner_algorithm!r}, "
-            f"backend={self.backend!r}, shards={self.requested_shards!r})"
+            f"backend={self.backend!r}, mode={self.mode!r}, "
+            f"workers={self.requested_workers!r})"
         )

@@ -48,7 +48,7 @@ class PreparedQuery:
     caches) always runs under the handle's lock.  For **clftj** the whole
     execution stays under the lock — the warm adhesion caches are plain
     dictionaries mutated during the join, so concurrent cached executions
-    serialise rather than corrupt each other (per-shard isolation for the
+    serialise rather than corrupt each other (per-morsel isolation for the
     parallel algorithms makes this a clftj-only cost).  Every other
     algorithm (lftj, generic_join, plftj, ytd, pairwise) executes outside
     the lock and scales across threads; the underlying shared caches are

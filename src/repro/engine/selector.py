@@ -24,12 +24,12 @@ decomposition planner, keeping the two cost views consistent.
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.decomposition.cost import ChuCostModel
 from repro.engine.planner import ExecutionPlan
+from repro.engine.pool import available_workers
 from repro.query.atoms import ConjunctiveQuery
 from repro.storage.database import Database
 from repro.storage.statistics import StatisticsCatalog
@@ -61,12 +61,20 @@ _ENCODED_SEEK_UNIT = 0.5
 #: algorithm, but can never overturn clftj's 1.05x probe-overhead margin.
 _COMPILE_CHARGE_CAP = 64.0
 
-#: Estimated cost units one parallel shard pays before doing useful work:
-#: partition planning amortised per shard, executor construction (cache-hit
-#: index lookups), and — on the process backend — a fork.  Auto shard counts
-#: only add a shard per this many units of estimated serial work, so tiny
-#: queries stay serial instead of drowning in startup overhead.
-_SHARD_STARTUP_COST = 400.0
+#: Estimated cost units one pool *worker* must be kept busy for to be worth
+#: engaging: partition planning amortised, per-morsel executor construction
+#: (cache-hit index lookups), and the (amortised, pool-persistent) share of
+#: worker spin-up.  Auto worker counts only add a worker per this many units
+#: of estimated serial work, so tiny queries stay serial instead of drowning
+#: in scheduling overhead.
+_WORKER_ENGAGE_COST = 400.0
+
+#: Estimated cost units one *morsel* pays before doing useful work on the
+#: persistent pool: one range-restricted executor construction over warm
+#: caches plus one scheduling round-trip.  Far below the old per-shard
+#: figure (no thread-pool setup, no fork — workers are re-armed, not
+#: spawned), which is exactly what makes 16x over-partitioning affordable.
+_MORSEL_STARTUP_COST = 48.0
 
 
 @dataclass(frozen=True)
@@ -114,30 +122,61 @@ class CostBasedSelector:
         reasons = self._reasons(query, plan, costs, algorithm)
         return AlgorithmChoice(algorithm=algorithm, costs=costs, reasons=reasons)
 
-    def recommend_shards(
+    def recommend_workers(
         self,
         query: ConjunctiveQuery,
         variable_order: Sequence,
         available: Optional[int] = None,
     ) -> int:
-        """Auto shard count for ``parallel=True``: scale with estimated work.
+        """Auto worker count for ``parallel=True``: scale with estimated work.
 
-        Every shard is charged :data:`_SHARD_STARTUP_COST` units of setup,
-        so a query whose whole estimated LFTJ cost is below two startups
-        runs serial (1 shard); larger queries get one shard per startup-cost
-        multiple, capped at **twice** the core count (or ``available``) —
-        over-partitioning lets the worker pool / OS scheduler smooth out
-        per-range skew that the partition planner's weight model misses.
+        Every worker is charged :data:`_WORKER_ENGAGE_COST` units, so a
+        query whose whole estimated LFTJ cost is below two of those runs
+        serial (1 worker); larger queries get one worker per cost multiple,
+        capped at the **actually usable** cores
+        (:func:`~repro.engine.pool.available_workers` respects container
+        CPU affinity, unlike a bare ``os.cpu_count()``).  The old 2x
+        over-subscription is gone: skew smoothing is now the morsel
+        scheduler's job (see :meth:`recommend_morsels`), and extra workers
+        on a persistent pool would just thrash the ones doing work.
         """
         if available is None:
-            available = os.cpu_count() or 1
+            available = available_workers()
         available = max(int(available), 1)
         if available == 1:
             return 1
+        cost = self._order_cost(query, variable_order)
+        affordable = int(cost // _WORKER_ENGAGE_COST)
+        return max(1, min(available, affordable))
+
+    def recommend_morsels(
+        self,
+        query: ConjunctiveQuery,
+        variable_order: Sequence,
+        workers: Optional[int] = None,
+    ) -> int:
+        """Morsel count for a pool of ``workers``: fine, but not free.
+
+        Targets ``MORSEL_OVERPARTITION`` (16) ranges per worker so stealing
+        can level skew, but never plans a morsel worth less than
+        :data:`_MORSEL_STARTUP_COST` units of estimated work, and never
+        fewer than one range per worker.  (The partition planner separately
+        floors the *keys* per morsel; this floors the work.)
+        """
+        from repro.engine.parallel import MORSEL_OVERPARTITION
+
+        if workers is None:
+            workers = self.recommend_workers(query, variable_order)
+        workers = max(int(workers), 1)
+        if workers == 1:
+            return 1
+        cost = self._order_cost(query, variable_order)
+        affordable = int(cost // _MORSEL_STARTUP_COST)
+        return max(workers, min(workers * MORSEL_OVERPARTITION, affordable))
+
+    def _order_cost(self, query: ConjunctiveQuery, variable_order: Sequence) -> float:
         model = ChuCostModel(self.database, query, catalog=self.catalog)
-        cost = model.order_cost(tuple(variable_order)) * self._seek_unit()
-        affordable = int(cost // _SHARD_STARTUP_COST)
-        return max(1, min(available * 2, affordable))
+        return model.order_cost(tuple(variable_order)) * self._seek_unit()
 
     # ----------------------------------------------------------- cost models
     def _seek_unit(self) -> float:

@@ -76,6 +76,12 @@ class Database:
     never takes the lock: iterators carry their own state and tries are
     immutable between mutations.  Interleaving mutations with running
     queries remains the caller's race to reason about, exactly as before.
+
+    The database also owns the **persistent worker pools** morsel-parallel
+    execution runs on (:meth:`worker_pool` / :meth:`close_pools`; the
+    database doubles as a context manager that closes them).  The same lock
+    guards the pool cache, but job submission and worker scheduling have
+    their own locks — see :mod:`repro.engine.pool`.
     """
 
     def __init__(
@@ -133,6 +139,9 @@ class Database:
         #: "anything changed" observability counter.  Cache holders should
         #: prefer the per-relation :meth:`relation_version`.
         self.data_version: int = 0
+        #: Persistent worker pools for morsel-parallel execution, keyed by
+        #: ``(backend, size)`` — see :meth:`worker_pool`.
+        self._pools: Dict[Tuple[str, int], object] = {}
         for relation in relations:
             self.add_relation(relation)
 
@@ -517,6 +526,59 @@ class Database:
     def compiled_cache_size(self) -> int:
         """Number of compiled drivers currently cached."""
         return len(self._compiled_cache)
+
+    # ----------------------------------------------------------- worker pools
+    def worker_pool(self, backend: str = "threads", size: Optional[int] = None):
+        """Return (and memoise) the persistent worker pool for ``backend``.
+
+        Pools are keyed by ``(backend, size)`` and live until
+        :meth:`close_pools` (or interpreter exit — every pool registers an
+        atexit safety net), so consecutive parallel queries re-use the same
+        workers: thread workers idle between jobs, fork workers are re-armed
+        over a control pipe instead of being re-forked.  A pool that was
+        closed explicitly (e.g. via its context manager) is transparently
+        replaced on the next request.
+
+        The pool cache shares the database lock; pool *submission* has its
+        own serialisation (see :mod:`repro.engine.pool`'s locking model) and
+        never holds the database lock while a job runs.
+        """
+        from repro.engine.pool import available_workers, create_worker_pool
+
+        if size is None:
+            size = available_workers()
+        size = max(int(size), 1)
+        key = (backend, size)
+        with self._lock:
+            pool = self._pools.get(key)
+            if pool is None or pool.closed:
+                pool = create_worker_pool(self, backend, size)
+                self._pools[key] = pool
+            return pool
+
+    def close_pools(self) -> int:
+        """Close every worker pool owned by this database; returns the count.
+
+        Idempotent.  Forked workers are told to exit (and terminated after a
+        grace period); in-flight jobs drain first.  The database stays fully
+        usable — the next parallel query simply builds a fresh pool.
+        """
+        with self._lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+        closed = 0
+        for pool in pools:
+            if not pool.closed:
+                closed += 1
+            pool.close()
+        return closed
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.close_pools()
+        return False
 
     # ------------------------------------------------------------- reporting
     def total_tuples(self) -> int:

@@ -146,16 +146,22 @@ class TestUpdateBenchmark:
             databases,
             [cycle_query(3)],
             backend="threads",
-            shards=3,
+            workers=3,
             rounds=1,
         )
-        assert report["requested_shards"] == 3
+        assert report["workers"] == 3
         assert len(report["cells"]) == len(databases)
         for cell in report["cells"]:
-            assert cell["shards"] == 3
+            assert cell["workers"] == 3
+            assert cell["morsels"] >= 1
             assert sum(cell["shard_results"]) == cell["count"]
-            assert cell["partition_skew"] >= 1.0
-            assert cell["serial_seconds"] > 0 and cell["parallel_seconds"] > 0
+            assert cell["partition_skew_static"] >= 1.0
+            assert cell["partition_skew_morsel"] >= 1.0
+            assert cell["task_seconds_p95"] >= cell["task_seconds_p50"] >= 0.0
+            assert cell["worker_busy_max"] >= cell["worker_busy_mean"] >= 0.0
+            assert cell["serial_seconds"] > 0
+            assert cell["static_seconds"] > 0
+            assert cell["parallel_seconds"] > 0
 
     def test_parallel_benchmark_speedup_bar_fails_loudly(self, databases):
         # A tiny workload cannot beat an absurd bar; the harness must raise
@@ -165,7 +171,7 @@ class TestUpdateBenchmark:
                 {"g1": databases["g1"]},
                 [cycle_query(3)],
                 backend="threads",
-                shards=2,
+                workers=2,
                 rounds=1,
                 assert_speedup=1000.0,
             )

@@ -2,9 +2,10 @@
 
 A seeded generator produces random conjunctive queries over random small
 relations with mixed str/int column domains, then asserts that all five
-registered serial algorithms *and* the partition-parallel configurations
-produce exactly the brute-force oracle's result set — on the encoded and the
-raw storage path, and optionally after a random insert/delete stream.
+registered serial algorithms *and* the pool-backed parallel configurations
+(morsel and static scheduling, thread and fork backends) produce exactly the
+brute-force oracle's result set — on the encoded and the raw storage path,
+and optionally after a random insert/delete stream.
 
 The compiled-driver configurations (lftj/plftj with ``compile=True``, serial
 and parallel, over both storage paths) are additionally checked *ordered and
@@ -43,12 +44,14 @@ COMPILED_CONFIGS = (
     ("plftj", {"parallel": 2, "parallel_backend": "threads"}),
 )
 
-#: Parallel configurations exercised per instance: (algorithm, shards, backend).
+#: Pool-backed parallel configurations exercised per instance:
+#: (algorithm, workers, backend, scheduling mode).
 PARALLEL_CONFIGS = (
-    ("lftj", 2, "threads"),
-    ("lftj", 5, "threads"),
-    ("generic_join", 3, "threads"),
-    ("plftj", 4, "processes"),
+    ("lftj", 2, "threads", "morsel"),
+    ("lftj", 5, "threads", "static"),
+    ("generic_join", 3, "threads", "morsel"),
+    ("plftj", 4, "processes", "morsel"),
+    ("plftj", 2, "processes", "static"),
 )
 
 #: Deterministic tier-1 corpus size; REPRO_FUZZ_ITERS extends it locally.
@@ -149,17 +152,27 @@ def _check_all_agree(query, database, expected):
             f"over {database.name!r}: {len(rows)} vs {len(expected)} rows"
         )
         assert result.count == len(result.rows)
-    for algorithm, shards, backend in PARALLEL_CONFIGS:
+    for algorithm, workers, backend, mode in PARALLEL_CONFIGS:
         result = engine.evaluate(
-            query, algorithm=algorithm, parallel=shards, parallel_backend=backend
+            query,
+            algorithm=algorithm,
+            parallel=workers,
+            parallel_backend=backend,
+            parallel_mode=mode,
         )
         rows = _rows_in_query_order(result, query)
         assert rows == expected, (
-            f"parallel {algorithm} x{shards} ({backend}) disagrees on "
+            f"parallel {algorithm} x{workers} ({backend}/{mode}) disagrees on "
             f"{query.name!r} over {database.name!r}"
         )
+        assert result.metadata["parallel_mode"] == mode
         if result.metadata["partition_source"] != "single":
-            assert result.metadata["shards"] == shards
+            assert result.metadata["workers"] == workers
+            assert (
+                result.metadata["morsels"] == workers
+                if mode == "static"
+                else result.metadata["morsels"] >= 1
+            )
 
 
 def _check_compiled_agrees(query, database, expected):
@@ -217,14 +230,17 @@ def _fuzz_one(seed):
 
     for encode in (True, False):
         database = build(encode)
-        expected = brute_force_evaluate(query, database)
-        _check_all_agree(query, database, expected)
-        _check_compiled_agrees(query, database, expected)
-        if rng.random() < 0.5:
-            _random_update_stream(rng, database, schemas)
-            updated = brute_force_evaluate(query, database)
-            _check_all_agree(query, database, updated)
-            _check_compiled_agrees(query, database, updated)
+        try:
+            expected = brute_force_evaluate(query, database)
+            _check_all_agree(query, database, expected)
+            _check_compiled_agrees(query, database, expected)
+            if rng.random() < 0.5:
+                _random_update_stream(rng, database, schemas)
+                updated = brute_force_evaluate(query, database)
+                _check_all_agree(query, database, updated)
+                _check_compiled_agrees(query, database, updated)
+        finally:
+            database.close_pools()
 
 
 @pytest.mark.parametrize("seed", range(FUZZ_ITERATIONS))

@@ -1,11 +1,11 @@
-"""Partition-parallel execution: differential correctness + the bounded-cursor
+"""Morsel-parallel execution: differential correctness + the bounded-cursor
 contract + thread-safety audits.
 
 Three suites:
 
 * **Differential** — every parallel configuration (backend x inner algorithm
-  x encoded/raw x shard count, prime and empty shards included) must produce
-  exactly the serial executor's count and row set.
+  x encoded/raw x worker count, prime counts and empty ranges included) must
+  produce exactly the serial executor's count and row set.
 * **Bounded cursors** — regression tests pinning the
   :class:`~repro.storage.trie.BoundedTrieIterator` contract on all three
   cursor classes: a range-bounded seek at the top trie level must never leak
@@ -39,7 +39,7 @@ from tests.conftest import brute_force_evaluate, random_edge_database
 
 BACKENDS = ("threads", "processes")
 INNER_ALGORITHMS = ("lftj", "generic_join")
-SHARD_COUNTS = (1, 2, 4, 7)
+WORKER_COUNTS = (1, 2, 4, 7)
 
 
 def _edge_database(encode: bool) -> Database:
@@ -64,48 +64,75 @@ def engine_and_serial(request):
         algorithm: engine.evaluate(query, algorithm=algorithm)
         for algorithm in INNER_ALGORITHMS
     }
-    return engine, query, serial
+    yield engine, query, serial
+    database.close_pools()
 
 
 class TestDifferential:
-    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
     @pytest.mark.parametrize("algorithm", INNER_ALGORITHMS)
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_parallel_matches_serial(self, engine_and_serial, backend, algorithm, shards):
+    def test_parallel_matches_serial(self, engine_and_serial, backend, algorithm, workers):
         engine, query, serial_results = engine_and_serial
         serial = serial_results[algorithm]
         result = engine.evaluate(
-            query, algorithm=algorithm, parallel=shards, parallel_backend=backend
+            query, algorithm=algorithm, parallel=workers, parallel_backend=backend
         )
         assert result.count == serial.count
         assert sorted(result.rows) == sorted(serial.rows)
         assert result.metadata["parallel"] is True
-        assert result.metadata["shards"] == shards
+        assert result.metadata["workers"] == (1 if workers == 1 else workers)
+        assert result.metadata["parallel_mode"] == "morsel"
         assert result.metadata["inner_algorithm"] == algorithm
         assert sum(result.metadata["shard_results"]) == result.count
-        assert len(result.metadata["partition_bounds"]) == shards - 1
+        # The legacy "shards" key aliases the planned morsel count.
+        assert result.metadata["shards"] == result.metadata["morsels"]
+        assert (
+            len(result.metadata["partition_bounds"])
+            == result.metadata["morsels"] - 1
+        )
 
-    def test_lftj_shard_merge_preserves_serial_row_order(self, engine_and_serial):
-        """Deterministic merge: shard concatenation == the serial row stream."""
+    @pytest.mark.parametrize("mode", ["morsel", "static"])
+    def test_lftj_merge_preserves_serial_row_order(self, engine_and_serial, mode):
+        """Deterministic merge: range concatenation == the serial row stream."""
         engine, query, serial_results = engine_and_serial
         serial = serial_results["lftj"]
-        result = engine.evaluate(query, algorithm="lftj", parallel=4)
+        result = engine.evaluate(
+            query, algorithm="lftj", parallel=4, parallel_mode=mode
+        )
         assert result.rows == serial.rows
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_empty_shards_are_harmless(self, backend):
-        """More shards than distinct top-level keys -> some shards are empty."""
+    def test_empty_ranges_are_harmless(self, backend):
+        """Static mode: more ranges than distinct top-level keys -> some
+        ranges are deliberately empty (morsel mode's key floor would simply
+        plan fewer morsels instead)."""
         rows = [(1, 2), (2, 3), (3, 1)]
         database = Database([Relation("E", ("s", "t"), rows)], name="tiny")
         engine = QueryEngine(database)
         query = cycle_query(3)
         serial = engine.count(query, algorithm="lftj")
         result = engine.count(
-            query, algorithm="lftj", parallel=7, parallel_backend=backend
+            query,
+            algorithm="lftj",
+            parallel=7,
+            parallel_backend=backend,
+            parallel_mode="static",
         )
         assert result.count == serial.count == 3  # one triangle, 3 rotations
-        assert result.metadata["shards"] == 7
+        assert result.metadata["morsels"] == 7
         assert 0 in result.metadata["shard_results"]
+        database.close_pools()
+
+    def test_tiny_domain_caps_morsel_count(self):
+        """Morsel mode's per-range key floor keeps tiny domains whole."""
+        rows = [(1, 2), (2, 3), (3, 1)]
+        database = Database([Relation("E", ("s", "t"), rows)], name="tiny")
+        engine = QueryEngine(database)
+        result = engine.count(cycle_query(3), algorithm="lftj", parallel=7)
+        assert result.count == 3
+        assert result.metadata["morsels"] == 1  # 3 keys < MIN_MORSEL_KEYS
+        database.close_pools()
 
     def test_parallel_counts_on_longer_pattern(self, engine_and_serial):
         engine, _query, _serial = engine_and_serial
@@ -145,15 +172,28 @@ class TestDifferential:
         )
         assert result.metadata["parallel_backend"] == "processes"
 
-    def test_single_shard_runs_inline(self, engine_and_serial):
+    def test_single_worker_runs_inline(self, engine_and_serial):
         engine, query, serial_results = engine_and_serial
         result = engine.count(
             query, algorithm="lftj", parallel=1, parallel_backend="processes"
         )
         assert result.count == serial_results["lftj"].count
-        # One shard never pays for a worker, whatever backend was asked for.
+        # One worker never pays for a pool, whatever backend was asked for.
         assert result.metadata["parallel_backend"] == "threads"
-        assert result.metadata["shards"] == 1
+        assert result.metadata["workers"] == 1
+        assert result.metadata["morsels"] == 1
+
+    def test_morsel_metadata_reports_scheduling(self, engine_and_serial):
+        engine, query, _serial = engine_and_serial
+        result = engine.count(query, algorithm="lftj", parallel=2)
+        metadata = result.metadata
+        assert metadata["morsels"] >= metadata["workers"] == 2
+        assert metadata["tasks_executed"] >= metadata["morsels"]
+        assert metadata["steals"] >= 0 and metadata["splits"] >= 0
+        assert len(metadata["worker_busy_seconds"]) == 2
+        assert 0.0 <= metadata["utilization"] <= 1.0
+        assert metadata["partition_skew"] >= 1.0
+        assert metadata["morsel_skew"] >= 1.0
 
 
 class TestParameterSurface:
@@ -167,20 +207,32 @@ class TestParameterSurface:
         with pytest.raises(ValueError, match="parallel_backend requires parallel"):
             engine.count(query, algorithm="lftj", parallel_backend="threads")
 
+    def test_parallel_mode_requires_parallel(self, engine_and_serial):
+        engine, query, _serial = engine_and_serial
+        with pytest.raises(ValueError, match="parallel_mode requires parallel"):
+            engine.count(query, algorithm="lftj", parallel_mode="static")
+
+    def test_unknown_parallel_mode_rejected(self, engine_and_serial):
+        engine, query, _serial = engine_and_serial
+        with pytest.raises(ValueError, match="unknown parallel mode"):
+            engine.count(
+                query, algorithm="lftj", parallel=2, parallel_mode="chaotic"
+            )
+
     def test_parallel_false_means_serial(self, engine_and_serial):
         engine, query, serial_results = engine_and_serial
         result = engine.count(query, algorithm="lftj", parallel=False)
         assert result.count == serial_results["lftj"].count
-        assert "shards" not in result.metadata  # a genuinely serial run
+        assert "workers" not in result.metadata  # a genuinely serial run
 
     def test_auto_rejects_parallel(self, engine_and_serial):
         engine, query, _serial = engine_and_serial
         with pytest.raises(ValueError, match="auto"):
             engine.count(query, algorithm="auto", parallel=2)
 
-    def test_invalid_shard_count_and_backend(self, engine_and_serial):
+    def test_invalid_worker_count_and_backend(self, engine_and_serial):
         engine, query, _serial = engine_and_serial
-        with pytest.raises(ValueError, match="shard count"):
+        with pytest.raises(ValueError, match="worker count"):
             engine.count(query, algorithm="lftj", parallel=0)
         with pytest.raises(ValueError, match="unknown parallel backend"):
             engine.count(query, algorithm="lftj", parallel=2, parallel_backend="mpi")
@@ -190,31 +242,54 @@ class TestParameterSurface:
         with pytest.raises(ValueError, match="cannot run partition-parallel"):
             ParallelExecutor(query, engine.database, inner="clftj")
 
-    def test_auto_shard_count_keeps_tiny_queries_serial(self):
-        """The selector charges a per-shard startup cost."""
+    def test_auto_worker_count_keeps_tiny_queries_serial(self):
+        """The selector charges a per-worker engagement cost."""
         rows = [(1, 2), (2, 3), (3, 1)]
         database = Database([Relation("E", ("s", "t"), rows)], name="tiny")
         engine = QueryEngine(database)
-        shards = engine.selector.recommend_shards(
+        workers = engine.selector.recommend_workers(
             cycle_query(3), cycle_query(3).variables, available=8
         )
-        assert shards == 1
+        assert workers == 1
         result = engine.count(cycle_query(3), algorithm="lftj", parallel=True)
-        assert result.metadata["shards"] == 1
+        assert result.metadata["workers"] == 1
+        database.close_pools()
 
-    def test_auto_shard_count_scales_with_work(self):
+    def test_auto_worker_count_scales_with_work(self):
         database = _edge_database(encode=True)
         engine = QueryEngine(database)
         query = path_query(5)
-        shards = engine.selector.recommend_shards(query, query.variables, available=4)
-        assert shards > 1
+        workers = engine.selector.recommend_workers(
+            query, query.variables, available=4
+        )
+        assert workers > 1
+        morsels = engine.selector.recommend_morsels(
+            query, query.variables, workers=workers
+        )
+        assert morsels >= workers
+
+    def test_recommended_workers_never_exceed_available(self):
+        database = _edge_database(encode=True)
+        engine = QueryEngine(database)
+        query = path_query(5)
+        assert (
+            engine.selector.recommend_workers(query, query.variables, available=2)
+            <= 2
+        )
 
     def test_explain_shows_partition_bounds(self, engine_and_serial):
         engine, query, _serial = engine_and_serial
         text = engine.explain(query, algorithm="plftj", parallel=3)
-        assert "parallel: backend=threads" in text
-        assert "3 shard(s)" in text
+        assert "parallel: backend=threads, mode=morsel, workers=3" in text
+        assert "range(s) on variable" in text
         assert "bounds:" in text
+
+    def test_explain_shows_static_mode(self, engine_and_serial):
+        engine, query, _serial = engine_and_serial
+        text = engine.explain(
+            query, algorithm="plftj", parallel=3, parallel_mode="static"
+        )
+        assert "mode=static, workers=3, 3 range(s)" in text
 
     def test_cold_explain_neither_mutates_nor_poisons(self):
         """explain() on a cold database must not grow the dictionary, and
@@ -227,10 +302,14 @@ class TestParameterSurface:
         engine.explain(query, algorithm="plftj", parallel=4)
         assert len(database.dictionary) == 0  # no side effects
         result = engine.count(query, algorithm="plftj", parallel=4)
-        assert result.metadata["shards"] == 4
-        assert len(result.metadata["partition_bounds"]) == 3
+        assert result.metadata["morsels"] > 1
+        assert (
+            len(result.metadata["partition_bounds"])
+            == result.metadata["morsels"] - 1
+        )
         text = engine.explain(query, algorithm="plftj", parallel=4)
         assert str(result.metadata["partition_bounds"]) in text
+        database.close_pools()
 
 
 class TestPartitionPlanner:
@@ -561,47 +640,50 @@ class TestThreadSafety:
 
 
 class TestForkSafety:
-    def test_shard_worker_reinitialises_inherited_locks(self):
+    def test_fork_worker_reinitialises_inherited_locks(self):
         """A fork can happen while another parent thread holds the database
-        lock; that thread does not exist in the child, so the worker must
-        replace the lock before touching the index cache or it deadlocks.
+        lock; that thread does not exist in the child, so the worker entry
+        point replaces the lock (``reinitialise_child_locks``) before
+        touching the index cache or it deadlocks.
 
         Simulated in-process: the lock is left held by a thread that has
         already exited (exactly what the child observes after the fork),
-        and the worker entry point must still complete.
+        and the morsel runner must still complete after reinitialisation.
         """
-        from repro.engine.parallel import _shard_process_main
+        from repro.engine.parallel import MorselSpec, _run_morsel
+        from repro.engine.pool import MorselTask, reinitialise_child_locks
 
         database = _edge_database(encode=True)
         engine = QueryEngine(database)
         query = cycle_query(3)
         serial = engine.count(query, algorithm="lftj").count
-        executor = ParallelExecutor(query, database, inner="lftj", shards=2)
 
         stuck_lock = threading.RLock()
         holder = threading.Thread(target=stuck_lock.acquire)
         holder.start()
         holder.join()
         database._lock = stuck_lock  # held by a thread that no longer exists
+        reinitialise_child_locks(database)  # what _fork_worker_main does first
 
-        class _ListQueue:
-            def __init__(self):
-                self.items = []
-
-            def put(self, item):
-                self.items.append(item)
-
-        queue = _ListQueue()
+        spec = MorselSpec(
+            query=query,
+            variable_order=tuple(query.variables),
+            inner="lftj",
+            compile=None,
+            run_mode="count",
+        )
+        outcomes = []
         worker = threading.Thread(
-            target=_shard_process_main,
-            args=(executor, 0, None, None, "count", queue),
+            target=lambda: outcomes.append(
+                _run_morsel(database, spec, MorselTask(0, (), None, None))
+            ),
             daemon=True,
         )
         worker.start()
         worker.join(timeout=10)
-        assert not worker.is_alive(), "shard worker deadlocked on inherited lock"
-        assert len(queue.items) == 1
-        assert queue.items[0].value == serial  # full-range shard
+        assert not worker.is_alive(), "morsel runner deadlocked on inherited lock"
+        assert len(outcomes) == 1
+        assert outcomes[0].value == serial  # full-range morsel
 
 
 class TestPreparedParallel:
@@ -616,8 +698,9 @@ class TestPreparedParallel:
         first = prepared.count()
         second = prepared.count()
         assert first.count == second.count == serial
-        assert second.metadata["shards"] == 3
+        assert second.metadata["workers"] == 3
         assert second.metadata["index_builds"] == 0
+        database.close_pools()
 
     def test_parallel_runs_leave_clftj_warm_caches_alone(self):
         """Parallel traffic must not disturb a clftj handle's adhesion cache."""

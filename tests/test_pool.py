@@ -1,0 +1,347 @@
+"""Persistent worker-pool lifecycle, persistence and scheduling guarantees.
+
+Four suites:
+
+* **Persistence** — the headline property of PR 7: fork workers survive
+  across queries (two consecutive warm executions spawn **zero** new
+  processes, counter-asserted), re-fork exactly once after the parent
+  mutates data, and thread workers are reused likewise.
+* **Lifecycle** — idempotent ``close()``, safe atexit sweep, closed pools
+  refusing jobs, the database replacing closed pools and closing everything
+  on context-manager exit, and a close racing an in-flight job draining
+  the job first.
+* **Scheduling** — deterministic ``(index, path)`` merge under forced
+  adaptive splitting on both backends, static mode never stealing or
+  splitting, and dead fork workers surfacing as a bounded-time error
+  instead of a hang.
+* **Unit** — ``split_task`` range algebra and ``available_workers`` sizing.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+import repro.engine.parallel as parallel_module
+import repro.engine.pool as pool_module
+from repro.core.instrumentation import OperationCounter
+from repro.engine import QueryEngine
+from repro.engine.pool import (
+    ForkWorkerPool,
+    MorselJob,
+    MorselTask,
+    TaskOutcome,
+    ThreadWorkerPool,
+    available_workers,
+    create_worker_pool,
+    split_task,
+)
+from repro.query.patterns import cycle_query
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+from tests.conftest import random_edge_database
+
+BACKENDS = ("threads", "processes")
+
+
+def _edge_database(name="pool", nodes=18, edges=55, seed=23):
+    base = random_edge_database(num_nodes=nodes, num_edges=edges, seed=seed)
+    return Database(list(base), name=name)
+
+
+# Module-level runners: the fork backend pickles them by reference.
+def _sleepy_runner(database, spec, task):
+    time.sleep(spec)
+    return TaskOutcome(value=1, rows=None, counter=OperationCounter())
+
+
+def _suicide_runner(database, spec, task):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _tasks(count):
+    return [MorselTask(index, (), None, None) for index in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Persistence: workers survive across queries.
+# ---------------------------------------------------------------------------
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_zero_spawns_on_consecutive_warm_queries(self, backend):
+        """The acceptance bar: two warm repeats, spawn counter flat."""
+        database = _edge_database()
+        engine = QueryEngine(database)
+        query = cycle_query(3)
+        serial = engine.count(query, algorithm="lftj").count
+        first = engine.count(
+            query, algorithm="lftj", parallel=2, parallel_backend=backend
+        )
+        assert first.count == serial
+        pool = database.worker_pool(backend, 2)
+        spawned = pool.spawns
+        assert spawned >= 2  # the first job spawned the workers
+        second = engine.count(
+            query, algorithm="lftj", parallel=2, parallel_backend=backend
+        )
+        third = engine.count(
+            query, algorithm="lftj", parallel=2, parallel_backend=backend
+        )
+        assert second.count == third.count == serial
+        assert pool.spawns == spawned  # zero new spawns across two warm queries
+        assert pool.jobs_run == 3
+        assert pool.worker_restarts == 0
+        database.close_pools()
+
+    def test_fork_pool_refreshes_once_after_data_change(self):
+        """A delta update makes forked snapshots stale -> exactly one re-fork."""
+        database = _edge_database(name="pool-stale")
+        engine = QueryEngine(database)
+        query = cycle_query(3)
+        engine.count(query, algorithm="lftj", parallel=2, parallel_backend="processes")
+        engine.count(query, algorithm="lftj", parallel=2, parallel_backend="processes")
+        pool = database.worker_pool("processes", 2)
+        restarts, spawned = pool.worker_restarts, pool.spawns
+        database.insert("E", [(97, 96), (96, 95), (95, 97)])
+        serial = engine.count(query, algorithm="lftj").count
+        result = engine.count(
+            query, algorithm="lftj", parallel=2, parallel_backend="processes"
+        )
+        assert result.count == serial
+        assert pool.worker_restarts == restarts + 1
+        assert pool.spawns == spawned + 2
+        # And warm again afterwards:
+        engine.count(query, algorithm="lftj", parallel=2, parallel_backend="processes")
+        assert pool.spawns == spawned + 2
+        database.close_pools()
+
+    def test_database_keys_pools_by_backend_and_size(self):
+        database = _edge_database(name="pool-keys")
+        a = database.worker_pool("threads", 2)
+        b = database.worker_pool("threads", 2)
+        c = database.worker_pool("threads", 3)
+        assert a is b and a is not c
+        assert database.close_pools() == 2
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle.
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_atexit_safe(self):
+        database = _edge_database(name="pool-close")
+        pool = database.worker_pool("threads", 2)
+        pool.run(MorselJob(spec=0.0, runner=_sleepy_runner, tasks=_tasks(4)))
+        pool.close()
+        pool.close()  # idempotent
+        pool_module._close_all_pools()  # the atexit sweep must not raise
+        assert pool.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run(MorselJob(spec=0.0, runner=_sleepy_runner, tasks=_tasks(1)))
+        assert database.close_pools() == 0  # already closed: nothing new
+
+    def test_database_replaces_closed_pools(self):
+        database = _edge_database(name="pool-reopen")
+        first = database.worker_pool("threads", 2)
+        first.close()
+        second = database.worker_pool("threads", 2)
+        assert second is not first and not second.closed
+        database.close_pools()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_queries_recover_after_close(self, backend):
+        """close_pools() between queries is invisible to correctness."""
+        database = _edge_database(name=f"pool-recover-{backend}")
+        engine = QueryEngine(database)
+        query = cycle_query(3)
+        first = engine.count(
+            query, algorithm="lftj", parallel=2, parallel_backend=backend
+        )
+        database.close_pools()
+        second = engine.count(
+            query, algorithm="lftj", parallel=2, parallel_backend=backend
+        )
+        assert first.count == second.count
+        database.close_pools()
+
+    def test_database_context_manager_closes_pools(self):
+        with _edge_database(name="pool-ctx") as database:
+            engine = QueryEngine(database)
+            engine.count(cycle_query(3), algorithm="lftj", parallel=2)
+            pool = database.worker_pool("threads", 2)
+            assert not pool.closed
+        assert pool.closed
+
+    def test_pool_context_manager(self):
+        database = _edge_database(name="pool-with")
+        with create_worker_pool(database, "threads", 2) as pool:
+            report = pool.run(
+                MorselJob(spec=0.0, runner=_sleepy_runner, tasks=_tasks(3))
+            )
+            assert len(report.results) == 3
+        assert pool.closed
+
+    def test_close_mid_job_drains_the_job_first(self):
+        """Exiting the context manager mid-query finishes the query."""
+        database = _edge_database(name="pool-drain")
+        pool = ThreadWorkerPool(database, 2)
+        job = MorselJob(spec=0.1, runner=_sleepy_runner, tasks=_tasks(4))
+        reports = []
+        runner = threading.Thread(target=lambda: reports.append(pool.run(job)))
+        runner.start()
+        time.sleep(0.05)  # the job is in flight now
+        pool.close()
+        runner.join(timeout=10)
+        assert not runner.is_alive()
+        assert pool.closed
+        assert len(reports) == 1 and len(reports[0].results) == 4
+        assert sum(result.value for result in reports[0].results) == 4
+
+    def test_create_worker_pool_rejects_unknown_backend(self):
+        database = _edge_database(name="pool-bad")
+        with pytest.raises(ValueError, match="unknown pool backend"):
+            create_worker_pool(database, "mpi", 2)
+        with pytest.raises(ValueError, match="size must be >= 1"):
+            ThreadWorkerPool(database, 0)
+
+    def test_empty_job_completes_without_workers(self):
+        database = _edge_database(name="pool-empty")
+        pool = ThreadWorkerPool(database, 2)
+        report = pool.run(MorselJob(spec=0.0, runner=_sleepy_runner, tasks=[]))
+        assert report.results == [] and pool.spawns == 0
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Scheduling: determinism under stealing/splitting, failure detection.
+# ---------------------------------------------------------------------------
+
+
+class TestScheduling:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_forced_splits_preserve_serial_row_order(self, monkeypatch, backend):
+        """A zero split threshold makes every worker split wide morsels
+        mid-flight; the (index, path) merge must still reproduce the serial
+        row stream byte for byte."""
+        database = _edge_database(name=f"pool-split-{backend}", nodes=60, edges=420, seed=11)
+        engine = QueryEngine(database)
+        query = cycle_query(3)
+        serial = engine.evaluate(query, algorithm="lftj")
+        monkeypatch.setattr(parallel_module, "MORSEL_SPLIT_THRESHOLD", 0.0)
+        result = engine.evaluate(
+            query, algorithm="lftj", parallel=3, parallel_backend=backend
+        )
+        assert result.rows == serial.rows
+        assert result.metadata["splits"] > 0
+        assert result.metadata["tasks_executed"] > result.metadata["morsels"]
+        database.close_pools()
+
+    def test_steals_are_deterministic_for_results(self):
+        """Whatever the stealing schedule, repeated runs merge identically."""
+        database = _edge_database(name="pool-steal", nodes=40, edges=220, seed=3)
+        engine = QueryEngine(database)
+        query = cycle_query(3)
+        streams = [
+            engine.evaluate(query, algorithm="lftj", parallel=4).rows
+            for _ in range(3)
+        ]
+        assert streams[0] == streams[1] == streams[2]
+        database.close_pools()
+
+    def test_static_mode_never_steals_or_splits(self):
+        database = _edge_database(name="pool-static")
+        engine = QueryEngine(database)
+        result = engine.count(
+            cycle_query(3), algorithm="lftj", parallel=3, parallel_mode="static"
+        )
+        assert result.metadata["steals"] == 0
+        assert result.metadata["splits"] == 0
+        assert result.metadata["morsels"] == 3
+        database.close_pools()
+
+    def test_dead_fork_worker_is_detected_not_hung(self):
+        """A worker killed mid-job surfaces as RuntimeError within the
+        heartbeat deadline; the pool re-forks for the next job."""
+        database = _edge_database(name="pool-dead")
+        pool = ForkWorkerPool(database, 2)
+        with pytest.raises(RuntimeError, match="died mid-job"):
+            pool.run(MorselJob(spec=None, runner=_suicide_runner, tasks=_tasks(2)))
+        # The pool recovers: the next job re-forks a fresh worker set.
+        report = pool.run(MorselJob(spec=0.0, runner=_sleepy_runner, tasks=_tasks(4)))
+        assert sum(result.value for result in report.results) == 4
+        pool.close()
+
+    def test_worker_errors_propagate_with_morsel_attribution(self):
+        database = _edge_database(name="pool-errors")
+        engine = QueryEngine(database)
+        query = cycle_query(3)
+
+        def _boom(database, spec, task):
+            raise ValueError("morsel exploded")
+
+        pool = ThreadWorkerPool(database, 2)
+        with pytest.raises(RuntimeError, match="morsel worker"):
+            pool.run(MorselJob(spec=None, runner=_boom, tasks=_tasks(2)))
+        # The pool survives a failed job.
+        report = pool.run(MorselJob(spec=0.0, runner=_sleepy_runner, tasks=_tasks(2)))
+        assert len(report.results) == 2
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Unit: split algebra and worker sizing.
+# ---------------------------------------------------------------------------
+
+
+class TestSplitTask:
+    def test_halves_tile_the_range_and_extend_the_path(self):
+        task = MorselTask(3, (), 10, 20)
+        left, right = split_task(task, (0, 100), 2)
+        assert (left.lo, left.hi) == (10, 15)
+        assert (right.lo, right.hi) == (15, 20)
+        assert left.path == (0,) and right.path == (1,)
+        assert left.index == right.index == 3
+
+    def test_open_ends_resolve_against_domain_but_stay_open(self):
+        task = MorselTask(0, (), None, None)
+        left, right = split_task(task, (0, 8), 2)
+        assert left.lo is None and left.hi == 4  # midpoint from the domain
+        assert right.lo == 4 and right.hi is None  # late codes stay covered
+
+    def test_narrow_and_raw_ranges_do_not_split(self):
+        assert split_task(MorselTask(0, (), 4, 5), (0, 10), 2) is None
+        assert split_task(MorselTask(0, (), 4, 8), (0, 10), 8) is None
+        assert split_task(MorselTask(0, (), "a", "q"), (0, 10), 2) is None
+        assert split_task(MorselTask(0, (), 0, 10), None, 2) is None
+
+    def test_split_order_matches_path_order(self):
+        task = MorselTask(1, (1,), 0, 8)
+        left, right = split_task(task, (0, 8), 2)
+        assert (left.index, left.path) < (right.index, right.path)
+
+
+class TestWorkerSizing:
+    def test_available_workers_respects_affinity(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2, 3, 4})
+        assert available_workers() == 5
+
+    def test_available_workers_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        assert available_workers() == 3
+
+    def test_database_default_pool_size_uses_affinity(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2})
+        database = Database(
+            [Relation("E", ("s", "t"), [(1, 2), (2, 3), (3, 1)])], name="sizing"
+        )
+        pool = database.worker_pool("threads")
+        assert pool.size == 3
+        database.close_pools()
