@@ -58,6 +58,10 @@ BENCH6_JSON = str(Path(__file__).resolve().parent.parent / "BENCH_6.json")
 #: worker pool (BENCH_5 keeps the PR-5 per-query static-partition numbers).
 BENCH7_JSON = str(Path(__file__).resolve().parent.parent / "BENCH_7.json")
 
+#: PR 8's trajectory file: compiled + parallel CLFTJ cells (compiled cached
+#: trie join vs the interpreted CLFTJ oracle, plus the pclftj identity cell).
+BENCH8_JSON = str(Path(__file__).resolve().parent.parent / "BENCH_8.json")
+
 #: Scale of the dictionary-encoding cells: large enough for stable timing.
 ENCODING_SCALE = 2.0
 ENCODING_ROUNDS = 7
@@ -287,6 +291,165 @@ def test_compiled_triangle_and_clique_speedup():
             f"warm compiled {cell['query']} on {cell['dataset']} should be "
             f">= 2x the interpreted encoded path, got {cell['speedup']:.2f}x"
         )
+
+
+def _clftj_cells(scale=ENCODING_SCALE, rounds=ENCODING_ROUNDS):
+    """Warm compiled CLFTJ vs the interpreted CLFTJ oracle, both encoded.
+
+    The interpreted side (``compile=False``) is the PR-1..5 cached-trie-join
+    configuration — the acceptance baseline the specialized driver must beat
+    by 2x on the single-bag triangle/4-clique cells.  The multi-bag lollipop
+    cell exercises the inlined adhesion-cache probes; its speedup is recorded
+    but not enforced (both sides amortise subtree work through the cache).
+    Every cell proves instrumentation parity — identical ``OperationCounter``
+    dictionaries, which subsumes cache hit/store-count parity — inside the
+    harness.
+    """
+    from repro.bench.workloads import snap_databases
+    from repro.engine import QueryEngine
+    from repro.query.patterns import clique_query, lollipop_query
+
+    queries = [cycle_query(3), clique_query(4), lollipop_query(3, 2)]
+    for dataset in DATASETS:
+        database = snap_databases((dataset,), scale=scale)[dataset]
+        engine = QueryEngine(database)
+        for query in queries:
+            # Warm everything: tries, plan cache, and the compiled driver.
+            interpreted = engine.count(query, algorithm="clftj", compile=False)
+            compiled = engine.count(query, algorithm="clftj")
+            compiled_time = interpreted_time = float("inf")
+            compiled_count = interpreted_count = None
+            hits = None
+            for _ in range(rounds):
+                started = time.perf_counter()
+                result = engine.count(query, algorithm="clftj")
+                compiled_time = min(compiled_time, time.perf_counter() - started)
+                compiled_count = result.count
+                hits = result.metadata["compiled_cache_hits"]
+                started = time.perf_counter()
+                interpreted_count = engine.count(
+                    query, algorithm="clftj", compile=False
+                ).count
+                interpreted_time = min(
+                    interpreted_time, time.perf_counter() - started
+                )
+            yield {
+                "dataset": dataset,
+                "query": query.name,
+                "scale": scale,
+                "count_compiled": compiled_count,
+                "count_interpreted": interpreted_count,
+                "compiled_seconds": compiled_time,
+                "interpreted_seconds": interpreted_time,
+                "speedup": interpreted_time / compiled_time,
+                "counters_match": compiled.counter.as_dict()
+                == interpreted.counter.as_dict(),
+                "cache_hits_compiled": compiled.counter.cache_hits,
+                "cache_hits_interpreted": interpreted.counter.cache_hits,
+                "cache_stores_compiled": compiled.counter.cache_insertions,
+                "cache_stores_interpreted": interpreted.counter.cache_insertions,
+                "compiled_cache_hits": hits,
+            }
+
+
+def _pclftj_identity_cell(scale=0.3, workers=2, backend="processes"):
+    """Parallel CLFTJ vs serial CLFTJ: identical counts AND row streams.
+
+    Runs at a modest scale (row materialisation, not counting, bounds the
+    cell) over the multi-bag lollipop query so worker-local adhesion caches
+    actually serve hits; the merged pclftj stream must be byte-identical to
+    the serial one and the per-worker cache statistics must surface in the
+    result metadata.
+    """
+    from repro.bench.workloads import snap_databases
+    from repro.engine import QueryEngine
+    from repro.query.patterns import lollipop_query
+
+    database = snap_databases(("wiki-Vote",), scale=scale)["wiki-Vote"]
+    engine = QueryEngine(database)
+    query = lollipop_query(3, 2)
+    serial = engine.evaluate(query, algorithm="clftj")
+    parallel = engine.evaluate(
+        query, algorithm="pclftj", parallel=workers, parallel_backend=backend
+    )
+    count_serial = engine.count(query, algorithm="clftj")
+    count_parallel = engine.count(
+        query, algorithm="pclftj", parallel=workers, parallel_backend=backend
+    )
+    cell = {
+        "query": query.name,
+        "scale": scale,
+        "workers": workers,
+        "backend": backend,
+        "rows_identical": parallel.rows == serial.rows,
+        "row_count": len(serial.rows),
+        "count_serial": count_serial.count,
+        "count_parallel": count_parallel.count,
+        "worker_caches": count_parallel.metadata.get("worker_caches"),
+    }
+    database.close_pools()
+    return cell
+
+
+def _record_clftj_cells(cells, identity, quick=False):
+    """Write the CLFTJ cells into BENCH_8.json (keyed by dataset/query)."""
+    payload = {
+        "mode": "count",
+        "algorithm": "clftj",
+        "quick": quick,
+        "cells": {f"{c['dataset']}/{c['query']}": c for c in cells},
+        "pclftj_identity": identity,
+    }
+    write_bench_json(BENCH8_JSON, "compiled_clftj", payload)
+
+
+def test_clftj_compiled_speedup_and_parallel_identity():
+    """Warm compiled CLFTJ >= 2x interpreted on triangle/4-clique; pclftj
+    reproduces the serial row stream byte for byte."""
+    cells = list(_clftj_cells())
+    identity = _pclftj_identity_cell()
+    _record_clftj_cells(cells, identity)
+    for cell in cells:
+        report_row(
+            "Compiled CLFTJ",
+            dataset=cell["dataset"],
+            query=cell["query"],
+            count=cell["count_compiled"],
+            interpreted_seconds=round(cell["interpreted_seconds"], 5),
+            compiled_seconds=round(cell["compiled_seconds"], 5),
+            speedup=round(cell["speedup"], 2),
+            cache_hits=cell["cache_hits_compiled"],
+        )
+        assert cell["count_compiled"] == cell["count_interpreted"]
+        assert cell["counters_match"], (
+            "compiled CLFTJ must replicate the interpreted instrumentation"
+        )
+        assert cell["cache_hits_compiled"] == cell["cache_hits_interpreted"]
+        assert cell["cache_stores_compiled"] == cell["cache_stores_interpreted"]
+        assert cell["compiled_cache_hits"] == 1, (
+            "warm runs must reuse the cached driver, not recompile"
+        )
+        if cell["query"] in ("3-cycle", "4-clique"):
+            assert cell["speedup"] >= 2.0, (
+                f"warm compiled clftj {cell['query']} on {cell['dataset']} "
+                f"should be >= 2x the interpreted path, got "
+                f"{cell['speedup']:.2f}x"
+            )
+    report_row(
+        "Parallel CLFTJ identity",
+        query=identity["query"],
+        rows=identity["row_count"],
+        workers=identity["workers"],
+        backend=identity["backend"],
+        rows_identical=identity["rows_identical"],
+    )
+    assert identity["rows_identical"], (
+        "pclftj must reproduce the serial clftj row stream byte for byte"
+    )
+    assert identity["count_serial"] == identity["count_parallel"]
+    assert identity["worker_caches"], (
+        "pclftj must report per-worker adhesion-cache statistics"
+    )
 
 
 def _parallel_report(scale=PARALLEL_SCALE, workers=None, backend="processes",
@@ -563,6 +726,41 @@ def main(argv=None):
             print(f"FAIL: compiled speedup below 2x on "
                   f"{cell['dataset']}/{cell['query']}", file=sys.stderr)
             return 1
+    clftj_scale = 0.5 if args.quick else ENCODING_SCALE
+    clftj_rounds = 2 if args.quick else ENCODING_ROUNDS
+    clftj_cells = list(_clftj_cells(scale=clftj_scale, rounds=clftj_rounds))
+    identity = _pclftj_identity_cell(
+        scale=0.15 if args.quick else 0.3,
+        backend="threads" if args.quick else "processes",
+    )
+    _record_clftj_cells(clftj_cells, identity, quick=args.quick)
+    for cell in clftj_cells:
+        report_row(
+            "Compiled CLFTJ (standalone)",
+            dataset=cell["dataset"],
+            query=cell["query"],
+            count=cell["count_compiled"],
+            interpreted_seconds=round(cell["interpreted_seconds"], 5),
+            compiled_seconds=round(cell["compiled_seconds"], 5),
+            speedup=round(cell["speedup"], 2),
+        )
+        if cell["count_compiled"] != cell["count_interpreted"]:
+            print(f"FAIL: compiled/interpreted clftj counts disagree on "
+                  f"{cell['dataset']}/{cell['query']}", file=sys.stderr)
+            return 1
+        if not cell["counters_match"]:
+            print(f"FAIL: compiled clftj instrumentation diverges on "
+                  f"{cell['dataset']}/{cell['query']}", file=sys.stderr)
+            return 1
+        if (not args.quick and cell["query"] in ("3-cycle", "4-clique")
+                and cell["speedup"] < 2.0):
+            print(f"FAIL: compiled clftj speedup below 2x on "
+                  f"{cell['dataset']}/{cell['query']}", file=sys.stderr)
+            return 1
+    if not identity["rows_identical"]:
+        print("FAIL: pclftj row stream diverges from serial clftj",
+              file=sys.stderr)
+        return 1
     if args.parallel is not None:
         parallel_scale = 0.5 if args.quick else PARALLEL_SCALE
         try:

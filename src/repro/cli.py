@@ -114,8 +114,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="a registered algorithm, or 'auto' for cost-based selection")
     run.add_argument("--parallel", type=int, default=None, metavar="N",
                      help="run the join morsel-parallel on a persistent pool "
-                          "of N workers (lftj/generic_join/plftj; 0 = "
-                          "automatic worker count)")
+                          "of N workers (lftj/generic_join/clftj/plftj/"
+                          "pclftj; 0 = automatic worker count)")
     run.add_argument("--parallel-backend", choices=("threads", "processes"),
                      default=None,
                      help="parallel execution backend (default: threads)")
@@ -126,8 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
                           "per worker)")
     run.add_argument("--no-compile", action="store_true",
                      help="run the interpreted join loop instead of the "
-                          "compiled driver (lftj/plftj; the differential "
-                          "oracle path)")
+                          "compiled driver (lftj/clftj/plftj/pclftj; the "
+                          "differential oracle path)")
     run.add_argument("--mode", choices=("count", "evaluate"), default="count")
     run.add_argument("--show-rows", type=int, default=0,
                      help="print the first N result rows (evaluate mode)")
@@ -155,13 +155,13 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--parallel", type=int, default=None, metavar="N",
                          help="also show the morsel layout for N workers "
                               "(0 = automatic worker count; requires a concrete "
-                              "--algorithm such as plftj or lftj)")
+                              "--algorithm such as plftj, pclftj or lftj)")
     explain.add_argument("--parallel-mode", choices=("morsel", "static"),
                          default=None,
                          help="scheduling mode to explain (default: morsel)")
     explain.add_argument("--no-compile", action="store_true",
                          help="explain the interpreted path instead of the "
-                              "compiled driver (lftj/plftj)")
+                              "compiled driver (lftj/clftj/plftj/pclftj)")
 
     subparsers.add_parser("datasets", help="list the built-in dataset stand-ins")
     return parser

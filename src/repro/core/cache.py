@@ -16,6 +16,7 @@ the subtree ``t|v`` keyed by the current assignment of ``adhesion(v)``
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict
 from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Sequence, Tuple
 
@@ -179,12 +180,37 @@ class AdhesionCache:
             del self._entries[key]
         return len(keys)
 
+    def keys(self) -> Iterable[CacheKey]:
+        """The stored ``(node, adhesion values)`` keys (insertion/LRU order)."""
+        return iter(self._entries.keys())
+
     def entries_per_node(self) -> Dict[int, int]:
         """Number of cached entries per decomposition node."""
         result: Dict[int, int] = {}
         for node, _ in self._entries:
             result[node] = result.get(node, 0) + 1
         return result
+
+    def memory_estimate(self) -> int:
+        """Estimated bytes held by the cached entries (keys and values).
+
+        Count-mode entries are measured directly; evaluation-mode entries
+        hold :class:`~repro.core.factorized.FactorizedNode` trees, whose
+        ``memory_entries()`` proxy is charged a flat 32 bytes per stored
+        entry (a key/children pair in a Python list).  An observability
+        figure, not an allocator audit.
+        """
+        total = sys.getsizeof(self._entries)
+        for (node, values), value in self._entries.items():
+            total += sys.getsizeof((node, values)) + sum(
+                sys.getsizeof(component) for component in values
+            )
+            memory_entries = getattr(value, "memory_entries", None)
+            if memory_entries is not None:
+                total += 32 * memory_entries()
+            else:
+                total += sys.getsizeof(value)
+        return total
 
     def __repr__(self) -> str:
         bound = self.capacity if self.capacity is not None else "unbounded"
@@ -218,6 +244,17 @@ class CachePolicy:
         Called by CLFTJ at the start of every execution so that a policy
         instance reused across ``count``/``evaluate`` runs starts fresh.
         Stateless policies need not override this.
+        """
+
+    def bind_space(self, database: Database, encoded: bool) -> None:
+        """Declare which key space the execution probes the policy in.
+
+        Encoded executors hand the policy dictionary *codes* while the
+        statistics a policy may have gathered at construction live in value
+        space; this hook lets such a policy translate before the run.  The
+        flag is the executor's, not the database's: the nodes trie backend
+        runs raw values even while encoding is active.  Stateless policies
+        need not override this.
         """
 
 
@@ -272,6 +309,42 @@ class SupportThresholdPolicy(CachePolicy):
                 target = self._value_counts.setdefault(term, {})
                 for value, count in counts.items():
                     target[value] = target.get(value, 0) + count
+        #: The support table as built (value space); ``bind_space`` swaps
+        #: ``_value_counts`` between this and a code-space translation.
+        self._raw_counts = self._value_counts
+        self._code_counts: Optional[Dict[Variable, Dict[object, int]]] = None
+        self._code_dictionary_size = -1
+
+    def bind_space(self, database: Database, encoded: bool) -> None:
+        """Probe in the executor's key space (codes when encoded).
+
+        The support table is gathered from ``value_counts`` — value space —
+        but encoded executions build adhesion keys from dictionary codes,
+        so without translation every probe would read support 0 and the
+        policy would silently never cache.  The translation is memoised by
+        dictionary size (the dictionary is append-only, so a grown
+        dictionary may encode values that had no code at the last
+        translation).
+        """
+        if not encoded:
+            self._value_counts = self._raw_counts
+            return
+        dictionary = database.dictionary
+        if (
+            self._code_counts is None
+            or self._code_dictionary_size != len(dictionary)
+        ):
+            code_of = dictionary.code_of
+            self._code_counts = {
+                variable: {
+                    code: count
+                    for value, count in counts.items()
+                    if (code := code_of(value)) is not None
+                }
+                for variable, counts in self._raw_counts.items()
+            }
+            self._code_dictionary_size = len(dictionary)
+        self._value_counts = self._code_counts
 
     def support(self, adhesion: Sequence[Variable], adhesion_values: Tuple[object, ...]) -> int:
         """The support of one adhesion assignment (min occurrence count of its values)."""
@@ -336,3 +409,8 @@ class CompositePolicy(CachePolicy):
         """Reset every member policy (recursively for nested composites)."""
         for policy in self.policies:
             policy.reset()
+
+    def bind_space(self, database: Database, encoded: bool) -> None:
+        """Bind every member policy to the execution's key space."""
+        for policy in self.policies:
+            policy.bind_space(database, encoded)

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.cache import AdhesionCache, AlwaysCachePolicy, CachePolicy
-from repro.core.factorized import FactorizedNode, expand_assignments
+from repro.core.factorized import FactorizedNode
 from repro.core.instrumentation import OperationCounter
 from repro.core.leapfrog import (
     LeapfrogJoin,
@@ -95,6 +95,7 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
 
         order = self.variable_order
         depth_of = {variable: depth for depth, variable in enumerate(order)}
+        self._depth_of: Dict[Variable, int] = depth_of
 
         self._owner_at_depth: List[int] = [
             decomposition.owner(variable) for variable in order
@@ -133,7 +134,6 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
         self._total: int = 0
         self._intrmd: Dict[int, int] = {}
         self._builders: Dict[int, Optional[FactorizedNode]] = {}
-        self._pending: List[Tuple[int, FactorizedNode]] = []
 
     def _prepare(self) -> None:
         """Fresh iterators plus per-execution cache/policy state.
@@ -147,6 +147,7 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
         super()._prepare()
         self.cache.counter = self.counter
         self.policy.reset()
+        self.policy.bind_space(self.database, self.encoded)
 
     # ------------------------------------------------------------------ keys
     def _adhesion_key(self, node: int) -> Tuple[object, ...]:
@@ -305,7 +306,6 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
         self.cache.bind_mode("evaluate")
         self._prepare()
         self._builders = {node: None for node in self.decomposition.preorder()}
-        self._pending = []
         yield from self._evaluate_recursive(0)
 
     def evaluate_all(self) -> List[Dict[Variable, object]]:
@@ -315,18 +315,8 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
     def _evaluate_recursive(self, depth: int) -> Iterator[Tuple[object, ...]]:
         self.counter.record_recursive_call()
         if depth == self.num_variables:
-            if self._pending:
-                prefix = {
-                    variable: value
-                    for variable, value in zip(self.variable_order, self._assignment)
-                    if value is not None
-                }
-                for row in expand_assignments(prefix, self._pending, self.variable_order):
-                    self.counter.record_result(1)
-                    yield row
-            else:
-                self.counter.record_result(1)
-                yield tuple(self._assignment)
+            self.counter.record_result(1)
+            yield tuple(self._assignment)
             return
 
         node = self._owner_at_depth[depth]
@@ -346,9 +336,20 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
             adhesion_key = self._adhesion_key(node)
             cached = self.cache.get(node, adhesion_key)
             if cached is not None:
-                self._pending.append((depth, cached))
-                yield from self._evaluate_recursive(self._subtree_last_depth[node] + 1)
-                self._pending.pop()
+                # Graft the cached subtree at its natural depths: driving the
+                # factorised block as the *outer* loop reproduces the exact
+                # nesting — and therefore the exact row order — of a cache
+                # miss, so the output stream is independent of cache state.
+                # Serial and morsel-parallel executions interleave hits and
+                # misses differently yet emit identical streams.
+                depths = [self._depth_of[variable] for variable in cached.variables()]
+                continuation = self._subtree_last_depth[node] + 1
+                for values in cached.enumerate():
+                    for position, value in zip(depths, values):
+                        self._assignment[position] = value
+                    yield from self._evaluate_recursive(continuation)
+                for position in depths:
+                    self._assignment[position] = None
                 self._builders[node] = cached
                 return
 
@@ -405,6 +406,7 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
         """Executor-protocol hook: adhesion-cache state on top of the base facts."""
         metadata = super().execution_metadata()
         metadata["cache_entries"] = len(self.cache)
+        metadata["cache_memory_bytes"] = self.cache.memory_estimate()
         return metadata
 
     def invalidate_cache_for(self, changed_relations) -> int:
@@ -420,6 +422,25 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
             self.decomposition, self.query, set(changed_relations)
         )
         return self.cache.invalidate_nodes(affected)
+
+    def decoded_cache_keys(self, limit: Optional[int] = None) -> List[Tuple[int, Tuple[object, ...]]]:
+        """Cache keys for inspection, decoded to value space when encoded.
+
+        Adhesion keys are stored in the traversal's key space — dictionary
+        codes on the encoded path — for small keys and fast hashing; this
+        is the *only* decode boundary, intended for debugging and tests,
+        never for the hot path.
+        """
+        keys = self.cache.keys()
+        decoded: List[Tuple[int, Tuple[object, ...]]] = []
+        decode = self.database.dictionary.decode if self.encoded else None
+        for node, values in keys:
+            if limit is not None and len(decoded) >= limit:
+                break
+            if decode is not None:
+                values = tuple(decode(code) for code in values)
+            decoded.append((node, values))
+        return decoded
 
     def cache_report(self) -> Dict[str, object]:
         """A small report of cache behaviour after an execution."""

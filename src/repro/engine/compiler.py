@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import leapfrog
+from repro.core.cache import AdhesionCache, CachePolicy
 from repro.core.instrumentation import OperationCounter
 from repro.core.leapfrog import (
     _pair_intersection_count,
@@ -58,7 +59,11 @@ from repro.core.leapfrog import (
     run_intersect,
     run_keys,
 )
-from repro.engine.parallel import _BoundedLeapfrogTrieJoin
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.engine.parallel import (
+    _BoundedCachedLeapfrogTrieJoin,
+    _BoundedLeapfrogTrieJoin,
+)
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.terms import Variable
 from repro.storage.database import Database
@@ -67,11 +72,47 @@ from repro.storage.trie import TrieIndex
 from repro.storage.views import query_signature
 
 #: Algorithms that execute through compiled drivers (``compile`` parameter).
-COMPILED_ALGORITHMS: Tuple[str, ...] = ("lftj", "plftj")
+COMPILED_ALGORITHMS: Tuple[str, ...] = ("lftj", "plftj", "clftj", "pclftj")
+
+#: CLFTJ drivers unroll one cache probe/store site per decomposition node
+#: entered below the root; decompositions with more probed nodes than this
+#: fall back to the interpreted executor (generated source growth is linear
+#: in probe sites but each site nests, and real plans stay far below this).
+MAX_UNROLLED_CACHE_NODES: int = 6
+
+
+def decomposition_fingerprint(
+    decomposition: TreeDecomposition, variable_order: Sequence[Variable]
+) -> Tuple[object, ...]:
+    """A structural key for (decomposition, order): shape in depth space.
+
+    Per preorder node: its id, its owned depths, its adhesion depths, and
+    its parent's preorder rank.  Node ids are deliberately *included* (not
+    rank-erased): compiled CLFTJ drivers bake ``cache.get(node_id, ...)``
+    literals into the generated source, and the adhesion caches they warm
+    are shared with interpreted executions keyed by the same ids — erasing
+    them could let two id-labelings of one shape collide on a cache.
+    """
+    depth_of = {variable: depth for depth, variable in enumerate(variable_order)}
+    ranks = {node: rank for rank, node in enumerate(decomposition.preorder())}
+    parts = []
+    for node in decomposition.preorder():
+        parent = decomposition.parent(node)
+        parts.append(
+            (
+                node,
+                tuple(sorted(depth_of[v] for v in decomposition.owned_variables(node))),
+                tuple(sorted(depth_of[v] for v in decomposition.adhesion(node))),
+                ranks[parent] if parent is not None else -1,
+            )
+        )
+    return tuple(parts)
 
 
 def driver_cache_key(
-    query: ConjunctiveQuery, variable_order: Sequence[Variable]
+    query: ConjunctiveQuery,
+    variable_order: Sequence[Variable],
+    decomposition: Optional[TreeDecomposition] = None,
 ) -> Tuple[object, ...]:
     """The compiled-driver cache key: name-erased signature + order shape.
 
@@ -80,13 +121,20 @@ def driver_cache_key(
     constants and join structure, and the order positions pin the loop
     nesting.  The key deliberately omits data versions: the database's
     compiled cache drops entries on any mutation of an involved relation.
+
+    CLFTJ drivers additionally pin the (contracted) decomposition shape —
+    probe/store sites are unrolled per node, so two decompositions of one
+    query need two drivers.
     """
     positions = {variable: index for index, variable in enumerate(query.variables)}
-    return (
+    key: Tuple[object, ...] = (
         "compiled",
         query_signature(query),
         tuple(positions[variable] for variable in variable_order),
     )
+    if decomposition is not None:
+        key += ("clftj", decomposition_fingerprint(decomposition, variable_order))
+    return key
 
 
 def _pure_main(trie) -> Optional[TrieIndex]:
@@ -216,6 +264,13 @@ class _Codegen:
         #: Hoisted structures keyed by the depth whose loop body builds
         #: them (``-1`` = prologue, cached across calls on the driver).
         self.hoist_builds: Dict[int, List[Tuple[str, str]]] = {}
+        #: Depths whose key must be bound to a local even in count mode
+        #: (CLFTJ adhesion keys are built from them); empty for plain LFTJ.
+        self.key_depths: frozenset = frozenset()
+        #: One-shot flag: the next entry record was already emitted by a
+        #: cache-probe preamble (the interpreter records the recursive call
+        #: *before* consulting the cache, so the probe owns that record).
+        self._skip_entry_record = False
         self._plan_leaf_sets()
         self._plan_interior()
 
@@ -425,8 +480,7 @@ class _Codegen:
         participants = self.participants[depth]
         count = len(participants)
         self.emit(indent, f"# depth {depth}: interior intersection")
-        if depth > 0:
-            self.emit(indent, "c_rec += 1")
+        self.emit_entry_record(indent, depth)
         self.emit(indent, f"c_acc += {count}; c_open += {count}")
         self.emit(indent, f"st = {self.span_expr(participants)}")
         self.emit(indent, f"c_acc += st if st > 1 else 1; c_seek += {count}")
@@ -455,13 +509,14 @@ class _Codegen:
         )
         self.emit(indent, f"for i{depth} in range(len(ks{depth})):")
         body = indent + 1
-        if self.mode == "evaluate":
+        if self.mode == "evaluate" or depth in self.key_depths:
             self.emit(body, f"k{depth} = ks{depth}[i{depth}]")
         for atom, level in participants:
             if self.needs_positions(atom, level):
                 self.emit(body, f"p{atom}_{level} = ps{depth}_{atom}[i{depth}]")
         self.emit_body_hoists(depth, body)
         self.emit_depth(depth + 1, body)
+        self.emit_post_recursion(depth, body)
         self.emit(indent, f"c_acc += {count}")
 
     def emit_body_hoists(self, depth: int, body: int) -> None:
@@ -513,6 +568,7 @@ class _Codegen:
             self.emit(body, f"p{atom}_{level} = i{depth}")
         self.emit_body_hoists(depth, body)
         self.emit_depth(depth + 1, body)
+        self.emit_post_recursion(depth, body)
 
     def emit_leaf_count(
         self, participants: Sequence[Tuple[int, int]], indent: int
@@ -604,19 +660,48 @@ class _Codegen:
                 self.emit(indent, f"c_acc += (st if st > 1 else 1) + {2 * count}")
             self.emit(indent, f"c_seek += {count}; c_open += {count}")
             self.emit_leaf_count(participants, indent)
-            self.emit(indent, "c_rec += 1 + m; c_res += m; total += m")
+            self.emit_leaf_tally(indent, fused=True)
             return
         # Some participant first appears at the deepest depth: the fused
         # child read is unavailable and the interpreter recurses for real.
         self.emit(indent, f"# depth {depth}: leaf count (unfused)")
-        if depth > 0:
-            self.emit(indent, "c_rec += 1")
+        self.emit_entry_record(indent, depth)
         self.emit(indent, f"c_acc += {count}; c_open += {count}")
         self.emit(indent, f"st = {self.span_expr(participants)}")
         self.emit(indent, f"c_acc += st if st > 1 else 1; c_seek += {count}")
         self.emit_leaf_count(participants, indent)
-        self.emit(indent, "c_rec += m; c_res += m; total += m")
+        self.emit_leaf_tally(indent, fused=False)
         self.emit(indent, f"c_acc += {count}")
+
+    # ------------------------------------------------- subclass hook points
+    def emit_entry_record(self, indent: int, depth: int) -> None:
+        """The recursive-call record at a depth's entry (elided at depth 0).
+
+        A probe preamble that already recorded the call (the interpreter
+        records *before* consulting the cache) sets ``_skip_entry_record``
+        so the record is not double-counted.
+        """
+        if depth <= 0:
+            return
+        if self._skip_entry_record:
+            self._skip_entry_record = False
+            return
+        self.emit(indent, "c_rec += 1")
+
+    def emit_leaf_tally(self, indent: int, fused: bool) -> None:
+        """The deepest level's counter/total arithmetic for ``m`` matches.
+
+        The fused variant also charges the recursive call the interior
+        inline elided (``1 + m`` vs ``m``) — exactly the interpreter's
+        fused-kernel bookkeeping.
+        """
+        if fused:
+            self.emit(indent, "c_rec += 1 + m; c_res += m; total += m")
+        else:
+            self.emit(indent, "c_rec += m; c_res += m; total += m")
+
+    def emit_post_recursion(self, depth: int, body: int) -> None:
+        """Hook after each interior iteration's recursion (no-op for LFTJ)."""
 
     def emit_deepest_evaluate(self, depth: int, indent: int) -> None:
         participants = self.participants[depth]
@@ -648,7 +733,9 @@ def generate_source(
     return _Codegen(atom_depths, bundles, mode).generate()
 
 
-def _compile_function(source: str, name: str, label: str) -> Callable:
+def _compile_function(
+    source: str, name: str, label: str, extra: Optional[Dict[str, object]] = None
+) -> Callable:
     namespace = {
         "_run_intersect": run_intersect,
         "_run_count": run_count,
@@ -657,6 +744,8 @@ def _compile_function(source: str, name: str, label: str) -> Callable:
         "_np": numpy,
         "_bisect": bisect_left,
     }
+    if extra:
+        namespace.update(extra)
     code = compile(source, f"<compiled-driver:{label}>", "exec")
     exec(code, namespace)
     return namespace[name]
@@ -699,6 +788,464 @@ def compile_driver(
         _sources=sources,
         _functions=functions,
     )
+
+
+# --------------------------------------------------------------------------
+# CLFTJ code generation: the cached trie join, unrolled per decomposition.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ClftjNodeShape:
+    """One decomposition node's depth geometry under a compatible order."""
+
+    node: int
+    root: bool
+    entry_depth: int
+    last_own: int
+    subtree_last: int
+    adhesion_depths: Tuple[int, ...]
+    children: Tuple[int, ...]
+
+
+def _clftj_shapes(
+    decomposition: TreeDecomposition, variable_order: Sequence[Variable]
+) -> Tuple[Dict[int, _ClftjNodeShape], Tuple[int, ...]]:
+    """Depth-space shapes per node, plus the owner of every depth.
+
+    Strong compatibility makes every field well-defined straight-line data:
+    each node's own depths are contiguous, its subtree occupies the
+    contiguous block ``[entry_depth, subtree_last]``, and its adhesion
+    depths (sorted by depth, the interpreter's key order) all precede its
+    entry depth.
+    """
+    depth_of = {variable: depth for depth, variable in enumerate(variable_order)}
+    shapes: Dict[int, _ClftjNodeShape] = {}
+    owner_at_depth = tuple(
+        decomposition.owner(variable) for variable in variable_order
+    )
+    for node in decomposition.preorder():
+        own_depths = sorted(
+            depth_of[variable]
+            for variable in decomposition.owned_variables(node)
+        )
+        subtree_last = max(
+            depth_of[variable]
+            for variable in decomposition.subtree_variables(node)
+        )
+        adhesion = sorted(
+            depth_of[variable] for variable in decomposition.adhesion(node)
+        )
+        shapes[node] = _ClftjNodeShape(
+            node=node,
+            root=decomposition.parent(node) is None,
+            entry_depth=own_depths[0] if own_depths else -1,
+            last_own=own_depths[-1] if own_depths else -1,
+            subtree_last=subtree_last,
+            adhesion_depths=tuple(adhesion),
+            children=tuple(decomposition.children(node)),
+        )
+    return shapes, owner_at_depth
+
+
+class _ClftjCodegen(_Codegen):
+    """Emit the CLFTJ count driver: LFTJ loops + inlined probe/store sites.
+
+    Per probed node (entered at depth > 0 — entered-at-0 nodes are never
+    consulted, Figure 2's ``depth > 0`` guard), the node's entry depth gets
+    a straight-line preamble: build the adhesion key tuple from the already
+    bound ``k<depth>`` locals, probe the cache; on a hit multiply the
+    running factor by the cached count and jump the emission to the
+    continuation depth ``subtree_last + 1`` (always another node's entry
+    depth, or the base case); on a miss run the ordinary loops with a
+    per-node intermediate accumulator ``im<node>`` and offer it to the
+    policy/cache on the way out.  The accumulator arithmetic replicates the
+    interpreter's ``_intrmd`` dict exactly — including its
+    persist-across-iterations staleness, since locals behave the same way —
+    and every counter charge lands where the interpreter lands it, so
+    compiled and interpreted CLFTJ agree on totals *and* on the full
+    operation-counter vector.
+    """
+
+    def __init__(
+        self,
+        atom_depths: Sequence[Tuple[int, ...]],
+        bundles: Sequence[Tuple[object, ...]],
+        shapes: Dict[int, _ClftjNodeShape],
+        owner_at_depth: Tuple[int, ...],
+    ) -> None:
+        self.shapes = shapes
+        self.owner_at_depth = owner_at_depth
+        super().__init__(atom_depths, bundles, "count")
+        self.probed: Tuple[_ClftjNodeShape, ...] = tuple(
+            shapes[node]
+            for node in dict.fromkeys(owner_at_depth)
+            if shapes[node].entry_depth > 0
+        )
+        self.tracked_nodes = {shape.node for shape in self.probed}
+        self.shape_at_entry = {shape.entry_depth: shape for shape in self.probed}
+        self.key_depths = frozenset(
+            depth for shape in self.probed for depth in shape.adhesion_depths
+        )
+        #: The running multiplication factor as a source expression;
+        #: rebound to a hit-branch local while emitting continuations.
+        self.factor = "1"
+        self._probe_serial = 0
+        self._factor_serial = 0
+
+    # ------------------------------------------------------------ generation
+    def generate(self) -> str:
+        self.emit(0, "def _count(columns, counter, cache, policy, lo=None, hi=None,")
+        self.emit(
+            0,
+            "           _run_intersect=_run_intersect, _run_count=_run_count,",
+        )
+        self.emit(
+            0,
+            "           _run_keys=_run_keys, _pair_count=_pair_count, "
+            "_np=_np, _bisect=_bisect, _hoist={}):",
+        )
+        self.prologue()
+        self.emit_depth(0, 1)
+        self.epilogue()
+        return "\n".join(self.lines) + "\n"
+
+    def prologue(self) -> None:
+        super().prologue()
+        self.emit(
+            1, "_cget = cache.get; _cput = cache.put; _should = policy.should_cache"
+        )
+        self.emit(1, "c_mat = 0")
+        if self.probed:
+            self.emit(
+                1, "; ".join(f"im{shape.node} = 0" for shape in self.probed)
+            )
+
+    def epilogue(self) -> None:
+        self.emit(1, "counter.tuples_materialized += c_mat")
+        super().epilogue()
+
+    def emit_depth(self, depth: int, indent: int) -> None:
+        if depth == self.num_variables:
+            # The base case a cache hit's continuation can land on: one
+            # recursive call, ``factor`` result units.
+            if self.factor == "1":
+                self.emit(indent, "c_rec += 1; c_res += 1; total += 1")
+            else:
+                self.emit(
+                    indent,
+                    f"c_rec += 1; c_res += {self.factor}; "
+                    f"total += {self.factor}",
+                )
+            return
+        shape = self.shape_at_entry.get(depth)
+        if shape is not None:
+            self.emit_probe(depth, indent, shape)
+            return
+        super().emit_depth(depth, indent)
+
+    def emit_probe(self, depth: int, indent: int, shape: _ClftjNodeShape) -> None:
+        """The inlined cache consult at one probed node's entry depth."""
+        pid = self._probe_serial
+        self._probe_serial += 1
+        node = shape.node
+        if not shape.adhesion_depths:
+            key = "()"
+        elif len(shape.adhesion_depths) == 1:
+            key = f"(k{shape.adhesion_depths[0]},)"
+        else:
+            key = "(" + ", ".join(f"k{d}" for d in shape.adhesion_depths) + ")"
+        self.emit(indent, f"# node {node}: adhesion-cache probe")
+        # The interpreter records the recursive call before consulting.
+        self.emit(indent, "c_rec += 1")
+        self.emit(indent, f"ak{pid} = {key}")
+        self.emit(indent, f"cv{pid} = _cget({node}, ak{pid})")
+        self.emit(indent, f"if cv{pid} is None:")
+        body = indent + 1
+        self.emit(body, f"im{node} = 0")
+        self._skip_entry_record = True
+        super().emit_depth(depth, body)
+        self._skip_entry_record = False
+        self.emit(body, f"if _should({node}, _AV{node}, ak{pid}, im{node}):")
+        self.emit(body + 1, f"if _cput({node}, ak{pid}, im{node}):")
+        self.emit(body + 2, "c_mat += 1")
+        self.emit(indent, "else:")
+        self.emit(body, f"im{node} = cv{pid}")
+        fid = self._factor_serial
+        self._factor_serial += 1
+        if self.factor == "1":
+            self.emit(body, f"f{fid} = cv{pid}")
+        else:
+            self.emit(body, f"f{fid} = {self.factor} * cv{pid}")
+        saved = self.factor
+        self.factor = f"f{fid}"
+        self.emit_depth(shape.subtree_last + 1, body)
+        self.factor = saved
+
+    # ------------------------------------------------------------ hook impls
+    def emit_leaf_tally(self, indent: int, fused: bool) -> None:
+        if fused and self._skip_entry_record:
+            # The probe preamble already recorded the entry call the fused
+            # kernel folds into its ``1 + m``.
+            self._skip_entry_record = False
+            fused = False
+        rec = "c_rec += 1 + m" if fused else "c_rec += m"
+        if self.factor == "1":
+            self.emit(indent, f"{rec}; c_res += m; total += m")
+        else:
+            self.emit(indent, f"fm = {self.factor} * m")
+            self.emit(indent, f"{rec}; c_res += fm; total += fm")
+        node = self.owner_at_depth[self.num_variables - 1]
+        if node in self.tracked_nodes:
+            # The deepest owner is always a decomposition leaf, so the
+            # interpreter's ``matches * children_product`` is just ``m``.
+            self.emit(indent, f"im{node} += m")
+
+    def emit_post_recursion(self, depth: int, body: int) -> None:
+        node = self.owner_at_depth[depth]
+        shape = self.shapes[node]
+        if node not in self.tracked_nodes or depth != shape.last_own:
+            return
+        if shape.children:
+            product = " * ".join(f"im{child}" for child in shape.children)
+            self.emit(body, f"im{node} += {product}")
+        else:
+            self.emit(body, f"im{node} += 1")
+
+
+def generate_clftj_source(
+    atom_depths: Sequence[Tuple[int, ...]],
+    bundles: Sequence[Tuple[object, ...]],
+    shapes: Dict[int, _ClftjNodeShape],
+    owner_at_depth: Tuple[int, ...],
+) -> str:
+    """Generate the specialized CLFTJ count-driver source."""
+    return _ClftjCodegen(atom_depths, bundles, shapes, owner_at_depth).generate()
+
+
+@dataclass
+class CompiledClftjDriver:
+    """One compiled CLFTJ count driver over captured trie columns.
+
+    Unlike :class:`CompiledDriver` the cache and policy stay *runtime*
+    parameters: one driver serves every adhesion cache (serial, prepared,
+    per-worker) of its (query shape, decomposition, order) key.
+    """
+
+    key: Tuple[object, ...]
+    query_name: str
+    variable_names: Tuple[str, ...]
+    relation_versions: Dict[str, int]
+    crossover: int
+    probed_nodes: Tuple[int, ...]
+    _columns: Tuple[Tuple[object, ...], ...]
+    _sources: Dict[str, str]
+    _functions: Dict[str, Callable]
+
+    def count(
+        self,
+        counter: OperationCounter,
+        cache: AdhesionCache,
+        policy: CachePolicy,
+        lo=None,
+        hi=None,
+    ) -> int:
+        """Run the generated cached count loop over codes in ``[lo, hi)``."""
+        return self._functions["count"](self._columns, counter, cache, policy, lo, hi)
+
+    def debug_source(self, mode: str = "count") -> str:
+        """The generated Python source (CLFTJ compiles the count mode only)."""
+        if mode not in self._sources:
+            raise ValueError(
+                f"unknown driver mode {mode!r}; choose one of "
+                f"{tuple(self._sources)}"
+            )
+        return self._sources[mode]
+
+    def matches(self, database: Database) -> bool:
+        """Is this driver still current for ``database``? (see CompiledDriver)"""
+        if not database.encoding_active:
+            return False
+        return all(
+            database.relation_version(name) == version
+            for name, version in self.relation_versions.items()
+        )
+
+
+def compile_clftj_driver(
+    query: ConjunctiveQuery,
+    database: Database,
+    decomposition: TreeDecomposition,
+    variable_order: Sequence[Variable],
+    atom_variables: Sequence[Tuple[Variable, ...]],
+    pure_tries: Sequence[TrieIndex],
+    key: Tuple[object, ...],
+) -> CompiledClftjDriver:
+    """Generate, ``exec``-compile and wrap the CLFTJ count driver.
+
+    ``decomposition`` must already be contracted (the executor's) so the
+    baked node ids line up with interpreted executors sharing the caches.
+    """
+    depth_of = {variable: depth for depth, variable in enumerate(variable_order)}
+    atom_depths = tuple(
+        tuple(depth_of[variable] for variable in ordered)
+        for ordered in atom_variables
+    )
+    bundles = tuple(_atom_bundle(base) for base in pure_tries)
+    shapes, owner_at_depth = _clftj_shapes(decomposition, variable_order)
+    codegen = _ClftjCodegen(atom_depths, bundles, shapes, owner_at_depth)
+    source = codegen.generate()
+    # The policy protocol receives the adhesion *variables*; they are
+    # compile-time constants of the plan, pre-bound per probed node.
+    extra = {
+        f"_AV{shape.node}": tuple(
+            variable_order[depth] for depth in shape.adhesion_depths
+        )
+        for shape in codegen.probed
+    }
+    functions = {
+        "count": _compile_function(
+            source, "_count", f"{query.name}:clftj-count", extra
+        )
+    }
+    return CompiledClftjDriver(
+        key=key,
+        query_name=query.name,
+        variable_names=tuple(variable.name for variable in variable_order),
+        relation_versions=database.relation_versions(query.relation_names),
+        crossover=leapfrog.KERNEL_CROSSOVER,
+        probed_nodes=tuple(shape.node for shape in codegen.probed),
+        _columns=bundles,
+        _sources={"count": source},
+        _functions=functions,
+    )
+
+
+class CompiledCachedTrieJoin(_BoundedCachedLeapfrogTrieJoin):
+    """CLFTJ executor that runs counts through a compiled driver when it can.
+
+    Same two-phase protocol and fallback discipline as
+    :class:`CompiledTrieJoin` — raw storage and pending deltas run the
+    inherited interpreted execution — plus two CLFTJ-specific rules:
+    decompositions with more probed nodes than
+    :data:`MAX_UNROLLED_CACHE_NODES` stay interpreted, and *evaluation*
+    always runs interpreted (factorized-representation grafting is control
+    flow the straight-line driver does not unroll; counting is where the
+    paper's experiments live).  The driver is shared through the database's
+    compiled cache under the decomposition-aware key, so serial runs,
+    prepared queries and every pclftj morsel resolve to one compilation.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        decomposition: TreeDecomposition,
+        variable_order: Optional[Sequence[Variable]] = None,
+        policy: Optional[CachePolicy] = None,
+        cache: Optional[AdhesionCache] = None,
+        counter: Optional[OperationCounter] = None,
+        lo=None,
+        hi=None,
+    ) -> None:
+        super().__init__(
+            query,
+            database,
+            decomposition,
+            variable_order,
+            policy=policy,
+            cache=cache,
+            counter=counter,
+            lo=lo,
+            hi=hi,
+        )
+        self._driver: Optional[CompiledClftjDriver] = None
+        self._built = False
+        self._compiled_reason: Optional[str] = None
+        self._mode_reason: Optional[str] = None
+
+    # -------------------------------------------------------------- compile
+    def build(self) -> Optional[CompiledClftjDriver]:
+        """Ensure a driver (or a fallback reason); idempotent."""
+        if self._built:
+            return self._driver
+        self._built = True
+        if not self.encoded:
+            self._compiled_reason = "raw storage (dictionary encoding inactive)"
+            return None
+        pure_tries = [_pure_main(trie) for trie in self._atom_tries]
+        if any(base is None for base in pure_tries):
+            self._compiled_reason = "unmerged deltas pending on an atom trie"
+            return None
+        probed = len(
+            {self.decomposition.owner(variable) for variable in self.variable_order}
+        ) - 1
+        if probed > MAX_UNROLLED_CACHE_NODES:
+            self._compiled_reason = (
+                f"decomposition has {probed} probed nodes "
+                f"(unroll ceiling is {MAX_UNROLLED_CACHE_NODES})"
+            )
+            return None
+        key = driver_cache_key(self.query, self.variable_order, self.decomposition)
+        self._driver = self.database.compiled_driver(
+            key,
+            self.query.relation_names,
+            lambda: compile_clftj_driver(
+                self.query,
+                self.database,
+                self.decomposition,
+                self.variable_order,
+                self._atom_variables,
+                pure_tries,
+                key,
+            ),
+        )
+        return self._driver
+
+    @property
+    def compiled(self) -> bool:
+        """True when the next count() goes through a compiled driver."""
+        return self.build() is not None
+
+    def debug_source(self, mode: str = "count") -> Optional[str]:
+        """Generated source for this query's driver (``None`` if interpreted)."""
+        driver = self.build()
+        return driver.debug_source(mode) if driver is not None else None
+
+    # -------------------------------------------------------------- execute
+    def count(self) -> int:
+        driver = self.build()
+        if driver is None:
+            return super().count()
+        self._mode_reason = None
+        # The same per-execution cache/policy discipline as the interpreted
+        # _prepare(): counts on the current counter, fresh policy state,
+        # policy probes in the execution's key space.
+        self.cache.bind_mode("count")
+        self.cache.counter = self.counter
+        self.policy.reset()
+        self.policy.bind_space(self.database, self.encoded)
+        lo, hi = self._range
+        return driver.count(self.counter, self.cache, self.policy, lo, hi)
+
+    def evaluate_coded(self):
+        if self.build() is not None:
+            self._mode_reason = (
+                "evaluation runs interpreted (factorized-representation grafting)"
+            )
+        yield from super().evaluate_coded()
+
+    # ------------------------------------------------------------- metadata
+    def execution_metadata(self) -> Dict[str, object]:
+        metadata = super().execution_metadata()
+        compiled = (
+            self._built and self._driver is not None and self._mode_reason is None
+        )
+        metadata["compiled"] = compiled
+        reason = self._mode_reason or self._compiled_reason
+        if self._built and not compiled and reason:
+            metadata["compiled_reason"] = reason
+        return metadata
 
 
 class CompiledTrieJoin(_BoundedLeapfrogTrieJoin):

@@ -101,9 +101,11 @@ class QueryEngine:
         returned :class:`~repro.engine.prepared.PreparedQuery` re-executes
         through the plan and index caches and, for CLFTJ, keeps a persistent
         adhesion cache per execution mode (warm across runs).  With
-        ``parallel=`` (on ``lftj``/``generic_join``/``plftj``), every
-        re-execution runs morsel-parallel on the database's persistent
-        worker pool — warm repeats spawn no new workers.
+        ``parallel=`` (on ``lftj``/``generic_join``/``clftj``/``plftj``/
+        ``pclftj``), every re-execution runs morsel-parallel on the
+        database's persistent worker pool — warm repeats spawn no new
+        workers, and parallel CLFTJ workers keep their adhesion caches
+        warm across re-executions.
         """
         parameters: Dict[str, object] = {
             "decomposition": decomposition,
@@ -156,7 +158,8 @@ class QueryEngine:
         """Run a count query with the chosen algorithm and return the result.
 
         Pass ``parallel=N`` (worker count; ``True`` for automatic) with
-        ``algorithm`` ``"lftj"``/``"generic_join"``/``"plftj"`` to run the
+        ``algorithm`` ``"lftj"``/``"generic_join"``/``"clftj"``/``"plftj"``/
+        ``"pclftj"`` to run the
         execution morsel-parallel over the top join variable on the
         database's persistent worker pool; ``parallel_backend`` selects
         ``"threads"`` (default) or fork-based ``"processes"``, and
@@ -308,6 +311,7 @@ class QueryEngine:
         else:
             lines.append(f"algorithm: {resolved} (explicit)")
         plan_consulted = selection is not None
+        plan: Optional[ExecutionPlan] = None
         if spec.needs_plan or selection is not None:
             plan = self.plan(
                 query,
@@ -319,11 +323,32 @@ class QueryEngine:
             plan_consulted = plan_consulted or decomposition is None
             lines.append("")
             lines.append(plan.describe())
-        if resolved == "plftj" or parallel is not None:
+        if resolved in ("clftj", "pclftj") and plan is not None:
+            capacity = (
+                plan.cache_capacity
+                if plan.cache_capacity is not None
+                else "unbounded"
+            )
+            scope = (
+                "worker-local persistent caches (one per pool worker)"
+                if resolved == "pclftj" or parallel is not None
+                else "one cache per execution (prepare() keeps it warm)"
+            )
+            lines.append("")
+            lines.append(
+                f"adhesion caching: policy={type(plan.policy).__name__}, "
+                f"capacity={capacity}, {scope}"
+            )
+        if resolved in ("plftj", "pclftj") or parallel is not None:
             lines.append("")
             lines.append(
                 self._describe_partitions(
-                    query, variable_order, parallel, parallel_backend, parallel_mode
+                    query,
+                    variable_order if variable_order is not None
+                    else (plan.variable_order if plan is not None else None),
+                    parallel,
+                    parallel_backend,
+                    parallel_mode,
                 )
             )
         if decomposition is not None:
@@ -355,7 +380,8 @@ class QueryEngine:
             f"{self.database.compiled_cache_size()} driver(s) cached, "
             f"{self.database.compiled_builds} build(s), "
             f"{self.database.compiled_cache_hits} hit(s); "
-            f"this query: {self._compiled_state(query, resolved, variable_order, compile)}"
+            f"this query: "
+            f"{self._compiled_state(query, resolved, variable_order, compile, plan)}"
         )
         return "\n".join(lines)
 
@@ -411,9 +437,14 @@ class QueryEngine:
         algorithm: str,
         variable_order: Optional[Sequence[Variable]],
         compile: Optional[bool],
+        plan: Optional[ExecutionPlan] = None,
     ) -> str:
         """The explain() account of this query's compiled-driver state."""
-        from repro.engine.compiler import COMPILED_ALGORITHMS, driver_cache_key
+        from repro.engine.compiler import (
+            COMPILED_ALGORITHMS,
+            MAX_UNROLLED_CACHE_NODES,
+            driver_cache_key,
+        )
 
         if algorithm not in COMPILED_ALGORITHMS:
             return f"not applicable (algorithm {algorithm!r} runs interpreted)"
@@ -421,6 +452,21 @@ class QueryEngine:
             return "disabled (compile=False; interpreted oracle path)"
         if not self.database.encoding_active:
             return "unavailable (raw storage; falls back to interpreted)"
+        if algorithm in ("clftj", "pclftj"):
+            if plan is None:
+                return "will compile on first execution (count mode)"
+            contracted = plan.decomposition.contract_ownerless_bags()
+            order = tuple(plan.variable_order)
+            probed = len({contracted.owner(v) for v in order}) - 1
+            if probed > MAX_UNROLLED_CACHE_NODES:
+                return (
+                    f"unavailable (decomposition has {probed} probed nodes; "
+                    f"unroll ceiling is {MAX_UNROLLED_CACHE_NODES})"
+                )
+            key = driver_cache_key(query, order, contracted)
+            if self.database.has_compiled_driver(key):
+                return "cached (count mode; evaluation runs interpreted)"
+            return "will compile on first execution (count mode)"
         order = (
             tuple(variable_order)
             if variable_order is not None

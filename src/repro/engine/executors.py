@@ -191,6 +191,7 @@ def _build_parallel(request: ExecutorRequest, inner: str) -> Executor:
         mode=request.parallel_mode or "morsel",
         selector=request.selector,
         compile=request.compile,
+        plan=request.plan,
     )
 
 
@@ -231,7 +232,27 @@ def _build_lftj(request: ExecutorRequest) -> Executor:
 
 def _build_clftj(request: ExecutorRequest) -> Executor:
     plan = request.plan
-    return CachedLeapfrogTrieJoin(
+    if _check_parallel_params(request):
+        if request.cache is not None:
+            raise ValueError(
+                "clftj cannot combine cache= with parallel=: parallel "
+                "workers keep their own persistent adhesion caches"
+            )
+        return _build_parallel(request, "clftj")
+    if request.compile is False:
+        # The interpreted path, retained as the differential oracle.
+        return CachedLeapfrogTrieJoin(
+            request.query,
+            request.database,
+            plan.decomposition,
+            plan.variable_order,
+            policy=plan.policy,
+            cache=request.cache if request.cache is not None else plan.make_cache(),
+            counter=request.counter,
+        )
+    from repro.engine.compiler import CompiledCachedTrieJoin
+
+    return CompiledCachedTrieJoin(
         request.query,
         request.database,
         plan.decomposition,
@@ -261,6 +282,12 @@ def _build_plftj(request: ExecutorRequest) -> Executor:
     # Dedicated name for the parallel LFTJ: parallel even without an
     # explicit parallel= (shard count then comes from the selector).
     return _build_parallel(request, "lftj")
+
+
+def _build_pclftj(request: ExecutorRequest) -> Executor:
+    # Dedicated name for the parallel CLFTJ: morsel-parallel cached trie
+    # join with worker-local persistent adhesion caches.
+    return _build_parallel(request, "clftj")
 
 
 def _build_pairwise(request: ExecutorRequest) -> Executor:
@@ -317,7 +344,17 @@ register_algorithm(
         description="Cached Leapfrog Trie Join over a tree decomposition (Figure 2)",
         needs_plan=True,
         accepts=frozenset(
-            {"decomposition", "variable_order", "cache_capacity", "policy", "cache"}
+            {
+                "decomposition",
+                "variable_order",
+                "cache_capacity",
+                "policy",
+                "cache",
+                "parallel",
+                "parallel_backend",
+                "parallel_mode",
+                "compile",
+            }
         ),
     )
 )
@@ -358,6 +395,29 @@ register_algorithm(
         accepts=frozenset(
             {
                 "variable_order",
+                "parallel",
+                "parallel_backend",
+                "parallel_mode",
+                "compile",
+            }
+        ),
+    )
+)
+register_algorithm(
+    AlgorithmSpec(
+        name="pclftj",
+        factory=_build_pclftj,
+        description=(
+            "partition-parallel Cached Leapfrog Trie Join (morsel-driven, "
+            "worker-local persistent adhesion caches; threads or fork)"
+        ),
+        needs_plan=True,
+        accepts=frozenset(
+            {
+                "decomposition",
+                "variable_order",
+                "cache_capacity",
+                "policy",
                 "parallel",
                 "parallel_backend",
                 "parallel_mode",

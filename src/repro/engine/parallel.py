@@ -55,15 +55,21 @@ and as ``parallel=N`` on ``lftj`` / ``generic_join`` (see
 
 from __future__ import annotations
 
+import copy
 import multiprocessing
+import threading
 import time
+import weakref
 from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.baselines.generic_join import GenericJoin
+from repro.core.cache import AdhesionCache, CachePolicy
+from repro.core.clftj import CachedLeapfrogTrieJoin
 from repro.core.instrumentation import OperationCounter
 from repro.core.lftj import LeapfrogTrieJoin
+from repro.decomposition.tree_decomposition import TreeDecomposition
 from repro.engine.pool import (
     JobReport,
     MorselJob,
@@ -78,11 +84,13 @@ from repro.storage.database import Database
 from repro.storage.trie import BoundedTrieIterator
 from repro.storage.views import atom_has_constants
 
-#: Inner algorithms the parallel executor can shard.  CLFTJ is deliberately
-#: absent: its adhesion cache is keyed by subtree state that top-variable
-#: sharding would fracture — prepared CLFTJ handles stay serial and keep
-#: their warm caches intact.
-PARALLEL_INNER_ALGORITHMS: Tuple[str, ...] = ("lftj", "generic_join")
+#: Inner algorithms the parallel executor can shard.  CLFTJ shards safely
+#: because a cached subtree count/representation never depends on the top
+#: variable's range restriction (non-root subtrees own only deeper
+#: variables), so every worker keeps its *own* adhesion cache — persistent
+#: on the long-lived pool workers across morsels and queries — instead of
+#: fracturing one shared cache (see ``_worker_adhesion_cache``).
+PARALLEL_INNER_ALGORITHMS: Tuple[str, ...] = ("lftj", "generic_join", "clftj")
 
 #: Supported execution backends.
 PARALLEL_BACKENDS: Tuple[str, ...] = ("threads", "processes")
@@ -389,6 +397,55 @@ class _BoundedLeapfrogTrieJoin(LeapfrogTrieJoin):
         ]
 
 
+class _BoundedCachedLeapfrogTrieJoin(CachedLeapfrogTrieJoin):
+    """CLFTJ restricted to top-variable keys in ``[lo, hi)``.
+
+    The same depth-0 bounding as :class:`_BoundedLeapfrogTrieJoin`.  Cached
+    intermediates stay range-independent: a probed decomposition node is
+    always entered at depth > 0 (a node entered at depth 0 is never
+    consulted), so the subtree block behind any cache entry never contains
+    the bounded top variable — a cache warmed by one morsel is valid for
+    every other morsel and for the serial execution alike.
+    """
+
+    def __init__(
+        self,
+        query,
+        database,
+        decomposition,
+        variable_order=None,
+        policy=None,
+        cache=None,
+        counter=None,
+        lo=None,
+        hi=None,
+    ) -> None:
+        super().__init__(
+            query,
+            database,
+            decomposition,
+            variable_order,
+            policy=policy,
+            cache=cache,
+            counter=counter,
+        )
+        self._range = (lo, hi)
+
+    def _prepare(self) -> None:
+        super()._prepare()
+        lo, hi = self._range
+        if lo is None and hi is None:
+            return
+        for atom_index in self._atoms_at_depth[0]:
+            self._iterators[atom_index] = BoundedTrieIterator(
+                self._iterators[atom_index], lo, hi
+            )
+        self._depth_participants = [
+            [self._iterators[atom_index] for atom_index in self._atoms_at_depth[depth]]
+            for depth in range(self.num_variables)
+        ]
+
+
 class _BoundedGenericJoin(GenericJoin):
     """GenericJoin restricted to top-variable candidates in ``[lo, hi)``.
 
@@ -422,13 +479,24 @@ class _BoundedGenericJoin(GenericJoin):
 
 @dataclass(frozen=True)
 class MorselSpec:
-    """Per-job parameters every morsel of a query shares (picklable)."""
+    """Per-job parameters every morsel of a query shares (picklable).
+
+    The last four fields carry the CLFTJ plan: the (contracted)
+    decomposition the compiled driver and the adhesion caches are keyed
+    against, the caching policy, the cache sizing, and the worker-cache
+    identity key.  They stay ``None`` for every other inner algorithm, so
+    the fork-pipe payload is unchanged for lftj/generic_join jobs.
+    """
 
     query: ConjunctiveQuery
     variable_order: Tuple[Variable, ...]
     inner: str
     compile: Optional[bool]
     run_mode: str
+    decomposition: Optional[TreeDecomposition] = None
+    policy: Optional[CachePolicy] = None
+    cache_capacity: Optional[int] = None
+    cache_key: Optional[Tuple[object, ...]] = None
 
 
 def make_range_executor(
@@ -440,13 +508,16 @@ def make_range_executor(
     counter: OperationCounter,
     lo,
     hi,
+    decomposition: Optional[TreeDecomposition] = None,
+    policy: Optional[CachePolicy] = None,
+    cache: Optional[AdhesionCache] = None,
 ):
     """Build one range-restricted inner executor.
 
-    Compiled lftj morsels all resolve to the *same* cached driver (the
-    cache key has no range in it) — each morsel merely calls it with its
-    own ``[lo, hi)``, so a parallel query costs one compilation total, and
-    forked workers inherit the parent's already-built driver for free.
+    Compiled lftj/clftj morsels all resolve to the *same* cached driver
+    (the cache key has no range in it) — each morsel merely calls it with
+    its own ``[lo, hi)``, so a parallel query costs one compilation total,
+    and forked workers inherit the parent's already-built driver for free.
     """
     if inner == "lftj":
         if compile is False:
@@ -456,12 +527,97 @@ def make_range_executor(
         from repro.engine.compiler import CompiledTrieJoin
 
         return CompiledTrieJoin(query, database, variable_order, counter, lo, hi)
+    if inner == "clftj":
+        if compile is False:
+            return _BoundedCachedLeapfrogTrieJoin(
+                query,
+                database,
+                decomposition,
+                variable_order,
+                policy=policy,
+                cache=cache,
+                counter=counter,
+                lo=lo,
+                hi=hi,
+            )
+        from repro.engine.compiler import CompiledCachedTrieJoin
+
+        return CompiledCachedTrieJoin(
+            query,
+            database,
+            decomposition,
+            variable_order,
+            policy=policy,
+            cache=cache,
+            counter=counter,
+            lo=lo,
+            hi=hi,
+        )
     return _BoundedGenericJoin(query, database, variable_order, counter, lo, hi)
+
+
+#: Per-thread adhesion-cache store.  Pool worker threads are long-lived, so
+#: each worker's caches persist across morsels *and* across queries; fork
+#: workers run in the child's main thread and inherit the forking thread's
+#: already-warm store by copy-on-write, then keep their own copy warm
+#: across re-armed jobs.  Databases are held weakly — dropping a database
+#: drops its worker caches with it.
+_WORKER_CACHES = threading.local()
+
+
+def _worker_adhesion_cache(database: Database, spec: MorselSpec) -> AdhesionCache:
+    """The calling worker's persistent adhesion cache for this job's plan.
+
+    Keyed like the compiled-driver cache — name-erased query signature,
+    order positions, decomposition fingerprint — plus the run mode (counts
+    and factorized representations must never share a cache) and the cache
+    sizing.  Entries are version-guarded: any mutation of an involved
+    relation makes the snapshot stale and the worker starts a fresh cache,
+    mirroring the engine's per-relation invalidation discipline.
+    """
+    stores = getattr(_WORKER_CACHES, "stores", None)
+    if stores is None:
+        stores = weakref.WeakKeyDictionary()
+        _WORKER_CACHES.stores = stores
+    per_database = stores.get(database)
+    if per_database is None:
+        per_database = {}
+        stores[database] = per_database
+    key = (spec.cache_key, spec.run_mode)
+    versions = database.relation_versions(spec.query.relation_names)
+    entry = per_database.get(key)
+    if entry is not None and entry[0] == versions:
+        return entry[1]
+    if spec.cache_capacity is not None:
+        cache = AdhesionCache(capacity=spec.cache_capacity, eviction="lru")
+    else:
+        cache = AdhesionCache()
+    per_database[key] = (versions, cache)
+    return cache
+
+
+def _execution_policy(policy: Optional[CachePolicy]) -> Optional[CachePolicy]:
+    """A per-morsel policy instance when the policy carries mutable state.
+
+    Stateless policies (``reset`` not overridden — Always/Never/Support
+    threshold) are shared read-only across workers.  Stateful ones (per-node
+    admission budgets) are deep-copied per morsel: sharing would race across
+    worker threads, and a budget is a per-execution notion — each morsel
+    restarting it is the documented parallel semantic.
+    """
+    if policy is None or type(policy).reset is CachePolicy.reset:
+        return policy
+    return copy.deepcopy(policy)
 
 
 def _run_morsel(database: Database, spec: MorselSpec, task: MorselTask) -> TaskOutcome:
     """The pool runner: execute one morsel's range, return its outcome."""
     counter = OperationCounter()
+    cache: Optional[AdhesionCache] = None
+    policy = spec.policy
+    if spec.inner == "clftj":
+        cache = _worker_adhesion_cache(database, spec)
+        policy = _execution_policy(policy)
     executor = make_range_executor(
         spec.query,
         database,
@@ -471,6 +627,9 @@ def _run_morsel(database: Database, spec: MorselSpec, task: MorselTask) -> TaskO
         counter,
         task.lo,
         task.hi,
+        decomposition=spec.decomposition,
+        policy=policy,
+        cache=cache,
     )
     if spec.run_mode == "count":
         value = executor.count()
@@ -478,7 +637,15 @@ def _run_morsel(database: Database, spec: MorselSpec, task: MorselTask) -> TaskO
     else:
         rows = [tuple(row) for row in executor.evaluate_coded()]
         value = len(rows)
-    return TaskOutcome(value=value, rows=rows, counter=counter)
+    stats: Optional[dict] = None
+    if cache is not None:
+        stats = {
+            "entries": len(cache),
+            "memory_bytes": cache.memory_estimate(),
+            "hits": counter.cache_hits,
+            "stores": counter.cache_insertions,
+        }
+    return TaskOutcome(value=value, rows=rows, counter=counter, stats=stats)
 
 
 def _skew(work: Sequence[float]) -> float:
@@ -530,6 +697,7 @@ class ParallelExecutor:
         selector=None,
         catalog=None,
         compile: Optional[bool] = None,
+        plan=None,
     ) -> None:
         if inner not in PARALLEL_INNER_ALGORITHMS:
             raise ValueError(
@@ -561,9 +729,17 @@ class ParallelExecutor:
         self.compile = compile
         self._selector = selector
         self._catalog = catalog if catalog is not None else getattr(selector, "catalog", None)
+        self._plan = plan
+        if inner == "clftj" and plan is None:
+            raise ValueError(
+                "parallel clftj needs an execution plan (decomposition + "
+                "cache policy); route construction through the engine"
+            )
         # The template validates the query/order and pre-builds every shared
         # index in the calling thread, so morsel construction is cache-hits
         # only (and, for the process backend, happens before the fork).
+        if variable_order is None and plan is not None:
+            variable_order = plan.variable_order
         self.variable_order = (
             tuple(variable_order) if variable_order is not None else None
         )
@@ -576,9 +752,29 @@ class ParallelExecutor:
             OperationCounter(),
             None,
             None,
+            decomposition=plan.decomposition if plan is not None else None,
+            policy=plan.policy if plan is not None else None,
+            cache=plan.make_cache() if plan is not None else None,
         )
         self.variable_order: Tuple[Variable, ...] = self._template.variable_order
         self.encoded: bool = bool(getattr(self._template, "encoded", False))
+        self._cache_key: Optional[Tuple[object, ...]] = None
+        if inner == "clftj":
+            from repro.engine.compiler import driver_cache_key
+
+            # Worker caches share the compiled-driver identity (signature,
+            # order positions, decomposition fingerprint) so two queries
+            # with the same erased shape warm each other's caches, plus the
+            # sizing (a bounded and an unbounded cache are different
+            # objects).  The template holds the *contracted* decomposition
+            # — the same node ids the compiled probes bake in.
+            self._cache_key = (
+                "adhesion",
+                driver_cache_key(
+                    query, self.variable_order, self._template.decomposition
+                ),
+                plan.cache_capacity,
+            )
         self._partition_plan: Optional[PartitionPlan] = None
         self._backend_used = backend
         self._shard_stats: Optional[Dict[str, object]] = None
@@ -699,6 +895,7 @@ class ParallelExecutor:
             # The splitter needs integer midpoints: the dictionary's code
             # span.  Raw-value key spaces never split (stealing still works).
             split_domain = (0, len(self.database.dictionary))
+        clftj = self.inner_algorithm == "clftj"
         job = MorselJob(
             spec=MorselSpec(
                 query=self.query,
@@ -706,6 +903,12 @@ class ParallelExecutor:
                 inner=self.inner_algorithm,
                 compile=self.compile,
                 run_mode=run_mode,
+                # The template's decomposition is the *contracted* one — the
+                # node ids compiled probes bake in and caches are keyed by.
+                decomposition=self._template.decomposition if clftj else None,
+                policy=self._plan.policy if clftj else None,
+                cache_capacity=self._plan.cache_capacity if clftj else None,
+                cache_key=self._cache_key,
             ),
             runner=_run_morsel,
             tasks=tasks,
@@ -724,7 +927,21 @@ class ParallelExecutor:
     def _serial_stats(
         self, result: MorselResult, plan: PartitionPlan, backend: str
     ) -> Dict[str, object]:
+        stats: Dict[str, object] = {}
+        if self.inner_algorithm == "clftj":
+            counter = result.counter
+            cache = self._template.cache
+            stats["worker_caches"] = [
+                {
+                    "worker": 0,
+                    "entries": len(cache),
+                    "memory_bytes": cache.memory_estimate(),
+                    "hits": counter.cache_hits,
+                    "stores": counter.cache_insertions,
+                }
+            ]
         return {
+            **stats,
             "parallel": True,
             "inner_algorithm": self.inner_algorithm,
             "parallel_backend": backend,
@@ -769,7 +986,32 @@ class ParallelExecutor:
         utilization = (
             sum(busy) / (len(busy) * wall) if busy and wall > 0 else 1.0
         )
+        extra: Dict[str, object] = {}
+        if self.inner_algorithm == "clftj":
+            # Merge the per-morsel snapshots of each worker's persistent
+            # cache: entry count / footprint are point-in-time (take the
+            # last = largest snapshot), hit/store counters are per-morsel
+            # increments (sum them).
+            per_worker: Dict[int, Dict[str, int]] = {}
+            for result in results:
+                if result.stats is None:
+                    continue
+                merged = per_worker.setdefault(
+                    result.worker,
+                    {"entries": 0, "memory_bytes": 0, "hits": 0, "stores": 0},
+                )
+                merged["entries"] = max(merged["entries"], result.stats["entries"])
+                merged["memory_bytes"] = max(
+                    merged["memory_bytes"], result.stats["memory_bytes"]
+                )
+                merged["hits"] += result.stats["hits"]
+                merged["stores"] += result.stats["stores"]
+            extra["worker_caches"] = [
+                {"worker": worker, **merged}
+                for worker, merged in sorted(per_worker.items())
+            ]
         return {
+            **extra,
             "parallel": True,
             "inner_algorithm": self.inner_algorithm,
             "parallel_backend": backend,

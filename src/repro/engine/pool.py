@@ -128,11 +128,17 @@ class MorselTask:
 
 @dataclass
 class TaskOutcome:
-    """What a job's runner returns for one task."""
+    """What a job's runner returns for one task.
+
+    ``stats`` is an optional runner-defined observability payload (e.g. the
+    worker-local adhesion-cache state after a CLFTJ morsel); the pool passes
+    it through untouched.
+    """
 
     value: int
     rows: Optional[List[Tuple[object, ...]]]
     counter: object
+    stats: Optional[dict] = None
 
 
 @dataclass
@@ -149,6 +155,7 @@ class MorselResult:
     elapsed: float
     worker: int
     stolen: bool
+    stats: Optional[dict] = None
 
 
 @dataclass
@@ -524,6 +531,7 @@ class ThreadWorkerPool(WorkerPool):
                     elapsed=elapsed,
                     worker=wid,
                     stolen=stolen,
+                    stats=outcome.stats,
                 )
             )
             self._finish_one(state)
@@ -645,6 +653,7 @@ def _serve_job(pool: "ForkWorkerPool", wid: int, conn, payload: _JobPayload) -> 
                     elapsed=elapsed,
                     worker=wid,
                     stolen=wid != task.index % payload.size,
+                    stats=outcome.stats,
                 ),
             )
         )

@@ -52,7 +52,11 @@ class PreparedQuery:
     parallel algorithms makes this a clftj-only cost).  Every other
     algorithm (lftj, generic_join, plftj, ytd, pairwise) executes outside
     the lock and scales across threads; the underlying shared caches are
-    protected by the database's own lock.
+    protected by the database's own lock.  Parallel CLFTJ (``pclftj``, or
+    ``clftj`` with ``parallel=``) also executes outside the lock: its warm
+    adhesion caches live on the pool workers themselves (one per worker,
+    persistent across morsels and executions) and are version-checked
+    worker-side, so the handle neither injects nor invalidates them.
     """
 
     def __init__(
@@ -97,9 +101,12 @@ class PreparedQuery:
         return self._run("evaluate")
 
     def _run(self, mode: str) -> ExecutionResult:
-        if self.algorithm == "clftj":
+        if self.algorithm == "clftj" and not self._parameters.get("parallel"):
             # The warm adhesion caches are mutated during execution, so
-            # cached runs serialise (see the locking model).
+            # cached runs serialise (see the locking model).  Parallel CLFTJ
+            # (pclftj, or clftj with parallel=) does not take this path:
+            # the pool workers keep their own persistent adhesion caches,
+            # version-checked worker-side on every morsel.
             with self._lock:
                 return self._run_unlocked(mode)
         with self._lock:
@@ -231,6 +238,22 @@ class PreparedQuery:
             return None
         if self._parameters.get("compile") is False:
             return None
+        if self.algorithm in ("clftj", "pclftj"):
+            # The CLFTJ driver key bakes in the (contracted) decomposition
+            # fingerprint and the plan's strongly-compatible order.
+            plan = self.engine.plan(
+                self.query,
+                decomposition=self._parameters.get("decomposition"),
+                variable_order=self._parameters.get("variable_order"),
+                cache_capacity=self._parameters.get("cache_capacity"),
+                policy=self._parameters.get("policy"),
+            )
+            key = driver_cache_key(
+                self.query,
+                tuple(plan.variable_order),
+                plan.decomposition.contract_ownerless_bags(),
+            )
+            return self.engine.database.peek_compiled_driver(key)
         order = self._parameters.get("variable_order")
         order = tuple(order) if order is not None else tuple(self.query.variables)
         key = driver_cache_key(self.query, order)

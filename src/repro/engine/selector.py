@@ -190,19 +190,38 @@ class CostBasedSelector:
         return base + self._compile_charge(query, plan, base)
 
     def _compile_charge(
-        self, query: ConjunctiveQuery, plan: ExecutionPlan, base: float
+        self,
+        query: ConjunctiveQuery,
+        plan: ExecutionPlan,
+        base: float,
+        decomposition=None,
     ) -> float:
-        """One-time codegen cost for lftj's compiled driver, if still cold.
+        """One-time codegen cost for a compiled driver, if still cold.
 
         Zero when the driver is already cached (warm re-executions compile
         nothing) and on raw storage (the compiler requires dictionary
-        encoding, so lftj falls back to the interpreted path for free).
+        encoding, so execution falls back to the interpreted path for free).
+        With ``decomposition`` the charge prices the *CLFTJ* driver — keyed
+        by the contracted decomposition's fingerprint, and zero when the
+        decomposition exceeds the unroll ceiling (clftj then runs
+        interpreted and compiles nothing).
         """
         if not self.database.encoding_active:
             return 0.0
-        from repro.engine.compiler import driver_cache_key
+        from repro.engine.compiler import (
+            MAX_UNROLLED_CACHE_NODES,
+            driver_cache_key,
+        )
 
-        key = driver_cache_key(query, tuple(plan.variable_order))
+        order = tuple(plan.variable_order)
+        if decomposition is not None:
+            contracted = decomposition.contract_ownerless_bags()
+            probed = len({contracted.owner(v) for v in order}) - 1
+            if probed > MAX_UNROLLED_CACHE_NODES:
+                return 0.0
+            key = driver_cache_key(query, order, contracted)
+        else:
+            key = driver_cache_key(query, order)
         if self.database.has_compiled_driver(key):
             return 0.0
         return min(_COMPILE_CHARGE_CAP, 0.02 * base)
@@ -246,7 +265,13 @@ class CostBasedSelector:
             )
             partial *= max(matches, 0.05)
             bound.append(variable)
-        return total * _CLFTJ_PROBE_OVERHEAD * self._seek_unit()
+        charged = total * _CLFTJ_PROBE_OVERHEAD * self._seek_unit()
+        # clftj compiles its own specialized count driver (keyed by the
+        # decomposition fingerprint), so it pays the same style of one-time
+        # codegen charge as lftj — the comparison stays compiled-vs-compiled.
+        return charged + self._compile_charge(
+            query, plan, charged, decomposition=decomposition
+        )
 
     def _ytd_cost(
         self, model: ChuCostModel, query: ConjunctiveQuery, plan: ExecutionPlan
@@ -328,6 +353,14 @@ class CostBasedSelector:
                 reasons.append(
                     f"lftj is charged {charge:.1f} unit(s) of one-time driver "
                     f"compilation (driver not cached yet)"
+                )
+        if algorithm == "clftj" and decomposition.num_nodes > 1:
+            workers = self.recommend_workers(query, plan.variable_order)
+            if workers > 1:
+                reasons.append(
+                    f"parallel: pclftj with {workers} worker(s) would engage "
+                    f"the persistent pool (worker-local adhesion caches stay "
+                    f"warm across morsels and executions)"
                 )
         runner_up = min(
             (name for name in AUTO_CANDIDATES if name != algorithm),

@@ -242,10 +242,15 @@ class TestReporting:
         disabled = engine.explain(query, algorithm="lftj", compile=False)
         assert "disabled (compile=False" in disabled
         other = engine.explain(query, algorithm="clftj")
-        assert "not applicable" in other
+        assert "will compile on first execution (count mode)" in other
+        engine.count(query, algorithm="clftj")
+        other_warm = engine.explain(query, algorithm="clftj")
+        assert "cached (count mode; evaluation runs interpreted)" in other_warm
+        interpreted = engine.explain(query, algorithm="ytd")
+        assert "not applicable" in interpreted
 
     def test_metadata_counters_always_present(self, engine):
-        result = engine.count(cycle_query(3), algorithm="clftj")
+        result = engine.count(cycle_query(3), algorithm="pairwise")
         assert result.metadata["compiled_builds"] == 0
         assert result.metadata["compiled_cache_hits"] == 0
 
@@ -260,7 +265,7 @@ class TestReporting:
 
 class TestValidation:
     def test_compile_rejected_for_non_compiled_algorithms(self, engine):
-        for algorithm in ("clftj", "ytd", "pairwise", "generic_join"):
+        for algorithm in ("ytd", "pairwise", "generic_join"):
             assert algorithm not in COMPILED_ALGORITHMS
             with pytest.raises(ValueError, match="compile"):
                 engine.count(cycle_query(3), algorithm=algorithm, compile=False)
@@ -277,9 +282,14 @@ class TestValidation:
 
     def test_cli_no_compile_invalid_combo_exits_2(self, capsys):
         code = main(["run", "--dataset", "wiki-Vote", "--query", "3-cycle",
-                     "--algorithm", "clftj", "--no-compile"])
+                     "--algorithm", "ytd", "--no-compile"])
         assert code == 2
         assert "compile" in capsys.readouterr().err
+
+    def test_cli_no_compile_valid_for_clftj(self, capsys):
+        code = main(["run", "--dataset", "wiki-Vote", "--query", "3-cycle",
+                     "--algorithm", "clftj", "--no-compile"])
+        assert code == 0
 
     def test_cli_explain_reports_disabled_state(self, capsys):
         code = main(["explain", "--dataset", "wiki-Vote", "--query", "3-cycle",
@@ -316,3 +326,86 @@ class TestKernelCrossover:
         )
         assert proc.returncode == 0, proc.stderr
         assert int(proc.stdout.strip()) >= 0
+
+
+class TestClftjCompiled:
+    """The CLFTJ codegen tier: probe inlining, parity, invalidation."""
+
+    def test_driver_emits_inlined_cache_probes(self, engine, database):
+        query = path_query(4)  # multi-bag: probed nodes exist
+        result = engine.count(query, algorithm="clftj")
+        assert result.metadata["compiled"] is True
+        prepared = engine.prepare(query, algorithm="clftj")
+        driver = prepared.compiled_driver()
+        assert driver is not None
+        assert driver.probed_nodes  # at least one adhesion-cache probe
+        source = driver.debug_source("count")
+        assert "adhesion-cache probe" in source
+        assert "_cget(" in source and "_cput(" in source
+        # No generic dispatch survives specialization: the adhesion keys are
+        # straight-line tuple constructions over bound depth locals.
+        assert "_adhesion_depths" not in source
+        database.close_pools()
+
+    def test_count_counters_and_cache_hits_match_interpreted(self, engine):
+        for query in (path_query(4), clique_query(4), cycle_query(3)):
+            compiled = engine.count(query, algorithm="clftj")
+            interpreted = engine.count(query, algorithm="clftj", compile=False)
+            assert compiled.count == interpreted.count
+            assert compiled.counter.as_dict() == interpreted.counter.as_dict()
+            assert compiled.counter.cache_hits == interpreted.counter.cache_hits
+
+    def test_mutation_invalidates_clftj_driver(self, engine, database):
+        query = path_query(4)
+        engine.count(query, algorithm="clftj")
+        assert database.compiled_cache_size() == 1
+        database.add_relation(
+            Relation("E", ("a", "b"), _edges(seed=99)), replace=True
+        )
+        assert database.compiled_cache_size() == 0
+        rebuilt = engine.count(query, algorithm="clftj")
+        assert rebuilt.metadata["compiled_builds"] == 1
+        oracle = engine.count(query, algorithm="clftj", compile=False)
+        assert rebuilt.count == oracle.count
+
+    def test_delta_pending_falls_back_interpreted_then_recompiles(self):
+        database = Database(
+            [Relation("E", ("a", "b"), _edges())],
+            compaction_floor=0,
+            compaction_threshold=1000.0,
+        )
+        engine = QueryEngine(database)
+        query = path_query(4)
+        first = engine.count(query, algorithm="clftj")
+        assert first.metadata["compiled"] is True
+        database.insert("E", [(997, 998), (998, 999), (999, 997)])
+        assert database.compiled_cache_size() == 0
+        pending = engine.count(query, algorithm="clftj")
+        assert pending.metadata["compiled"] is False
+        assert "delta" in pending.metadata["compiled_reason"]
+        oracle = engine.count(query, algorithm="clftj", compile=False)
+        assert pending.count == oracle.count
+        database.compact("E")
+        recompiled = engine.count(query, algorithm="clftj")
+        assert recompiled.metadata["compiled"] is True
+        assert recompiled.count == oracle.count
+
+    def test_unroll_ceiling_falls_back_interpreted(self, engine, monkeypatch):
+        import repro.engine.compiler as compiler_module
+
+        monkeypatch.setattr(compiler_module, "MAX_UNROLLED_CACHE_NODES", 0)
+        query = path_query(4)
+        result = engine.count(query, algorithm="clftj")
+        assert result.metadata["compiled"] is False
+        assert "unroll ceiling" in result.metadata["compiled_reason"]
+        oracle = engine.count(query, algorithm="clftj", compile=False)
+        assert result.count == oracle.count
+
+    def test_evaluation_runs_interpreted_with_warm_compiled_count(self, engine):
+        query = path_query(4)
+        engine.count(query, algorithm="clftj")
+        result = engine.evaluate(query, algorithm="clftj")
+        assert result.metadata["compiled"] is False
+        assert "factorized" in result.metadata["compiled_reason"]
+        oracle = engine.evaluate(query, algorithm="clftj", compile=False)
+        assert result.rows == oracle.rows

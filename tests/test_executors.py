@@ -32,6 +32,7 @@ class TestRegistry:
     def test_all_paper_algorithms_registered(self):
         assert set(ALGORITHMS) == {
             "lftj", "clftj", "ytd", "generic_join", "pairwise", "plftj",
+            "pclftj",
         }
         assert registered_algorithms() == ALGORITHMS
 

@@ -7,7 +7,8 @@ registered serial algorithms *and* the pool-backed parallel configurations
 brute-force oracle's result set — on the encoded and the raw storage path,
 and optionally after a random insert/delete stream.
 
-The compiled-driver configurations (lftj/plftj with ``compile=True``, serial
+The compiled-driver configurations (lftj/clftj/plftj/pclftj with
+``compile=True``, serial
 and parallel, over both storage paths) are additionally checked *ordered and
 byte-identical* against their interpreted twins (``compile=False``), and the
 serial pair must report identical instrumentation counters.
@@ -42,6 +43,9 @@ COMPILED_CONFIGS = (
     ("lftj", {}),
     ("lftj", {"parallel": 3, "parallel_backend": "threads"}),
     ("plftj", {"parallel": 2, "parallel_backend": "threads"}),
+    ("clftj", {}),
+    ("clftj", {"parallel": 2, "parallel_backend": "threads"}),
+    ("pclftj", {"parallel": 4, "parallel_backend": "threads"}),
 )
 
 #: Pool-backed parallel configurations exercised per instance:
@@ -52,6 +56,9 @@ PARALLEL_CONFIGS = (
     ("generic_join", 3, "threads", "morsel"),
     ("plftj", 4, "processes", "morsel"),
     ("plftj", 2, "processes", "static"),
+    ("pclftj", 1, "threads", "morsel"),
+    ("pclftj", 2, "processes", "morsel"),
+    ("pclftj", 4, "threads", "static"),
 )
 
 #: Deterministic tier-1 corpus size; REPRO_FUZZ_ITERS extends it locally.

@@ -197,10 +197,20 @@ class TestDifferential:
 
 
 class TestParameterSurface:
-    def test_clftj_rejects_parallel(self, engine_and_serial):
+    def test_clftj_accepts_parallel(self, engine_and_serial):
+        engine, query, serial = engine_and_serial
+        result = engine.count(query, algorithm="clftj", parallel=2)
+        assert result.count == serial["lftj"].count
+        assert result.metadata["workers"] == 2
+
+    def test_clftj_rejects_explicit_cache_with_parallel(self, engine_and_serial):
         engine, query, _serial = engine_and_serial
-        with pytest.raises(ValueError, match="does not use the 'parallel'"):
-            engine.count(query, algorithm="clftj", parallel=2)
+        from repro.core.cache import AdhesionCache
+
+        with pytest.raises(ValueError, match="worker"):
+            engine.count(
+                query, algorithm="clftj", parallel=2, cache=AdhesionCache()
+            )
 
     def test_parallel_backend_requires_parallel(self, engine_and_serial):
         engine, query, _serial = engine_and_serial
@@ -240,6 +250,11 @@ class TestParameterSurface:
     def test_parallel_executor_rejects_uncuttable_inner(self, engine_and_serial):
         engine, query, _serial = engine_and_serial
         with pytest.raises(ValueError, match="cannot run partition-parallel"):
+            ParallelExecutor(query, engine.database, inner="ytd")
+
+    def test_parallel_clftj_requires_a_plan(self, engine_and_serial):
+        engine, query, _serial = engine_and_serial
+        with pytest.raises(ValueError, match="needs an execution plan"):
             ParallelExecutor(query, engine.database, inner="clftj")
 
     def test_auto_worker_count_keeps_tiny_queries_serial(self):

@@ -38,7 +38,7 @@ from repro.engine.pool import (
     create_worker_pool,
     split_task,
 )
-from repro.query.patterns import cycle_query
+from repro.query.patterns import cycle_query, path_query
 from repro.storage.database import Database
 from repro.storage.relation import Relation
 
@@ -241,6 +241,28 @@ class TestScheduling:
         assert result.rows == serial.rows
         assert result.metadata["splits"] > 0
         assert result.metadata["tasks_executed"] > result.metadata["morsels"]
+        database.close_pools()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_forced_splits_preserve_clftj_row_order(self, monkeypatch, backend):
+        """pclftj under forced splitting: worker-local adhesion caches warm
+        up in whatever interleaving the scheduler produces, yet the merged
+        stream must equal the serial clftj stream byte for byte."""
+        database = _edge_database(
+            name=f"pool-clftj-split-{backend}", nodes=60, edges=420, seed=11
+        )
+        engine = QueryEngine(database)
+        query = path_query(4)
+        serial = engine.evaluate(query, algorithm="clftj")
+        monkeypatch.setattr(parallel_module, "MORSEL_SPLIT_THRESHOLD", 0.0)
+        result = engine.evaluate(
+            query, algorithm="pclftj", parallel=3, parallel_backend=backend
+        )
+        assert result.rows == serial.rows
+        assert result.count == serial.count
+        assert result.metadata["splits"] > 0
+        caches = result.metadata["worker_caches"]
+        assert caches and all(entry["entries"] >= 0 for entry in caches)
         database.close_pools()
 
     def test_steals_are_deterministic_for_results(self):
