@@ -351,6 +351,11 @@ def run_parallel_benchmark(
                     "partition_skew_morsel": morsel_meta.get("partition_skew"),
                     "morsel_skew": morsel_meta.get("morsel_skew"),
                     "encoded": morsel_meta.get("encoded"),
+                    # Fault-tolerance sanity: a healthy benchmark run should
+                    # show zero restarts/retries; nonzero values flag a host
+                    # where workers are being killed (OOM, cgroup limits).
+                    "worker_restarts": morsel_meta.get("worker_restarts", 0),
+                    "morsel_retries": morsel_meta.get("morsel_retries", 0),
                 }
             )
             if assert_speedup is not None and speedup < assert_speedup:

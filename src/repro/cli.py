@@ -26,6 +26,7 @@ from repro.bench.workloads import imdb_database
 from repro.datasets.snap import SNAP_DATASETS, dataset_specs, load_snap_standin
 from repro.engine.engine import AUTO_ALGORITHM, QueryEngine
 from repro.engine.executors import registered_algorithms
+from repro.engine.faults import QueryTimeoutError
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.parser import parse_query
 from repro.query.patterns import (
@@ -128,6 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run the interpreted join loop instead of the "
                           "compiled driver (lftj/clftj/plftj/pclftj; the "
                           "differential oracle path)")
+    run.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                     help="cooperative query deadline in seconds; on expiry the "
+                          "run aborts with a QueryTimeoutError (exit code 3)")
+    run.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
+                     help="memory budget in bytes; over-budget executions "
+                          "degrade (disable adhesion caching, evict caches, "
+                          "fall back serial) instead of growing further")
     run.add_argument("--mode", choices=("count", "evaluate"), default="count")
     run.add_argument("--show-rows", type=int, default=0,
                      help="print the first N result rows (evaluate mode)")
@@ -162,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--no-compile", action="store_true",
                          help="explain the interpreted path instead of the "
                               "compiled driver (lftj/clftj/plftj/pclftj)")
+    explain.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                         help="include the cooperative deadline in the explanation")
+    explain.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
+                         help="include the memory budget and current footprint "
+                              "in the explanation")
 
     subparsers.add_parser("datasets", help="list the built-in dataset stand-ins")
     return parser
@@ -209,15 +222,31 @@ def _parallel_options(args: argparse.Namespace) -> dict:
     return options
 
 
+def _apply_memory_budget(database: Database, budget: Optional[int]) -> None:
+    """Attach a ``--memory-budget`` to a CLI-constructed database.
+
+    The CLI builds its databases through the dataset resolvers, so the budget
+    is applied after construction; validation mirrors the ``Database``
+    constructor so bad values exit with code 2 like any other usage error.
+    """
+    if budget is None:
+        return
+    if int(budget) <= 0:
+        raise ValueError("memory budget must be a positive number of bytes")
+    database.memory_budget_bytes = int(budget)
+
+
 def _command_run(args: argparse.Namespace) -> int:
     import random
 
     database = resolve_dataset(args.dataset, args.scale)
+    _apply_memory_budget(database, args.memory_budget)
     query = resolve_query(args.query)
     engine = QueryEngine(database)
     parallel_options = _parallel_options(args)
     prepared = engine.prepare(query, algorithm=args.algorithm,
                               cache_capacity=args.cache_capacity,
+                              timeout=args.timeout,
                               **parallel_options)
     if args.algorithm != prepared.algorithm:
         print(f"auto selected: {prepared.algorithm}\n")
@@ -282,12 +311,14 @@ def _command_plan(args: argparse.Namespace) -> int:
 
 def _command_explain(args: argparse.Namespace) -> int:
     database = resolve_dataset(args.dataset, args.scale)
+    _apply_memory_budget(database, args.memory_budget)
     query = resolve_query(args.query)
     engine = QueryEngine(database)
     # auto + --parallel is rejected by the engine itself (the selector owns
     # auto's planning choices); the ValueError surfaces through main().
     print(engine.explain(query, algorithm=args.algorithm,
                          cache_capacity=args.cache_capacity,
+                         timeout=args.timeout,
                          **_parallel_options(args)))
     return 0
 
@@ -329,6 +360,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except QueryTimeoutError as error:
+        print(f"timeout: {error}", file=sys.stderr)
+        return 3
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

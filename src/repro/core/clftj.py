@@ -161,6 +161,8 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
         """Return ``|q(D)|`` — the algorithm ``CachedTJCount`` of Figure 2."""
         self.cache.bind_mode("count")
         self._prepare()
+        if self.deadline is not None:
+            self.deadline.check()
         self._total = 0
         self._intrmd = {node: 0 for node in self.decomposition.preorder()}
         self._count_recursive(0, 1)
@@ -168,6 +170,8 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
 
     def _count_recursive(self, depth: int, factor: int) -> None:
         self.counter.record_recursive_call()
+        if self.deadline is not None:
+            self._check_deadline()
         if depth == self.num_variables:
             self._total += factor
             self.counter.record_result(factor)
@@ -305,6 +309,8 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
         """Yield result tuples in storage space (codes when encoded)."""
         self.cache.bind_mode("evaluate")
         self._prepare()
+        if self.deadline is not None:
+            self.deadline.check()
         self._builders = {node: None for node in self.decomposition.preorder()}
         yield from self._evaluate_recursive(0)
 
@@ -314,6 +320,8 @@ class CachedLeapfrogTrieJoin(TrieJoinBase):
 
     def _evaluate_recursive(self, depth: int) -> Iterator[Tuple[object, ...]]:
         self.counter.record_recursive_call()
+        if self.deadline is not None:
+            self._check_deadline()
         if depth == self.num_variables:
             self.counter.record_result(1)
             yield tuple(self._assignment)

@@ -52,6 +52,20 @@ class TrieJoinBase:
     * precompute, for every depth, which atom iterators participate.
     """
 
+    #: Cooperative deadline, set post-construction by the engine when a
+    #: ``timeout=`` was given (any object with ``check()`` — see
+    #: :class:`repro.engine.faults.Deadline`; the core deliberately does not
+    #: import it, so the duck-typed attribute keeps core free of engine
+    #: dependencies).  The class-level ``None`` keeps the common path to a
+    #: single ``is None`` test per recursive call.
+    deadline = None
+
+    #: Recursive calls between deadline clock reads.  64 keeps the check
+    #: essentially free (one integer increment per call, one clock read per
+    #: stride) while an expired deadline is still noticed within
+    #: microseconds of real work.
+    DEADLINE_STRIDE = 64
+
     def __init__(
         self,
         query: ConjunctiveQuery,
@@ -107,6 +121,7 @@ class TrieJoinBase:
 
         self._iterators: List[TrieIterator] = []
         self._assignment: List[Optional[object]] = []
+        self._deadline_ticks = 0
 
     def _build_atom_tries(self) -> None:
         """(Re)build the per-atom tries under the database's current mode."""
@@ -153,6 +168,20 @@ class TrieJoinBase:
 
     def _participants(self, depth: int) -> List[TrieIterator]:
         return self._depth_participants[depth]
+
+    def _check_deadline(self) -> None:
+        """Cooperative cancellation: read the clock once per stride.
+
+        Called at recursion entries when :attr:`deadline` is set.  Raises
+        :class:`repro.engine.faults.QueryTimeoutError` (via the deadline's
+        own ``check``) once the instant has passed.  Deliberately touches
+        no :class:`OperationCounter` field — compiled/interpreted counter
+        parity must hold with and without a deadline.
+        """
+        self._deadline_ticks += 1
+        if self._deadline_ticks >= self.DEADLINE_STRIDE:
+            self._deadline_ticks = 0
+            self.deadline.check()
 
     def current_assignment(self) -> Dict[Variable, object]:
         """The current partial assignment ``mu`` (used by tests and tracing)."""
@@ -207,12 +236,16 @@ class LeapfrogTrieJoin(TrieJoinBase):
     def count(self) -> int:
         """Return ``|q(D)|`` (the algorithm ``TJCount`` of Figure 1)."""
         self._prepare()
+        if self.deadline is not None:
+            self.deadline.check()
         total = self._count_recursive(0)
         self.counter.record_result(0)
         return total
 
     def _count_recursive(self, depth: int) -> int:
         self.counter.record_recursive_call()
+        if self.deadline is not None:
+            self._check_deadline()
         if depth == self.num_variables:
             self.counter.results_emitted += 1
             return 1
@@ -309,10 +342,14 @@ class LeapfrogTrieJoin(TrieJoinBase):
     def evaluate_coded(self) -> Iterator[Tuple[object, ...]]:
         """Yield result tuples in storage space (codes when encoded)."""
         self._prepare()
+        if self.deadline is not None:
+            self.deadline.check()
         yield from self._evaluate_recursive(0)
 
     def _evaluate_recursive(self, depth: int) -> Iterator[Tuple[object, ...]]:
         self.counter.record_recursive_call()
+        if self.deadline is not None:
+            self._check_deadline()
         if depth == self.num_variables:
             self.counter.results_emitted += 1
             yield tuple(self._assignment)

@@ -14,6 +14,14 @@ from repro.engine.compiler import (
     CompiledTrieJoin,
     driver_cache_key,
 )
+from repro.engine.faults import (
+    Deadline,
+    FaultInjectedError,
+    FaultSpec,
+    QueryTimeoutError,
+    WorkerFailureError,
+    inject_faults,
+)
 from repro.engine.executors import (
     AlgorithmSpec,
     Executor,
@@ -42,18 +50,24 @@ __all__ = [
     "CompiledDriver",
     "CompiledTrieJoin",
     "CostBasedSelector",
+    "Deadline",
     "ExecutionPlan",
     "ExecutionResult",
     "Executor",
     "ExecutorRequest",
+    "FaultInjectedError",
+    "FaultSpec",
     "ParallelExecutor",
     "PartitionPlan",
     "PartitionPlanner",
     "Planner",
     "PreparedQuery",
     "QueryEngine",
+    "QueryTimeoutError",
+    "WorkerFailureError",
     "algorithm_spec",
     "driver_cache_key",
+    "inject_faults",
     "register_algorithm",
     "registered_algorithms",
 ]

@@ -46,6 +46,7 @@ The generated source is inspectable: ``CompiledTrieJoin.debug_source()``
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -60,6 +61,7 @@ from repro.core.leapfrog import (
     run_keys,
 )
 from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.engine.faults import QueryTimeoutError, fault_point
 from repro.engine.parallel import (
     _BoundedCachedLeapfrogTrieJoin,
     _BoundedLeapfrogTrieJoin,
@@ -79,6 +81,13 @@ COMPILED_ALGORITHMS: Tuple[str, ...] = ("lftj", "plftj", "clftj", "pclftj")
 #: fall back to the interpreted executor (generated source growth is linear
 #: in probe sites but each site nests, and real plans stay far below this).
 MAX_UNROLLED_CACHE_NODES: int = 6
+
+#: Interior-loop iterations between deadline clock reads in generated
+#: drivers.  The check is counter-gated so the no-deadline path costs one
+#: ``is None`` test per iteration of the *outer* loops only (the fused leaf
+#: kernels stay untouched), while an expired deadline is still noticed
+#: within a bounded slice of work.
+COMPILED_DEADLINE_STRIDE: int = 1024
 
 
 def decomposition_fingerprint(
@@ -185,13 +194,13 @@ class CompiledDriver:
     _sources: Dict[str, str]
     _functions: Dict[str, Callable]
 
-    def count(self, counter: OperationCounter, lo=None, hi=None) -> int:
+    def count(self, counter: OperationCounter, lo=None, hi=None, deadline=None) -> int:
         """Run the generated count loop over codes in ``[lo, hi)``."""
-        return self._functions["count"](self._columns, counter, lo, hi)
+        return self._functions["count"](self._columns, counter, lo, hi, deadline)
 
-    def evaluate(self, counter: OperationCounter, lo=None, hi=None):
+    def evaluate(self, counter: OperationCounter, lo=None, hi=None, deadline=None):
         """Yield coded result rows (variable-order positions) in ``[lo, hi)``."""
-        return self._functions["evaluate"](self._columns, counter, lo, hi)
+        return self._functions["evaluate"](self._columns, counter, lo, hi, deadline)
 
     def debug_source(self, mode: str = "count") -> str:
         """The generated Python source for ``mode`` (``count``/``evaluate``)."""
@@ -399,10 +408,19 @@ class _Codegen:
         """Does the walk descend through this participant (deeper level exists)?"""
         return level + 1 < len(self.atom_depths[atom])
 
+    def emit_deadline_check(self, indent: int) -> None:
+        """One counter-gated deadline check inside a loop body."""
+        self.emit(indent, "if _dl_at is not None:")
+        self.emit(indent + 1, "_dlt += 1")
+        self.emit(indent + 1, f"if _dlt >= {COMPILED_DEADLINE_STRIDE}:")
+        self.emit(indent + 2, "_dlt = 0")
+        self.emit(indent + 2, "if _monotonic() >= _dl_at:")
+        self.emit(indent + 3, "raise _TimeoutError(deadline.timeout)")
+
     # ------------------------------------------------------------ generation
     def generate(self) -> str:
         name = "_count" if self.mode == "count" else "_evaluate"
-        self.emit(0, f"def {name}(columns, counter, lo=None, hi=None,")
+        self.emit(0, f"def {name}(columns, counter, lo=None, hi=None, deadline=None,")
         self.emit(
             0,
             "           _run_intersect=_run_intersect, _run_count=_run_count,",
@@ -431,6 +449,15 @@ class _Codegen:
                 target += ","
             self.emit(1, f"({target}) = columns[{atom}]")
         self.emit(1, "c_acc = 0; c_seek = 0; c_open = 0; c_rec = 1; c_res = 0")
+        # Cooperative deadline: resolve the instant once, check already
+        # expired deadlines immediately (so tiny inputs still time out),
+        # then re-check once per stride of outer-loop iterations.  The
+        # check is counter-neutral — compiled/interpreted counter parity
+        # holds with and without a deadline.
+        self.emit(1, "_dl_at = None if deadline is None else deadline.at")
+        self.emit(1, "_dlt = 0")
+        self.emit(1, "if _dl_at is not None and _monotonic() >= _dl_at:")
+        self.emit(2, "raise _TimeoutError(deadline.timeout)")
         if self.mode == "count":
             self.emit(1, "total = 0")
         # Root runs of every atom are loop invariants of the whole function;
@@ -509,6 +536,7 @@ class _Codegen:
         )
         self.emit(indent, f"for i{depth} in range(len(ks{depth})):")
         body = indent + 1
+        self.emit_deadline_check(body)
         if self.mode == "evaluate" or depth in self.key_depths:
             self.emit(body, f"k{depth} = ks{depth}[i{depth}]")
         for atom, level in participants:
@@ -551,6 +579,7 @@ class _Codegen:
             f"for i{depth} in range(lo{atom}_{level}, hi{atom}_{level}):",
         )
         body = indent + 1
+        self.emit_deadline_check(body)
         self.emit(body, f"k{depth} = K{atom}_{level}[i{depth}]")
         for other, other_level in plan["filters"]:
             if self.needs_positions(other, other_level):
@@ -716,6 +745,7 @@ class _Codegen:
             indent, f"ks{depth} = _run_keys({self.runs_expr(participants)})"
         )
         self.emit(indent, f"for k{depth} in ks{depth}:")
+        self.emit_deadline_check(indent + 1)
         row = ", ".join(f"k{inner}" for inner in range(self.num_variables))
         if self.num_variables == 1:
             row += ","
@@ -743,9 +773,12 @@ def _compile_function(
         "_pair_count": _pair_intersection_count,
         "_np": numpy,
         "_bisect": bisect_left,
+        "_monotonic": time.monotonic,
+        "_TimeoutError": QueryTimeoutError,
     }
     if extra:
         namespace.update(extra)
+    fault_point("compiler.exec")
     code = compile(source, f"<compiled-driver:{label}>", "exec")
     exec(code, namespace)
     return namespace[name]
@@ -895,7 +928,11 @@ class _ClftjCodegen(_Codegen):
 
     # ------------------------------------------------------------ generation
     def generate(self) -> str:
-        self.emit(0, "def _count(columns, counter, cache, policy, lo=None, hi=None,")
+        self.emit(
+            0,
+            "def _count(columns, counter, cache, policy, "
+            "lo=None, hi=None, deadline=None,",
+        )
         self.emit(
             0,
             "           _run_intersect=_run_intersect, _run_count=_run_count,",
@@ -1049,9 +1086,12 @@ class CompiledClftjDriver:
         policy: CachePolicy,
         lo=None,
         hi=None,
+        deadline=None,
     ) -> int:
         """Run the generated cached count loop over codes in ``[lo, hi)``."""
-        return self._functions["count"](self._columns, counter, cache, policy, lo, hi)
+        return self._functions["count"](
+            self._columns, counter, cache, policy, lo, hi, deadline
+        )
 
     def debug_source(self, mode: str = "count") -> str:
         """The generated Python source (CLFTJ compiles the count mode only)."""
@@ -1187,19 +1227,23 @@ class CompiledCachedTrieJoin(_BoundedCachedLeapfrogTrieJoin):
             )
             return None
         key = driver_cache_key(self.query, self.variable_order, self.decomposition)
-        self._driver = self.database.compiled_driver(
-            key,
-            self.query.relation_names,
-            lambda: compile_clftj_driver(
-                self.query,
-                self.database,
-                self.decomposition,
-                self.variable_order,
-                self._atom_variables,
-                pure_tries,
+        try:
+            self._driver = self.database.compiled_driver(
                 key,
-            ),
-        )
+                self.query.relation_names,
+                lambda: compile_clftj_driver(
+                    self.query,
+                    self.database,
+                    self.decomposition,
+                    self.variable_order,
+                    self._atom_variables,
+                    pure_tries,
+                    key,
+                ),
+            )
+        except Exception as error:  # degrade, never fail the query
+            self._driver = None
+            self._compiled_reason = f"compile failed: {error}"
         return self._driver
 
     @property
@@ -1226,7 +1270,9 @@ class CompiledCachedTrieJoin(_BoundedCachedLeapfrogTrieJoin):
         self.policy.reset()
         self.policy.bind_space(self.database, self.encoded)
         lo, hi = self._range
-        return driver.count(self.counter, self.cache, self.policy, lo, hi)
+        return driver.count(
+            self.counter, self.cache, self.policy, lo, hi, self.deadline
+        )
 
     def evaluate_coded(self):
         if self.build() is not None:
@@ -1304,18 +1350,22 @@ class CompiledTrieJoin(_BoundedLeapfrogTrieJoin):
             self._compiled_reason = "unmerged deltas pending on an atom trie"
             return None
         key = driver_cache_key(self.query, self.variable_order)
-        self._driver = self.database.compiled_driver(
-            key,
-            self.query.relation_names,
-            lambda: compile_driver(
-                self.query,
-                self.database,
-                self.variable_order,
-                self._atom_variables,
-                pure_tries,
+        try:
+            self._driver = self.database.compiled_driver(
                 key,
-            ),
-        )
+                self.query.relation_names,
+                lambda: compile_driver(
+                    self.query,
+                    self.database,
+                    self.variable_order,
+                    self._atom_variables,
+                    pure_tries,
+                    key,
+                ),
+            )
+        except Exception as error:  # degrade, never fail the query
+            self._driver = None
+            self._compiled_reason = f"compile failed: {error}"
         return self._driver
 
     @property
@@ -1334,7 +1384,7 @@ class CompiledTrieJoin(_BoundedLeapfrogTrieJoin):
         if driver is None:
             return super().count()
         lo, hi = self._range
-        total = driver.count(self.counter, lo, hi)
+        total = driver.count(self.counter, lo, hi, self.deadline)
         self.counter.record_result(0)
         return total
 
@@ -1344,7 +1394,7 @@ class CompiledTrieJoin(_BoundedLeapfrogTrieJoin):
             yield from super().evaluate_coded()
             return
         lo, hi = self._range
-        yield from driver.evaluate(self.counter, lo, hi)
+        yield from driver.evaluate(self.counter, lo, hi, self.deadline)
 
     # ------------------------------------------------------------- metadata
     def execution_metadata(self) -> Dict[str, object]:

@@ -31,6 +31,7 @@ from repro.engine.executors import (
     algorithm_spec,
     registered_algorithms,
 )
+from repro.engine.faults import Deadline
 from repro.engine.planner import ExecutionPlan, Planner
 from repro.engine.prepared import PreparedQuery
 from repro.engine.results import ExecutionResult
@@ -44,6 +45,23 @@ ALGORITHMS: Tuple[str, ...] = registered_algorithms()
 
 #: The pseudo-algorithm resolved per query by the cost-based selector.
 AUTO_ALGORITHM: str = "auto"
+
+
+def _validated_timeout(timeout: Optional[float]) -> Optional[float]:
+    """Normalise a ``timeout=`` argument, rejecting non-positive values."""
+    if timeout is None:
+        return None
+    try:
+        timeout = float(timeout)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"timeout must be a positive number of seconds, got {timeout!r}"
+        ) from None
+    if timeout <= 0:
+        raise ValueError(
+            f"timeout must be a positive number of seconds, got {timeout!r}"
+        )
+    return timeout
 
 
 class QueryEngine:
@@ -94,6 +112,7 @@ class QueryEngine:
         parallel_backend: Optional[str] = None,
         parallel_mode: Optional[str] = None,
         compile: Optional[bool] = None,
+        timeout: Optional[float] = None,
     ) -> PreparedQuery:
         """Resolve, validate and plan ``query`` once; return a reusable handle.
 
@@ -117,6 +136,7 @@ class QueryEngine:
             "parallel_backend": parallel_backend,
             "parallel_mode": parallel_mode,
             "compile": compile,
+            "timeout": _validated_timeout(timeout),
         }
         requested = algorithm
         resolved, selection = self._resolve_algorithm(query, algorithm, parameters)
@@ -154,6 +174,7 @@ class QueryEngine:
         parallel_backend: Optional[str] = None,
         parallel_mode: Optional[str] = None,
         compile: Optional[bool] = None,
+        timeout: Optional[float] = None,
     ) -> ExecutionResult:
         """Run a count query with the chosen algorithm and return the result.
 
@@ -165,6 +186,11 @@ class QueryEngine:
         ``"threads"`` (default) or fork-based ``"processes"``, and
         ``parallel_mode`` picks ``"morsel"`` (work stealing, default) or
         ``"static"`` (one range per worker).
+
+        ``timeout=`` (seconds) arms a cooperative deadline across every
+        backend — interpreted, compiled and pool-parallel executions all
+        raise :class:`repro.engine.faults.QueryTimeoutError` once it
+        expires, leaving the worker pool reusable.
         """
         return self._execute(
             query,
@@ -179,6 +205,7 @@ class QueryEngine:
             parallel_backend=parallel_backend,
             parallel_mode=parallel_mode,
             compile=compile,
+            timeout=timeout,
         )
 
     def evaluate(
@@ -194,6 +221,7 @@ class QueryEngine:
         parallel_backend: Optional[str] = None,
         parallel_mode: Optional[str] = None,
         compile: Optional[bool] = None,
+        timeout: Optional[float] = None,
     ) -> ExecutionResult:
         """Run a full evaluation and return the materialised result rows.
 
@@ -216,6 +244,7 @@ class QueryEngine:
             parallel_backend=parallel_backend,
             parallel_mode=parallel_mode,
             compile=compile,
+            timeout=timeout,
         )
 
     # -------------------------------------------------------------- comparison
@@ -282,6 +311,7 @@ class QueryEngine:
         parallel_backend: Optional[str] = None,
         parallel_mode: Optional[str] = None,
         compile: Optional[bool] = None,
+        timeout: Optional[float] = None,
     ) -> str:
         """A human-readable account of how ``query`` would be executed.
 
@@ -301,6 +331,7 @@ class QueryEngine:
             "parallel_backend": parallel_backend,
             "parallel_mode": parallel_mode,
             "compile": compile,
+            "timeout": _validated_timeout(timeout),
         }
         plan_builds_before = self.database.plan_builds
         resolved, selection = self._resolve_algorithm(query, algorithm, parameters)
@@ -383,6 +414,22 @@ class QueryEngine:
             f"this query: "
             f"{self._compiled_state(query, resolved, variable_order, compile, plan)}"
         )
+        if timeout is not None:
+            lines.append(
+                f"timeout: {timeout:.6g}s cooperative deadline "
+                "(raises QueryTimeoutError; checked at morsel boundaries, "
+                "in interpreted recursion and in compiled loop bodies)"
+            )
+        budget = self.database.memory_budget_bytes
+        if budget is not None:
+            footprint = self.database.memory_footprint()
+            state = "over budget" if footprint > budget else "within budget"
+            lines.append(
+                f"memory budget: {budget} bytes, tracked footprint "
+                f"{footprint} bytes ({state}; over-budget executions degrade "
+                "in order: disable adhesion caching -> evict compiled "
+                "drivers/indexes -> serial fallback)"
+            )
         return "\n".join(lines)
 
     # --------------------------------------------------------------- internals
@@ -486,8 +533,13 @@ class QueryEngine:
         """Resolve ``"auto"`` through the selector; pass anything else through."""
         if algorithm != AUTO_ALGORITHM:
             return algorithm, None
+        # A timeout is an execution bound, not a planning choice — auto
+        # keeps accepting it (the resolved algorithm's own contract still
+        # applies afterwards).
         provided = sorted(
-            name for name, value in parameters.items() if value is not None
+            name
+            for name, value in parameters.items()
+            if value is not None and name != "timeout"
         )
         if provided:
             raise ValueError(
@@ -513,10 +565,12 @@ class QueryEngine:
         parallel_backend: Optional[str] = None,
         parallel_mode: Optional[str] = None,
         compile: Optional[bool] = None,
+        timeout: Optional[float] = None,
         selection: Optional[AlgorithmChoice] = None,
     ) -> ExecutionResult:
         """One execution through registry lookup, planning and the executor."""
         before = self._cache_counters()
+        timeout = _validated_timeout(timeout)
         parameters: Dict[str, object] = {
             "decomposition": decomposition,
             "variable_order": variable_order,
@@ -527,6 +581,7 @@ class QueryEngine:
             "parallel_backend": parallel_backend,
             "parallel_mode": parallel_mode,
             "compile": compile,
+            "timeout": timeout,
         }
         # The result keeps the caller's label ("auto" stays "auto"); the
         # resolved name lands in metadata["selected_algorithm"].
@@ -535,6 +590,49 @@ class QueryEngine:
             algorithm, selection = self._resolve_algorithm(query, algorithm, parameters)
         spec = algorithm_spec(algorithm)
         spec.reject_unused(**parameters)
+
+        # The deadline starts here so planning/compilation count against it
+        # too — a query cannot blow its budget inside build().
+        deadline = Deadline.start(timeout) if timeout is not None else None
+
+        # Memory-budget degradation (after validation, before planning):
+        # over budget, progressively give up memory-hungry machinery in the
+        # documented order instead of crashing.  Each step is recorded in
+        # metadata["degradations"].
+        degradations: list = []
+        budget = self.database.memory_budget_bytes
+        if budget is not None:
+            footprint = self.database.memory_footprint()
+            if footprint > budget:
+                # Step 1: stop growing (and drop) adhesion caches.
+                if cache is not None:
+                    cache.invalidate()
+                if spec.name in ("clftj", "pclftj"):
+                    cache_capacity = 0
+                degradations.append(
+                    f"adhesion caching disabled (footprint {footprint} "
+                    f"> budget {budget} bytes)"
+                )
+                footprint = self.database.memory_footprint()
+            if footprint > budget:
+                # Step 2: evict cold compiled drivers and cached indexes.
+                self.database.clear_compiled_cache()
+                self.database.clear_index_cache()
+                degradations.append(
+                    "evicted compiled drivers and cached indexes "
+                    f"(footprint {footprint} > budget {budget} bytes)"
+                )
+                footprint = self.database.memory_footprint()
+            if footprint > budget:
+                # Step 3: give up parallel amplification (per-worker caches,
+                # result buffers); dedicated p* algorithms degrade through
+                # the selector's worker recommendation instead.
+                if parallel not in (None, False):
+                    parallel = 1
+                degradations.append(
+                    "parallel execution restricted to one worker "
+                    f"(footprint {footprint} > budget {budget} bytes)"
+                )
 
         counter = OperationCounter()
         plan: Optional[ExecutionPlan] = None
@@ -561,12 +659,20 @@ class QueryEngine:
                 compile=compile,
             )
         )
+        # The cooperative deadline is a generic post-construction attribute:
+        # interpreted recursion, compiled drivers and the parallel scheduler
+        # all read ``executor.deadline`` (``reject_unused`` above guarantees
+        # the algorithm honours it whenever a timeout was passed).
+        if deadline is not None:
+            executor.deadline = deadline
         # Two-phase build/execute: compile (or cache-hit) the specialized
         # driver before the clock starts, so codegen cost never pollutes
         # measured runtimes — the compiled_builds metadata reports it.
         build = getattr(executor, "build", None)
         if build is not None:
             build()
+        if deadline is not None:
+            deadline.check()
 
         dictionary = self.database.dictionary
         decodes_before = dictionary.decodes
@@ -594,6 +700,10 @@ class QueryEngine:
             query, label, value, elapsed, executor, plan, selection, before
         )
         result.metadata["decodes"] = dictionary.decodes - decodes_before
+        if degradations:
+            result.metadata["degradations"] = degradations
+        if timeout is not None:
+            result.metadata["timeout"] = timeout
         if coded_rows is not None:
             result.set_coded_rows(coded_rows, dictionary)
         elif rows is not None:

@@ -58,6 +58,7 @@ PARAMETERS: Tuple[str, ...] = (
     "parallel_backend",
     "parallel_mode",
     "compile",
+    "timeout",
 )
 
 
@@ -333,6 +334,7 @@ register_algorithm(
                 "parallel_backend",
                 "parallel_mode",
                 "compile",
+                "timeout",
             }
         ),
     )
@@ -354,6 +356,7 @@ register_algorithm(
                 "parallel_backend",
                 "parallel_mode",
                 "compile",
+                "timeout",
             }
         ),
     )
@@ -399,6 +402,7 @@ register_algorithm(
                 "parallel_backend",
                 "parallel_mode",
                 "compile",
+                "timeout",
             }
         ),
     )
@@ -422,6 +426,7 @@ register_algorithm(
                 "parallel_backend",
                 "parallel_mode",
                 "compile",
+                "timeout",
             }
         ),
     )

@@ -70,6 +70,7 @@ from repro.core.clftj import CachedLeapfrogTrieJoin
 from repro.core.instrumentation import OperationCounter
 from repro.core.lftj import LeapfrogTrieJoin
 from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.engine.faults import Deadline, QueryTimeoutError
 from repro.engine.pool import (
     JobReport,
     MorselJob,
@@ -497,6 +498,9 @@ class MorselSpec:
     policy: Optional[CachePolicy] = None
     cache_capacity: Optional[int] = None
     cache_key: Optional[Tuple[object, ...]] = None
+    #: Absolute monotonic deadline the morsel's executor checks
+    #: cooperatively (valid across the fork: the clock is shared).
+    deadline: Optional[Deadline] = None
 
 
 def make_range_executor(
@@ -612,6 +616,10 @@ def _execution_policy(policy: Optional[CachePolicy]) -> Optional[CachePolicy]:
 
 def _run_morsel(database: Database, spec: MorselSpec, task: MorselTask) -> TaskOutcome:
     """The pool runner: execute one morsel's range, return its outcome."""
+    if spec.deadline is not None:
+        # Morsel-boundary check: a morsel dequeued after expiry never
+        # starts (the parent is cancelling the job concurrently anyway).
+        spec.deadline.check()
     counter = OperationCounter()
     cache: Optional[AdhesionCache] = None
     policy = spec.policy
@@ -631,6 +639,11 @@ def _run_morsel(database: Database, spec: MorselSpec, task: MorselTask) -> TaskO
         policy=policy,
         cache=cache,
     )
+    if spec.deadline is not None:
+        # In-executor cooperative checks (every N recursive calls
+        # interpreted, counter-gated in compiled drivers) bound the
+        # overshoot even within one long morsel.
+        executor.deadline = spec.deadline
     if spec.run_mode == "count":
         value = executor.count()
         rows: Optional[List[Tuple[object, ...]]] = None
@@ -778,6 +791,10 @@ class ParallelExecutor:
         self._partition_plan: Optional[PartitionPlan] = None
         self._backend_used = backend
         self._shard_stats: Optional[Dict[str, object]] = None
+        #: Cooperative deadline, set by the engine when ``timeout=`` was
+        #: given; checked at morsel boundaries by the pool and inside
+        #: morsels by the inner executors.
+        self.deadline: Optional[Deadline] = None
 
     # ------------------------------------------------------------- execution
     def build(self) -> None:
@@ -847,6 +864,7 @@ class ParallelExecutor:
         # Iterators are created per execution with whatever counter the
         # executor holds at that moment, so swapping it in is safe.
         executor.counter = counter
+        executor.deadline = self.deadline
         started = time.perf_counter()
         if run_mode == "count":
             value = executor.count()
@@ -909,6 +927,7 @@ class ParallelExecutor:
                 policy=self._plan.policy if clftj else None,
                 cache_capacity=self._plan.cache_capacity if clftj else None,
                 cache_key=self._cache_key,
+                deadline=self.deadline,
             ),
             runner=_run_morsel,
             tasks=tasks,
@@ -916,6 +935,7 @@ class ParallelExecutor:
             split_threshold=MORSEL_SPLIT_THRESHOLD if morsel_mode else None,
             min_split_span=max(2, MIN_MORSEL_KEYS),
             split_domain=split_domain,
+            deadline=self.deadline,
         )
         pool = self.database.worker_pool(backend, workers)
         report = pool.run(job)
@@ -952,6 +972,8 @@ class ParallelExecutor:
             "tasks_executed": 1,
             "steals": 0,
             "splits": 0,
+            "worker_restarts": 0,
+            "morsel_retries": 0,
             "partition_source": plan.source,
             "partition_bounds": list(plan.bounds),
             "shard_results": [result.value],
@@ -1024,6 +1046,8 @@ class ParallelExecutor:
             "tasks_executed": len(results),
             "steals": report.steals,
             "splits": report.splits,
+            "worker_restarts": report.worker_restarts,
+            "morsel_retries": report.morsel_retries,
             "partition_source": plan.source,
             "partition_bounds": list(plan.bounds),
             "shard_results": morsel_values,

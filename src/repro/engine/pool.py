@@ -59,6 +59,35 @@ The parent collects fork-backend results with a **bounded-timeout
 heartbeat**: every ``HEARTBEAT_SECONDS`` without a result it polls worker
 liveness, so a worker that dies between tasks is detected within a short
 deadline instead of hanging the merge forever.
+
+**Fault tolerance** (PR 9): a detected death no longer fails the job.  The
+parent joins the dead workers, forks replacements armed with the in-flight
+job, and re-enqueues every morsel not yet accounted for — morsel identity
+is ``(index, path)``, so retried results sort back into the deterministic
+merge and duplicates (a morsel that was merely in flight elsewhere) park
+harmlessly as orphans.  A morsel that repeatedly kills its worker is a
+poison pill: per-key retries are bounded by ``MAX_MORSEL_RETRIES`` with
+exponential backoff, and only an exhausted budget raises
+:class:`~repro.engine.faults.WorkerFailureError`.  The thread backend
+applies the same per-morsel retry discipline to runner exceptions.  Jobs
+can also carry a :class:`~repro.engine.faults.Deadline`; the parent checks
+it at every morsel boundary, cancels queued morsels on expiry, drains the
+in-flight ones, and raises
+:class:`~repro.engine.faults.QueryTimeoutError` with the pool left
+immediately reusable.
+
+**Liveness tunables** — ``HEARTBEAT_SECONDS``, ``DEAD_WORKER_GRACE`` and
+``MAX_MORSEL_RETRIES`` can be overridden via the ``REPRO_HEARTBEAT_SECONDS``,
+``REPRO_DEAD_WORKER_GRACE`` and ``REPRO_MAX_MORSEL_RETRIES`` environment
+variables (mirroring ``REPRO_KERNEL_CROSSOVER``; invalid or out-of-range
+values fall back to the defaults).  Calibration: the defaults detect a dead
+worker within ``DEAD_WORKER_GRACE x HEARTBEAT_SECONDS`` = 0.5s, which is
+well under the cheapest re-fork (~5ms) amortised over a typical morsel
+(1-50ms) — lowering the heartbeat below ~0.05s makes the parent burn CPU
+polling, raising it above ~1s lets a crashed worker stall short queries
+noticeably.  ``MAX_MORSEL_RETRIES=3`` tolerates three unlucky co-locations
+of a morsel with a crashing neighbour while a genuine poison pill fails
+within ~4 heartbeat windows; ``0`` disables retries (fail on first death).
 """
 
 from __future__ import annotations
@@ -74,20 +103,63 @@ from dataclasses import dataclass, field
 from queue import Empty
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.engine.faults import (
+    Deadline,
+    QueryTimeoutError,
+    WorkerFailureError,
+    fault_point,
+)
+
 #: Supported pool backends (mirrors ``PARALLEL_BACKENDS``).
 POOL_BACKENDS: Tuple[str, ...] = ("threads", "processes")
 
+
+def _env_float(name: str, default: float) -> float:
+    """A positive float override from the environment, else ``default``."""
+    raw = os.environ.get(name, "")
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+def _env_int(name: str, default: int, minimum: int = 0) -> int:
+    """An integer override (``>= minimum``) from the environment."""
+    raw = os.environ.get(name, "")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= minimum else default
+
+
 #: Parent-side result-poll timeout; also the worker-liveness heartbeat —
-#: a dead fork worker is noticed within a couple of these.
-HEARTBEAT_SECONDS: float = 0.25
+#: a dead fork worker is noticed within a couple of these.  Overridable
+#: via ``REPRO_HEARTBEAT_SECONDS`` (see the module docstring).
+HEARTBEAT_SECONDS: float = _env_float("REPRO_HEARTBEAT_SECONDS", 0.25)
 
 #: Child-side task-queue poll; bounds how long a fork worker takes to
 #: notice the end-of-job (or close) message on its control pipe.
 WORKER_POLL_SECONDS: float = 0.05
 
-#: Consecutive silent heartbeats with a dead worker before the job is
-#: declared lost (grace for results already in flight from other workers).
-DEAD_WORKER_GRACE: int = 2
+#: Consecutive silent heartbeats with a dead worker before recovery kicks
+#: in (grace for results already in flight from other workers).
+#: Overridable via ``REPRO_DEAD_WORKER_GRACE``.
+DEAD_WORKER_GRACE: int = _env_int("REPRO_DEAD_WORKER_GRACE", 2, minimum=1)
+
+#: Per-morsel retry budget after worker deaths or runner errors; an
+#: exhausted budget raises ``WorkerFailureError`` (poison-pill detection).
+#: Overridable via ``REPRO_MAX_MORSEL_RETRIES``; ``0`` disables retries.
+MAX_MORSEL_RETRIES: int = _env_int("REPRO_MAX_MORSEL_RETRIES", 3, minimum=0)
+
+#: Base of the exponential backoff applied before re-feeding a morsel
+#: whose worker died more than once (caps at one second).
+RETRY_BACKOFF_SECONDS: float = 0.05
 
 #: Smallest code span the adaptive splitter will halve.
 MIN_SPLIT_SPAN: int = 2
@@ -168,6 +240,8 @@ class MorselJob:
     ``split_threshold`` of ``None`` (or a ``split_domain`` of ``None``)
     disables adaptive splitting; ``allow_steal=False`` pins thread-backend
     tasks to their round-robin workers (the *static* scheduling mode).
+    ``deadline`` makes the pool cancel the job cooperatively once the
+    instant passes; ``max_retries`` overrides ``MAX_MORSEL_RETRIES``.
     """
 
     spec: object
@@ -177,6 +251,12 @@ class MorselJob:
     split_threshold: Optional[float] = None
     min_split_span: int = MIN_SPLIT_SPAN
     split_domain: Optional[Tuple[int, int]] = None
+    deadline: Optional[Deadline] = None
+    max_retries: Optional[int] = None
+
+
+def _job_max_retries(job: MorselJob) -> int:
+    return MAX_MORSEL_RETRIES if job.max_retries is None else job.max_retries
 
 
 @dataclass
@@ -189,6 +269,10 @@ class JobReport:
     worker_busy: List[float]
     wall_seconds: float
     workers: int
+    #: Replacement workers forked mid-job after detected deaths.
+    worker_restarts: int = 0
+    #: Morsels re-enqueued after a worker death or a runner error.
+    morsel_retries: int = 0
 
 
 @dataclass(frozen=True)
@@ -285,9 +369,15 @@ class WorkerPool:
         #: persistent-pool tests assert on.
         self.spawns = 0
         self.jobs_run = 0
-        #: Times the fork backend re-forked for a stale/dead worker set.
+        #: Stale/dead re-fork events plus mid-job replacement workers.
         self.worker_restarts = 0
+        #: Morsels ever re-enqueued after a death or a runner error.
+        self.morsel_retries = 0
         self._closed = False
+        #: Set when close() gave up waiting on an in-flight (failing) job;
+        #: the job's collection loop notices and aborts cleanly instead of
+        #: raising secondary errors off torn-down queues.
+        self._abandoned = False
         self._submit_lock = threading.Lock()
         self._lifecycle_lock = threading.Lock()
         _ALL_POOLS.add(self)
@@ -383,9 +473,14 @@ class _ThreadJob:
         self.busy = [0.0] * size
         self.steals = 0
         self.splits = 0
+        self.retries: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        self.morsel_retries = 0
         #: Set once any task ran past the split threshold; wide tasks taken
         #: after that are halved and requeued instead of run.
         self.hot = False
+        #: Set when the job's deadline expired; queued tasks were discarded
+        #: and only in-flight ones drain.
+        self.cancelled = False
         self.finished = False
 
 
@@ -430,24 +525,67 @@ class ThreadWorkerPool(WorkerPool):
                 self._state = state
                 self._cond.notify_all()
                 while not state.finished:
-                    self._cond.wait(timeout=0.5)
+                    if self._abandoned:
+                        break
+                    wait_for = 0.5
+                    if job.deadline is not None and not state.cancelled:
+                        wait_for = max(
+                            0.005, min(wait_for, job.deadline.remaining())
+                        )
+                    self._cond.wait(timeout=wait_for)
+                    if (
+                        job.deadline is not None
+                        and not state.cancelled
+                        and not state.finished
+                        and job.deadline.expired()
+                    ):
+                        # Cancel: discard queued morsels, drain in-flight
+                        # ones (they decrement pending on completion).
+                        state.cancelled = True
+                        cleared = sum(len(dq) for dq in state.deques)
+                        for dq in state.deques:
+                            dq.clear()
+                        state.pending -= cleared
+                        if state.pending <= 0:
+                            state.finished = True
+                            self._cond.notify_all()
         finally:
             with self._cond:
                 self._state = None
                 self._cond.notify_all()
+        if self._abandoned and not state.finished:
+            raise WorkerFailureError(
+                "worker pool closed while a job was in flight"
+            )
+        if state.cancelled:
+            raise QueryTimeoutError(job.deadline.timeout)
         if state.errors:
             state.errors.sort()
             details = "; ".join(
                 f"morsel {index}{list(path)!r}: {text}"
                 for index, path, text in state.errors
             )
-            raise RuntimeError(f"morsel worker(s) failed: {details}")
+            raise WorkerFailureError(
+                f"morsel worker(s) failed: {details}",
+                diagnostics=[
+                    f"morsel {index}{list(path)!r}: {text}"
+                    for index, path, text in state.errors
+                ],
+            )
         results = sorted(state.results, key=lambda r: (r.index, r.path))
         return JobReport(
-            results, state.steals, state.splits, list(state.busy), 0.0, self.size
+            results,
+            state.steals,
+            state.splits,
+            list(state.busy),
+            0.0,
+            self.size,
+            worker_restarts=0,
+            morsel_retries=state.morsel_retries,
         )
 
     def _worker_main(self, wid: int) -> None:
+        fault_point("pool.worker_start")
         cond = self._cond
         while True:
             with cond:
@@ -501,13 +639,30 @@ class ThreadWorkerPool(WorkerPool):
                 return
         started = time.perf_counter()
         try:
+            fault_point("pool.before_morsel")
             outcome = job.runner(self.database, job.spec, task)
         except BaseException as error:  # noqa: BLE001 - reported to submitter
+            key = (task.index, task.path)
             with self._cond:
-                state.errors.append(
-                    (task.index, task.path, f"{type(error).__name__}: {error}")
+                # Per-morsel retry discipline for transient errors; a
+                # deadline expiry is never transient and a cancelled job
+                # must drain, not grow.
+                retriable = (
+                    not isinstance(error, QueryTimeoutError)
+                    and not state.cancelled
+                    and state.retries.get(key, 0) < _job_max_retries(job)
                 )
-                self._finish_one(state)
+                if retriable:
+                    state.retries[key] = state.retries.get(key, 0) + 1
+                    state.morsel_retries += 1
+                    self.morsel_retries += 1
+                    state.deques[wid].append(task)
+                    self._cond.notify_all()
+                else:
+                    state.errors.append(
+                        (task.index, task.path, f"{type(error).__name__}: {error}")
+                    )
+                    self._finish_one(state)
             return
         elapsed = time.perf_counter() - started
         with self._cond:
@@ -544,7 +699,8 @@ class ThreadWorkerPool(WorkerPool):
             self._cond.notify_all()
 
     def _shutdown(self) -> None:
-        self._drain_submit_lock()
+        if not self._drain_submit_lock():
+            self._abandoned = True
         with self._cond:
             self._closing = True
             self._cond.notify_all()
@@ -570,6 +726,7 @@ def _fork_worker_main(pool: "ForkWorkerPool", wid: int, conn) -> None:
     queues; only control messages and results ever cross a pipe.
     """
     reinitialise_child_locks(pool.database)
+    fault_point("pool.worker_start")
     try:
         while True:
             try:
@@ -625,6 +782,7 @@ def _serve_job(pool: "ForkWorkerPool", wid: int, conn, payload: _JobPayload) -> 
                 continue
         started = time.perf_counter()
         try:
+            fault_point("pool.before_morsel")
             outcome = payload.runner(pool.database, payload.spec, task)
         except BaseException as error:  # noqa: BLE001 - crosses the process boundary
             result_queue.put(
@@ -667,17 +825,32 @@ class _ForkJobTracker:
     tracker keeps a live ``expected`` key set; early arrivals park as
     orphans and are absorbed the moment their key becomes live, so the job
     completes exactly when every planner range is tiled by results.
+
+    It also keeps a ``key -> MorselTask`` map so worker-failure recovery
+    can re-enqueue any still-expected morsel.  Split messages carry only
+    keys, but the halves are recomputed parent-side with the same
+    deterministic :func:`split_task` the child used — identical inputs,
+    identical halves.
     """
 
-    def __init__(self, tasks: Sequence[MorselTask]) -> None:
+    def __init__(
+        self,
+        tasks: Sequence[MorselTask],
+        split_domain: Optional[Tuple[int, int]] = None,
+        min_split_span: int = MIN_SPLIT_SPAN,
+    ) -> None:
         self.expected: Set[Tuple[int, Tuple[int, ...]]] = set()
         self.results: List[MorselResult] = []
         self.errors: List[Tuple[Tuple[int, Tuple[int, ...]], str]] = []
         self.splits = 0
+        self.tasks: Dict[Tuple[int, Tuple[int, ...]], MorselTask] = {}
+        self._domain = split_domain
+        self._min_span = min_split_span
         self._orphans: Dict[Tuple[int, Tuple[int, ...]], tuple] = {}
         self._orphan_splits: Dict[Tuple[int, Tuple[int, ...]], tuple] = {}
         for task in tasks:
             self.expected.add((task.index, task.path))
+            self.tasks[(task.index, task.path)] = task
 
     @property
     def done(self) -> bool:
@@ -705,6 +878,12 @@ class _ForkJobTracker:
 
     def _apply_split(self, message: tuple) -> None:
         self.splits += 1
+        parent = self.tasks.get(message[1])
+        if parent is not None:
+            halves = split_task(parent, self._domain, self._min_span)
+            if halves is not None:
+                for half in halves:
+                    self.tasks[(half.index, half.path)] = half
         for half_key in (message[2], message[3]):
             self._register(half_key)
 
@@ -799,48 +978,223 @@ class ForkWorkerPool(WorkerPool):
             size=self.size,
         )
         for pipe in self._pipes:
-            pipe.send(("job", payload))
+            try:
+                pipe.send(("job", payload))
+            except (OSError, BrokenPipeError):
+                # The worker died before (or while) receiving the payload —
+                # e.g. killed during startup.  The heartbeat sweep below
+                # detects the death and forks an armed replacement.
+                pass
         for task in tasks:
             self._task_queue.put(task)
-        tracker = _ForkJobTracker(tasks)
+        tracker = _ForkJobTracker(tasks, job.split_domain, job.min_split_span)
+        retries: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        max_retries = _job_max_retries(job)
+        job_restarts = 0
+        job_retries = 0
         # Bounded-timeout heartbeat: a silent interval triggers a liveness
         # sweep, so a worker that died between tasks surfaces within
-        # ~DEAD_WORKER_GRACE * HEARTBEAT_SECONDS instead of hanging the
-        # merge until its task is awaited.
+        # ~DEAD_WORKER_GRACE * HEARTBEAT_SECONDS.  Detected deaths are
+        # *recovered from*: replacements are forked, lost morsels re-fed.
         silent_with_dead = 0
         while not tracker.done:
+            if self._abandoned:
+                raise WorkerFailureError(
+                    "worker pool closed while a job was in flight"
+                )
+            if job.deadline is not None and job.deadline.expired():
+                busy = self._cancel_job()
+                raise QueryTimeoutError(job.deadline.timeout)
+            timeout = HEARTBEAT_SECONDS
+            if job.deadline is not None:
+                timeout = max(0.005, min(timeout, job.deadline.remaining()))
             try:
-                message = self._result_queue.get(timeout=HEARTBEAT_SECONDS)
+                message = self._result_queue.get(timeout=timeout)
             except Empty:
+                fault_point("pool.heartbeat")
                 dead = [
                     (wid, process.exitcode)
                     for wid, process in enumerate(self._processes)
                     if not process.is_alive()
                 ]
-                if dead:
-                    silent_with_dead += 1
-                    if silent_with_dead >= DEAD_WORKER_GRACE:
-                        self._stop_workers()
-                        details = ", ".join(
-                            f"worker {wid} exit code {code}" for wid, code in dead
-                        )
-                        raise RuntimeError(
-                            f"parallel worker(s) died mid-job: {details}"
-                        )
+                if not dead:
+                    continue
+                silent_with_dead += 1
+                if silent_with_dead < DEAD_WORKER_GRACE:
+                    continue
+                silent_with_dead = 0
+                lost = sorted(
+                    key for key in tracker.expected if key in tracker.tasks
+                )
+                exhausted = [
+                    key for key in lost if retries.get(key, 0) >= max_retries
+                ]
+                if exhausted:
+                    # Poison pill: the same morsel keeps killing workers.
+                    self._stop_workers()
+                    worker_details = ", ".join(
+                        f"worker {wid} exit code {code}" for wid, code in dead
+                    )
+                    morsel_details = ", ".join(
+                        f"morsel {key[0]}{list(key[1])!r} "
+                        f"({retries.get(key, 0)} retries)"
+                        for key in exhausted
+                    )
+                    raise WorkerFailureError(
+                        f"parallel worker(s) died mid-job: {worker_details}; "
+                        f"retry budget exhausted for {morsel_details}",
+                        diagnostics=[
+                            f"worker {wid} exit code {code}"
+                            for wid, code in dead
+                        ],
+                    )
+                job_restarts += self._replace_workers(dead, payload)
+                repeat = max((retries.get(key, 0) for key in lost), default=0)
+                for key in lost:
+                    retries[key] = retries.get(key, 0) + 1
+                job_retries += len(lost)
+                self.morsel_retries += len(lost)
+                if repeat >= 1:
+                    # The same morsel's worker died again: back off
+                    # exponentially before re-feeding it.
+                    time.sleep(
+                        min(RETRY_BACKOFF_SECONDS * (2 ** (repeat - 1)), 1.0)
+                    )
+                # Re-enqueue after forking so the queue feeder is quiescent
+                # at fork time.  Duplicates (morsels merely in flight on a
+                # live worker) are safe: the tracker completes a key once
+                # and parks later arrivals as orphans.
+                for key in lost:
+                    self._task_queue.put(tracker.tasks[key])
                 continue
+            except (OSError, ValueError, EOFError, AttributeError) as error:
+                # close() tore the queues down under a job it abandoned.
+                raise WorkerFailureError(
+                    f"worker pool torn down mid-job: {error}"
+                )
             silent_with_dead = 0
+            if message[0] == "error":
+                key = message[1]
+                text = message[2]
+                timed_out = text.partition(":")[0] == "QueryTimeoutError"
+                retriable = (
+                    not timed_out
+                    and key in tracker.expected
+                    and key in tracker.tasks
+                    and retries.get(key, 0) < max_retries
+                    and (job.deadline is None or not job.deadline.expired())
+                )
+                if retriable:
+                    retries[key] = retries.get(key, 0) + 1
+                    job_retries += 1
+                    self.morsel_retries += 1
+                    self._task_queue.put(tracker.tasks[key])
+                    continue
             tracker.absorb(message)
+        self._drain_queue(self._task_queue)  # duplicates from recovery
         busy = self._end_job()
+        self._drain_queue(self._result_queue)  # orphan duplicate results
+        if (
+            job.deadline is not None
+            and job.deadline.expired()
+            and tracker.errors
+        ):
+            # Worker-side deadline checks surface as error messages; the
+            # deadline itself is authoritative.
+            raise QueryTimeoutError(job.deadline.timeout)
         if tracker.errors:
             tracker.errors.sort()
             details = "; ".join(
                 f"morsel {key[0]}{list(key[1])!r}: {text}"
                 for key, text in tracker.errors
             )
-            raise RuntimeError(f"morsel worker(s) failed: {details}")
+            raise WorkerFailureError(
+                f"morsel worker(s) failed: {details}",
+                diagnostics=[
+                    f"morsel {key[0]}{list(key[1])!r}: {text}"
+                    for key, text in tracker.errors
+                ],
+            )
         steals = sum(1 for result in tracker.results if result.stolen)
         results = sorted(tracker.results, key=lambda r: (r.index, r.path))
-        return JobReport(results, steals, tracker.splits, busy, 0.0, self.size)
+        return JobReport(
+            results,
+            steals,
+            tracker.splits,
+            busy,
+            0.0,
+            self.size,
+            worker_restarts=job_restarts,
+            morsel_retries=job_retries,
+        )
+
+    def _replace_workers(
+        self, dead: List[Tuple[int, Optional[int]]], payload: _JobPayload
+    ) -> int:
+        """Join dead workers and fork replacements armed with the job.
+
+        Replacements inherit the *current* parent state by copy-on-write
+        (the parent has built nothing new mid-job: submissions serialise)
+        and receive the in-flight job payload over their fresh pipe.  Lost
+        morsels are re-enqueued by the caller *after* this returns, so the
+        task queue's feeder thread is quiescent while forking.
+        """
+        replaced = 0
+        for wid, _code in dead:
+            self._processes[wid].join(timeout=0.2)
+            try:
+                self._pipes[wid].close()
+            except OSError:  # pragma: no cover - already broken
+                pass
+            try:
+                parent_conn, child_conn = self._context.Pipe()
+                replacement = self._context.Process(
+                    target=_fork_worker_main,
+                    args=(self, wid, child_conn),
+                    daemon=True,
+                )
+                replacement.start()
+            except (OSError, RuntimeError, ValueError) as error:
+                # Interpreter shutdown (or fd exhaustion): recovery is
+                # impossible, fail the job cleanly.
+                raise WorkerFailureError(
+                    f"parallel worker(s) died mid-job and worker {wid} "
+                    f"could not be replaced: {error}"
+                )
+            child_conn.close()
+            self._processes[wid] = replacement
+            self._pipes[wid] = parent_conn
+            self.spawns += 1
+            replaced += 1
+            try:
+                parent_conn.send(("job", payload))
+            except (OSError, BrokenPipeError):
+                # The replacement died immediately (repeat fault); the next
+                # sweep sees it dead and the retry budget bounds the loop.
+                pass
+        self.worker_restarts += replaced
+        return replaced
+
+    def _cancel_job(self) -> List[float]:
+        """Deadline cancellation: drop queued morsels, drain in-flight ones.
+
+        The end-of-job handshake doubles as the drain — workers finish
+        their current morsel, find the queue empty, and ack — so the pool
+        is immediately reusable for the next query.
+        """
+        self._drain_queue(self._task_queue)
+        busy = self._end_job()
+        self._drain_queue(self._result_queue)
+        return busy
+
+    def _drain_queue(self, queue) -> None:
+        if queue is None:
+            return
+        while True:
+            try:
+                queue.get_nowait()
+            except (Empty, OSError, ValueError, EOFError):
+                return
 
     def _end_job(self) -> List[float]:
         """End-of-job handshake: collect per-worker busy time, with a deadline.
@@ -904,7 +1258,11 @@ class ForkWorkerPool(WorkerPool):
         self._result_queue = None
 
     def _shutdown(self) -> None:
-        self._drain_submit_lock()
+        if not self._drain_submit_lock():
+            # A failing job is still retrying; abandon it so close() (and
+            # the atexit sweep) can never deadlock.  The job's collection
+            # loop notices the flag and raises WorkerFailureError cleanly.
+            self._abandoned = True
         self._stop_workers()
 
 

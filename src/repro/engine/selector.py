@@ -145,6 +145,13 @@ class CostBasedSelector:
         available = max(int(available), 1)
         if available == 1:
             return 1
+        budget = self.database.memory_budget_bytes
+        if budget is not None and self.database.memory_footprint() > budget:
+            # Memory-budget degradation, final rung: parallel execution
+            # amplifies footprint (per-worker adhesion caches, shard result
+            # buffers), so an over-budget database runs serial until it is
+            # back under (see Database.memory_budget_bytes).
+            return 1
         cost = self._order_cost(query, variable_order)
         affordable = int(cost // _WORKER_ENGAGE_COST)
         return max(1, min(available, affordable))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import sys
 import threading
 from typing import (
     Callable,
@@ -22,6 +23,60 @@ from repro.storage.trie import LsmTrieIndex
 
 #: A cached-index key: (index kind, relation name, view signature, column order).
 IndexKey = Tuple[str, str, Tuple[object, ...], Tuple[int, ...]]
+
+
+def _rough_bytes(obj: object, depth: int = 4, seen: Optional[set] = None) -> int:
+    """A cheap, bounded size estimate for memory-budget accounting.
+
+    ``sys.getsizeof`` plus a shallow walk of containers and ``__dict__``
+    attributes.  Numpy arrays report their exact ``nbytes``; objects with a
+    ``memory_estimate()`` hook (adhesion caches) use it; large flat
+    containers are charged a per-item flat rate instead of being walked, so
+    the estimate stays O(structure), not O(data).
+    """
+    if obj is None:
+        return 0
+    if seen is None:
+        seen = set()
+    identity = id(obj)
+    if identity in seen:
+        return 0
+    seen.add(identity)
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, int):
+        return int(nbytes)
+    estimate = getattr(obj, "memory_estimate", None)
+    if callable(estimate):
+        try:
+            return int(estimate())
+        except Exception:  # pragma: no cover - defensive
+            pass
+    try:
+        size = sys.getsizeof(obj)
+    except TypeError:  # pragma: no cover - exotic objects
+        size = 64
+    if depth <= 0:
+        return size
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        if len(obj) > 64:
+            # Flat data columns (sorted key runs, range arrays): charge a
+            # per-item flat rate instead of walking millions of ints.
+            return size + 28 * len(obj)
+        for item in obj:
+            size += _rough_bytes(item, depth - 1, seen)
+        return size
+    if isinstance(obj, dict):
+        if len(obj) > 64:
+            return size + 100 * len(obj)
+        for key, value in obj.items():
+            size += _rough_bytes(key, depth - 1, seen)
+            size += _rough_bytes(value, depth - 1, seen)
+        return size
+    attributes = getattr(obj, "__dict__", None)
+    if isinstance(attributes, dict):
+        for value in attributes.values():
+            size += _rough_bytes(value, depth - 1, seen)
+    return size
 
 
 class Database:
@@ -91,12 +146,24 @@ class Database:
         compaction_threshold: float = 0.25,
         compaction_floor: int = 4096,
         encode: bool = True,
+        memory_budget_bytes: Optional[int] = None,
     ) -> None:
         if compaction_threshold <= 0:
             raise ValueError("compaction threshold must be positive")
         if compaction_floor < 0:
             raise ValueError("compaction floor must be non-negative")
+        if memory_budget_bytes is not None and int(memory_budget_bytes) <= 0:
+            raise ValueError("memory budget must be a positive number of bytes")
         self.name = name
+        #: Soft cap on the database's tracked cache footprints
+        #: (:meth:`memory_footprint`).  ``None`` disables enforcement.  Over
+        #: budget the engine degrades in a documented order (disable
+        #: adhesion caching -> evict compiled drivers/indexes -> serial
+        #: fallback) instead of raising; every step lands in
+        #: ``ExecutionResult.metadata["degradations"]``.
+        self.memory_budget_bytes: Optional[int] = (
+            int(memory_budget_bytes) if memory_budget_bytes is not None else None
+        )
         self.compaction_threshold = compaction_threshold
         self.compaction_floor = compaction_floor
         #: Guards cache fills and mutations (see the locking model above).
@@ -581,6 +648,28 @@ class Database:
         return False
 
     # ------------------------------------------------------------- reporting
+    def memory_footprint(self) -> int:
+        """Rough bytes held by the memory-governed structures.
+
+        Covers the index cache (trie columns dominate), the compiled-driver
+        cache (captured column references are shared with the index cache
+        and de-duplicated by identity) and the value dictionary.  Adhesion
+        caches report through their own ``memory_estimate()`` and are
+        governed at the engine layer, where they live.  The number is an
+        *estimate* — budget enforcement degrades gracefully, so rough is
+        good enough.
+        """
+        with self._lock:
+            entries = list(self._index_cache.values()) + list(
+                self._compiled_cache.values()
+            )
+        seen: set = set()
+        total = 0
+        for entry in entries:
+            total += _rough_bytes(entry, seen=seen)
+        total += _rough_bytes(self.dictionary, seen=seen)
+        return total
+
     def total_tuples(self) -> int:
         """Total number of tuples across all relations."""
         return sum(len(versioned) for versioned in self._relations.values())

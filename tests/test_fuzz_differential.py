@@ -13,6 +13,11 @@ and parallel, over both storage paths) are additionally checked *ordered and
 byte-identical* against their interpreted twins (``compile=False``), and the
 serial pair must report identical instrumentation counters.
 
+A separate seeded corpus re-runs the parallel configurations under
+deterministic fault injection (SIGKILLed fork workers, injected morsel
+exceptions) and asserts the recovered runs still match their serial twins
+*ordered and byte-identical* — worker failure must be invisible to results.
+
 Tier-1 runs a small deterministic corpus (seeds ``0..7``); set the
 ``REPRO_FUZZ_ITERS`` environment variable to fuzz deeper locally::
 
@@ -24,7 +29,7 @@ import random
 
 import pytest
 
-from repro.engine import QueryEngine
+from repro.engine import QueryEngine, inject_faults
 from repro.query.atoms import Atom, ConjunctiveQuery
 from repro.query.terms import Constant, Variable
 from repro.storage.database import Database
@@ -60,6 +65,25 @@ PARALLEL_CONFIGS = (
     ("pclftj", 2, "processes", "morsel"),
     ("pclftj", 4, "threads", "static"),
 )
+
+#: Fault-injected parallel configurations: (algorithm, serial oracle
+#: algorithm, backend, armed faults).  SIGKILLs only make sense on the fork
+#: backend (thread workers share the test process); injected exceptions on
+#: the thread backend are absorbed by the per-morsel retry budget.  Bounded
+#: ``times`` keeps every fault within the recovery budget, so each run must
+#: still equal its serial twin ordered and byte-identical.
+FAULT_CONFIGS = (
+    ("plftj", "lftj", "processes",
+     {"pool.before_morsel": {"action": "kill", "after": 1, "times": 1}}),
+    ("pclftj", "clftj", "processes",
+     {"pool.before_morsel": {"action": "kill", "after": 2, "times": 2}}),
+    ("pclftj", "clftj", "threads",
+     {"pool.before_morsel": {"action": "raise", "after": 1, "times": 2}}),
+)
+
+#: Seeds for the fault-injection corpus (kept small: each config pays fork
+#: and heartbeat latency for the killed workers).
+FAULT_SEEDS = tuple(range(4))
 
 #: Deterministic tier-1 corpus size; REPRO_FUZZ_ITERS extends it locally.
 BASE_ITERATIONS = 8
@@ -253,6 +277,39 @@ def _fuzz_one(seed):
 @pytest.mark.parametrize("seed", range(FUZZ_ITERATIONS))
 def test_random_queries_all_algorithms_agree(seed):
     _fuzz_one(seed)
+
+
+@pytest.mark.parametrize("seed", FAULT_SEEDS)
+def test_fault_injected_parallel_matches_serial_oracle(seed):
+    """Killed/raising workers must be invisible: counts AND ordered rows."""
+    rng = random.Random(1000 + seed)
+    relations, schemas = _random_relations(rng)
+    query = _random_query(rng, schemas)
+    database = Database(
+        [Relation(rel.name, rel.attributes, rel.tuples) for rel in relations],
+        name=f"fuzz-fault-{seed}",
+    )
+    try:
+        engine = QueryEngine(database)
+        expected = brute_force_evaluate(query, database)
+        for algorithm, oracle, backend, faults in FAULT_CONFIGS:
+            serial = engine.evaluate(query, algorithm=oracle)
+            assert _rows_in_query_order(serial, query) == expected
+            # Kill faults must be armed before the pool forks so the worker
+            # processes inherit the armed registry.
+            database.close_pools()
+            with inject_faults(faults):
+                result = engine.evaluate(
+                    query, algorithm=algorithm, parallel=2,
+                    parallel_backend=backend,
+                )
+            assert result.rows == serial.rows, (
+                f"fault-injected {algorithm} ({backend}) row stream diverges "
+                f"from serial {oracle} on {query.name!r} (seed {seed})"
+            )
+            assert result.count == serial.count == len(serial.rows)
+    finally:
+        database.close_pools()
 
 
 def test_fuzz_corpus_is_deterministic():

@@ -204,6 +204,35 @@ class TestLifecycle:
         assert len(reports) == 1 and len(reports[0].results) == 4
         assert sum(result.value for result in reports[0].results) == 4
 
+    def test_close_races_in_flight_failing_job(self):
+        """close() racing a job whose workers keep dying must neither hang
+        nor raise from close(); the run() call itself reports the failure
+        (or drains clean) and the pool ends closed."""
+        database = _edge_database(name="pool-close-race")
+        pool = ForkWorkerPool(database, 2)
+        outcomes = []
+
+        def _run():
+            try:
+                report = pool.run(
+                    MorselJob(spec=None, runner=_suicide_runner,
+                              tasks=_tasks(2), max_retries=0)
+                )
+                outcomes.append(report)
+            except RuntimeError as error:
+                outcomes.append(error)
+
+        runner = threading.Thread(target=_run)
+        runner.start()
+        time.sleep(0.05)  # the failing job is in flight now
+        pool.close()  # must not raise, must not hang
+        runner.join(timeout=30)
+        assert not runner.is_alive()
+        assert pool.closed
+        assert len(outcomes) == 1
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run(MorselJob(spec=0.0, runner=_sleepy_runner, tasks=_tasks(1)))
+
     def test_create_worker_pool_rejects_unknown_backend(self):
         database = _edge_database(name="pool-bad")
         with pytest.raises(ValueError, match="unknown pool backend"):
@@ -289,12 +318,15 @@ class TestScheduling:
         database.close_pools()
 
     def test_dead_fork_worker_is_detected_not_hung(self):
-        """A worker killed mid-job surfaces as RuntimeError within the
-        heartbeat deadline; the pool re-forks for the next job."""
+        """With the retry budget pinned to zero a worker killed mid-job
+        surfaces as RuntimeError within the heartbeat deadline; the pool
+        re-forks for the next job.  (Recovery under the default budget is
+        covered in tests/test_faults.py.)"""
         database = _edge_database(name="pool-dead")
         pool = ForkWorkerPool(database, 2)
         with pytest.raises(RuntimeError, match="died mid-job"):
-            pool.run(MorselJob(spec=None, runner=_suicide_runner, tasks=_tasks(2)))
+            pool.run(MorselJob(spec=None, runner=_suicide_runner, tasks=_tasks(2),
+                               max_retries=0))
         # The pool recovers: the next job re-forks a fresh worker set.
         report = pool.run(MorselJob(spec=0.0, runner=_sleepy_runner, tasks=_tasks(4)))
         assert sum(result.value for result in report.results) == 4
