@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Server smoke: boot `repro serve`, hit it with concurrent clients, scrape
+# /metrics, force a 429 under saturation, and verify a clean SIGTERM
+# shutdown (exit 0, drained summary printed).
+#
+# Run from the repo root: bash scripts/server_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+wait_pids() {
+    local failed=0
+    for pid in "$@"; do
+        wait "$pid" || failed=1
+    done
+    return "$failed"
+}
+
+boot() { # boot <logfile> <extra serve flags...>; sets BASE and SERVER_PID
+    local log="$1"; shift
+    PYTHONPATH=src python -m repro serve --dataset wiki-Vote --port 0 "$@" \
+        >"$log" 2>&1 &
+    SERVER_PID=$!
+    for _ in $(seq 1 100); do
+        if grep -q "http://" "$log"; then break; fi
+        sleep 0.2
+    done
+    BASE="$(grep -o "http://[0-9.:]*" "$log" | head -1)"
+    test -n "$BASE" || { echo "server did not boot"; cat "$log"; exit 1; }
+}
+
+echo "=== 1. boot + concurrent clients + /metrics ==="
+boot "$WORKDIR/serve.log" --max-concurrency 4 --queue-depth 16
+echo "serving at $BASE"
+
+curl -fsS "$BASE/healthz" | grep -q '"ok"'
+
+# One serial request records the oracle count, and warms every cache.
+ORACLE="$(curl -fsS -X POST "$BASE/count" -d '{"query": "3-cycle"}' \
+    | python -c "import json,sys; print(json.load(sys.stdin)['count'])")"
+echo "3-cycle count: $ORACLE"
+
+# Eight concurrent clients must all succeed and agree with the oracle.
+PIDS=()
+for i in $(seq 1 8); do
+    (
+        got="$(curl -fsS -X POST "$BASE/count" -d '{"query": "3-cycle"}' \
+            | python -c "import json,sys; print(json.load(sys.stdin)['count'])")"
+        test "$got" = "$ORACLE" || { echo "client $i: $got != $ORACLE"; exit 1; }
+    ) &
+    PIDS+=($!)
+done
+wait_pids "${PIDS[@]}" || { echo "a concurrent client failed"; exit 1; }
+echo "8 concurrent clients agree"
+
+# Sessions: prepare, then a warm request must report zero builds.
+TOKEN="$(curl -fsS -X POST "$BASE/prepare" -d '{"query": "3-cycle"}' \
+    | python -c "import json,sys; print(json.load(sys.stdin)['session'])")"
+curl -fsS -X POST "$BASE/count" -H "X-Repro-Session: $TOKEN" \
+        -d '{"query": "3-cycle"}' \
+    | python -c "
+import json, sys
+body = json.load(sys.stdin)
+meta = body['metadata']
+for key in ('index_builds', 'plan_builds', 'compiled_builds'):
+    assert meta[key] == 0, (key, meta)
+print('warm session request: zero builds')
+"
+
+# /metrics must expose the reconciliation families and the request ledger.
+curl -fsS "$BASE/metrics" >"$WORKDIR/metrics.txt"
+grep -q "^repro_db_index_builds_total" "$WORKDIR/metrics.txt"
+grep -q "^repro_query_index_builds_total" "$WORKDIR/metrics.txt"
+grep -q 'repro_requests_total{endpoint="count",status="200"}' "$WORKDIR/metrics.txt"
+grep -q "^repro_sessions_active 1" "$WORKDIR/metrics.txt"
+echo "/metrics exposes db/query counter families and the request ledger"
+
+echo "=== 2. clean SIGTERM shutdown ==="
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+CODE=$?
+test "$CODE" -eq 0 || { echo "expected exit 0, got $CODE"; exit 1; }
+grep -q "shutdown: drained=True" "$WORKDIR/serve.log" \
+    || { echo "no drain summary"; cat "$WORKDIR/serve.log"; exit 1; }
+echo "SIGTERM: exit 0, drained"
+
+echo "=== 3. forced saturation sheds with 429 ==="
+boot "$WORKDIR/serve-tiny.log" --max-concurrency 1 --queue-depth 0
+
+# One slot, no queue: under a concurrent burst of slow-ish queries at
+# least one client must be shed with a 429 + Retry-After.
+PIDS=()
+for i in $(seq 1 8); do
+    curl -sS -o /dev/null -D "$WORKDIR/headers.$i" \
+        -w "%{http_code}\n" -X POST "$BASE/count" \
+        -d '{"query": "4-clique"}' >"$WORKDIR/status.$i" &
+    PIDS+=($!)
+done
+wait_pids "${PIDS[@]}"
+cat "$WORKDIR"/status.* | sort | uniq -c
+grep -qx "429" "$WORKDIR"/status.* || { echo "expected at least one 429"; exit 1; }
+grep -qx "200" "$WORKDIR"/status.* || { echo "expected at least one 200"; exit 1; }
+grep -qi "Retry-After" "$WORKDIR"/headers.* || { echo "429 without Retry-After"; exit 1; }
+echo "saturation shed with 429 + Retry-After"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "tiny server exited nonzero"; exit 1; }
+
+echo "server smoke: OK"

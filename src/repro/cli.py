@@ -9,6 +9,7 @@ shell::
     python -m repro plan --dataset wiki-Vote --query "E(x,y), E(y,z), E(z,x)"
     python -m repro explain --dataset wiki-Vote --query 3-cycle
     python -m repro datasets
+    python -m repro serve --dataset wiki-Vote --port 8707 --max-concurrency 4
 
 The CLI is a thin wrapper around :class:`repro.engine.QueryEngine`; it exists
 so that the reproduction can be exercised without writing Python.
@@ -177,6 +178,44 @@ def build_parser() -> argparse.ArgumentParser:
                               "in the explanation")
 
     subparsers.add_parser("datasets", help="list the built-in dataset stand-ins")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve the query engine over HTTP (count/evaluate/prepare/"
+             "explain + /metrics and /healthz)",
+    )
+    serve.add_argument("--dataset", required=True,
+                       help="SNAP stand-in name, 'imdb', or a path to an edge-list file")
+    serve.add_argument("--scale", type=float, default=1.0,
+                       help="dataset scale factor (default 1.0)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8707,
+                       help="TCP port (default 8707; 0 picks a free port)")
+    serve.add_argument("--max-concurrency", type=int, default=4,
+                       help="concurrent query executions admitted (default 4)")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="requests allowed to wait for a slot before "
+                            "shedding with 429 (default 16)")
+    serve.add_argument("--queue-timeout", type=float, default=2.0,
+                       help="seconds a request may wait for a slot (default 2.0)")
+    serve.add_argument("--session-ttl", type=float, default=300.0,
+                       help="idle seconds before a session (and its warm "
+                            "caches) is evicted (default 300)")
+    serve.add_argument("--default-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="cooperative deadline applied to requests that "
+                            "set none (default: none)")
+    serve.add_argument("--max-timeout", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="hard cap on per-request timeouts (default 60)")
+    serve.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
+                       help="memory budget in bytes; while degradation is "
+                            "active the server sheds load with 503")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="graceful-shutdown drain window for in-flight "
+                            "queries (default 10)")
     return parser
 
 
@@ -323,6 +362,60 @@ def _command_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.server.http import create_server
+    from repro.server.service import QueryService
+
+    database = resolve_dataset(args.dataset, args.scale)
+    _apply_memory_budget(database, args.memory_budget)
+    service = QueryService(
+        database,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.queue_depth,
+        queue_timeout=args.queue_timeout,
+        session_ttl=args.session_ttl,
+        default_timeout=args.default_timeout,
+        max_timeout=args.max_timeout,
+    )
+    server = create_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving {args.dataset} on http://{host}:{port} "
+          f"(max_concurrency={args.max_concurrency}, "
+          f"queue_depth={args.queue_depth}, session_ttl={args.session_ttl:g}s)",
+          flush=True)
+
+    # SIGTERM/SIGINT trigger a graceful drain from a helper thread —
+    # ThreadingHTTPServer.shutdown() must not run on the serve loop thread.
+    shutdown_threads = []
+
+    def _graceful(signum, _frame):
+        def _stop():
+            summary = server.shutdown_gracefully(drain_timeout=args.drain_timeout)
+            print(f"shutdown: drained={summary['drained']} "
+                  f"pools_closed={summary['pools_closed']}", flush=True)
+
+        thread = threading.Thread(target=_stop, name="repro-shutdown", daemon=True)
+        shutdown_threads.append(thread)
+        thread.start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    try:
+        server.serve_forever()
+    finally:
+        # serve_forever returns as soon as shutdown() lands; wait for the
+        # drain thread so the summary line is printed before we exit.
+        for thread in shutdown_threads:
+            thread.join(timeout=args.drain_timeout + 10.0)
+        server.server_close()
+        if not service.draining:
+            service.shutdown(drain_timeout=args.drain_timeout)
+    return 0
+
+
 def _command_datasets(_args: argparse.Namespace) -> int:
     records = [
         {
@@ -357,6 +450,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "plan": _command_plan,
         "explain": _command_explain,
         "datasets": _command_datasets,
+        "serve": _command_serve,
     }
     try:
         return handlers[args.command](args)

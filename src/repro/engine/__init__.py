@@ -18,6 +18,7 @@ from repro.engine.faults import (
     Deadline,
     FaultInjectedError,
     FaultSpec,
+    PoolClosedError,
     QueryTimeoutError,
     WorkerFailureError,
     inject_faults,
@@ -61,6 +62,7 @@ __all__ = [
     "PartitionPlan",
     "PartitionPlanner",
     "Planner",
+    "PoolClosedError",
     "PreparedQuery",
     "QueryEngine",
     "QueryTimeoutError",

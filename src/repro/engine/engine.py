@@ -333,27 +333,30 @@ class QueryEngine:
             "compile": compile,
             "timeout": _validated_timeout(timeout),
         }
-        plan_builds_before = self.database.plan_builds
-        resolved, selection = self._resolve_algorithm(query, algorithm, parameters)
-        spec = algorithm_spec(resolved)
-        spec.reject_unused(**parameters)
-        if selection is not None:
-            lines.append(selection.describe())
-        else:
-            lines.append(f"algorithm: {resolved} (explicit)")
-        plan_consulted = selection is not None
-        plan: Optional[ExecutionPlan] = None
-        if spec.needs_plan or selection is not None:
-            plan = self.plan(
-                query,
-                decomposition=decomposition,
-                variable_order=variable_order,
-                cache_capacity=cache_capacity,
-                policy=policy,
-            )
-            plan_consulted = plan_consulted or decomposition is None
-            lines.append("")
-            lines.append(plan.describe())
+        # The "newly planned vs cached" verdict reads this explain call's
+        # own scope, not a before/after diff of the global counter a
+        # concurrent execution may bump in between.
+        with self.database.execution_scope() as accounting:
+            resolved, selection = self._resolve_algorithm(query, algorithm, parameters)
+            spec = algorithm_spec(resolved)
+            spec.reject_unused(**parameters)
+            if selection is not None:
+                lines.append(selection.describe())
+            else:
+                lines.append(f"algorithm: {resolved} (explicit)")
+            plan_consulted = selection is not None
+            plan: Optional[ExecutionPlan] = None
+            if spec.needs_plan or selection is not None:
+                plan = self.plan(
+                    query,
+                    decomposition=decomposition,
+                    variable_order=variable_order,
+                    cache_capacity=cache_capacity,
+                    policy=policy,
+                )
+                plan_consulted = plan_consulted or decomposition is None
+                lines.append("")
+                lines.append(plan.describe())
         if resolved in ("clftj", "pclftj") and plan is not None:
             capacity = (
                 plan.cache_capacity
@@ -386,7 +389,7 @@ class QueryEngine:
             plan_state = "bypassed (explicit decomposition)"
         elif not plan_consulted:
             plan_state = "not planned (algorithm plans nothing)"
-        elif self.database.plan_builds > plan_builds_before:
+        elif accounting.get("plan_builds"):
             plan_state = "newly planned"
         else:
             plan_state = "cached"
@@ -569,7 +572,52 @@ class QueryEngine:
         selection: Optional[AlgorithmChoice] = None,
     ) -> ExecutionResult:
         """One execution through registry lookup, planning and the executor."""
-        before = self._cache_counters()
+        with self.database.execution_scope() as scope:
+            return self._execute_scoped(
+                query,
+                algorithm,
+                mode,
+                scope,
+                decomposition=decomposition,
+                variable_order=variable_order,
+                cache_capacity=cache_capacity,
+                policy=policy,
+                cache=cache,
+                parallel=parallel,
+                parallel_backend=parallel_backend,
+                parallel_mode=parallel_mode,
+                compile=compile,
+                timeout=timeout,
+                selection=selection,
+            )
+
+    def _execute_scoped(
+        self,
+        query: ConjunctiveQuery,
+        algorithm: str,
+        mode: str,
+        scope,
+        decomposition: Optional[TreeDecomposition] = None,
+        variable_order: Optional[Sequence[Variable]] = None,
+        cache_capacity: Optional[int] = None,
+        policy: Optional[CachePolicy] = None,
+        cache: Optional[AdhesionCache] = None,
+        parallel: Optional[object] = None,
+        parallel_backend: Optional[str] = None,
+        parallel_mode: Optional[str] = None,
+        compile: Optional[bool] = None,
+        timeout: Optional[float] = None,
+        selection: Optional[AlgorithmChoice] = None,
+    ) -> ExecutionResult:
+        """The body of :meth:`_execute`, accounting into ``scope``.
+
+        Every cache/build counter bump this execution causes — in this
+        thread, or in a pool worker thread running its morsels — is
+        recorded in ``scope``, so the per-run cache-delta metadata stays
+        correct under concurrent executions (before/after reads of the
+        global counters would attribute overlapping executions' builds to
+        each other).
+        """
         timeout = _validated_timeout(timeout)
         parameters: Dict[str, object] = {
             "decomposition": decomposition,
@@ -657,14 +705,18 @@ class QueryEngine:
                 parallel_mode=parallel_mode,
                 selector=self.selector,
                 compile=compile,
+                deadline=deadline,
             )
         )
-        # The cooperative deadline is a generic post-construction attribute:
-        # interpreted recursion, compiled drivers and the parallel scheduler
-        # all read ``executor.deadline`` (``reject_unused`` above guarantees
-        # the algorithm honours it whenever a timeout was passed).
-        if deadline is not None:
-            executor.deadline = deadline
+        # The cooperative deadline travels inside the request (factories
+        # that construct schedulers wire it at construction) and is then
+        # re-assigned UNCONDITIONALLY: interpreted recursion, compiled
+        # drivers and the parallel scheduler all read ``executor.deadline``,
+        # and overwriting — even with ``None`` — guarantees an executor can
+        # never inherit a previous execution's clock, concurrent or not
+        # (``reject_unused`` above guarantees the algorithm honours the
+        # deadline whenever a timeout was passed).
+        executor.deadline = deadline
         # Two-phase build/execute: compile (or cache-hit) the specialized
         # driver before the clock starts, so codegen cost never pollutes
         # measured runtimes — the compiled_builds metadata reports it.
@@ -697,7 +749,7 @@ class QueryEngine:
         elapsed = time.perf_counter() - started
 
         result = self._result(
-            query, label, value, elapsed, executor, plan, selection, before
+            query, label, value, elapsed, executor, plan, selection, scope
         )
         result.metadata["decodes"] = dictionary.decodes - decodes_before
         if degradations:
@@ -710,19 +762,6 @@ class QueryEngine:
             result.rows = rows
         return result
 
-    def _cache_counters(self) -> Tuple[int, ...]:
-        database = self.database
-        return (
-            database.index_builds,
-            database.index_cache_hits,
-            database.plan_builds,
-            database.plan_cache_hits,
-            database.index_patches,
-            database.index_compactions,
-            database.compiled_builds,
-            database.compiled_cache_hits,
-        )
-
     def _result(
         self,
         query: ConjunctiveQuery,
@@ -732,7 +771,7 @@ class QueryEngine:
         executor: Executor,
         plan: Optional[ExecutionPlan],
         selection: Optional[AlgorithmChoice],
-        counters_before: Tuple[int, int, int, int],
+        scope,
     ) -> ExecutionResult:
         metadata: Dict[str, object] = {}
         if plan is not None:
@@ -744,32 +783,22 @@ class QueryEngine:
             metadata["selector_costs"] = {
                 name: round(cost, 2) for name, cost in selection.costs.items()
             }
-        (
-            builds,
-            hits,
-            plan_builds,
-            plan_hits,
-            patches,
-            compactions,
-            compiled_builds,
-            compiled_hits,
-        ) = (
-            after - before
-            for after, before in zip(self._cache_counters(), counters_before)
-        )
-        metadata["index_builds"] = builds
-        metadata["index_cache_hits"] = hits
-        metadata["plan_builds"] = plan_builds
-        metadata["plan_cache_hits"] = plan_hits
-        metadata["compiled_builds"] = compiled_builds
-        metadata["compiled_cache_hits"] = compiled_hits
+        # Per-run cache deltas come from the execution's own accounting
+        # scope, never from diffing the global counters — concurrent
+        # executions would misattribute each other's builds otherwise.
+        metadata["index_builds"] = scope.get("index_builds")
+        metadata["index_cache_hits"] = scope.get("index_cache_hits")
+        metadata["plan_builds"] = scope.get("plan_builds")
+        metadata["plan_cache_hits"] = scope.get("plan_cache_hits")
+        metadata["compiled_builds"] = scope.get("compiled_builds")
+        metadata["compiled_cache_hits"] = scope.get("compiled_cache_hits")
         # Index mutations observed during this execution (an executor never
-        # mutates, but a caller interleaving updates sees them attributed to
-        # the run that noticed them).
-        if patches:
-            metadata["index_patches"] = patches
-        if compactions:
-            metadata["index_compactions"] = compactions
+        # mutates, but a caller interleaving updates on this thread sees
+        # them attributed to the run that noticed them).
+        if scope.get("index_patches"):
+            metadata["index_patches"] = scope.get("index_patches")
+        if scope.get("index_compactions"):
+            metadata["index_compactions"] = scope.get("index_compactions")
         return ExecutionResult(
             algorithm=algorithm,
             query_name=query.name,

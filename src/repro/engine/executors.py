@@ -41,6 +41,7 @@ from repro.core.cache import AdhesionCache
 from repro.core.clftj import CachedLeapfrogTrieJoin
 from repro.core.instrumentation import OperationCounter
 from repro.core.lftj import LeapfrogTrieJoin
+from repro.engine.faults import Deadline
 from repro.engine.planner import ExecutionPlan
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.terms import Variable
@@ -101,6 +102,13 @@ class ExecutorRequest:
     or ``"processes"``; ``parallel_mode`` picks ``"morsel"`` (default:
     over-partitioned ranges with work stealing and adaptive splitting) or
     ``"static"`` (one range per worker, PR 5's scheduling discipline).
+
+    ``deadline`` is this execution's cooperative deadline (or ``None``).
+    It travels in the request — not as a post-construction patch — so a
+    freshly built executor can never observe another execution's clock:
+    the engine assigns ``executor.deadline`` from the request
+    unconditionally, overwriting whatever a constructor (or a hypothetical
+    future executor cache) left there.
     """
 
     query: ConjunctiveQuery
@@ -114,6 +122,7 @@ class ExecutorRequest:
     parallel_mode: Optional[str] = None
     selector: Optional[object] = None
     compile: Optional[bool] = None
+    deadline: Optional[Deadline] = None
 
 
 @dataclass(frozen=True)
@@ -193,6 +202,7 @@ def _build_parallel(request: ExecutorRequest, inner: str) -> Executor:
         selector=request.selector,
         compile=request.compile,
         plan=request.plan,
+        deadline=request.deadline,
     )
 
 

@@ -51,6 +51,7 @@ __all__ = [
     "Deadline",
     "FaultInjectedError",
     "FaultSpec",
+    "PoolClosedError",
     "QueryTimeoutError",
     "WorkerFailureError",
     "FAULT_POINTS",
@@ -75,6 +76,19 @@ class WorkerFailureError(RuntimeError):
     def __init__(self, message: str, diagnostics: Optional[list] = None) -> None:
         super().__init__(message)
         self.diagnostics = list(diagnostics or [])
+
+
+class PoolClosedError(WorkerFailureError):
+    """A worker pool was closed out from under the caller.
+
+    Raised in two places: submitting a job to an already-closed pool, and
+    from ``run()`` when ``close()`` / ``Database.close_pools()`` in another
+    thread abandoned the in-flight job after its drain timeout.  A subclass
+    of :class:`WorkerFailureError` (itself a ``RuntimeError``), so callers
+    that handle pool failures generically keep working while concurrent
+    servers can distinguish "the service is shutting down" from a genuine
+    worker death and answer with a retryable status instead of an error.
+    """
 
 
 class QueryTimeoutError(RuntimeError):

@@ -711,6 +711,7 @@ class ParallelExecutor:
         catalog=None,
         compile: Optional[bool] = None,
         plan=None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         if inner not in PARALLEL_INNER_ALGORITHMS:
             raise ValueError(
@@ -791,10 +792,12 @@ class ParallelExecutor:
         self._partition_plan: Optional[PartitionPlan] = None
         self._backend_used = backend
         self._shard_stats: Optional[Dict[str, object]] = None
-        #: Cooperative deadline, set by the engine when ``timeout=`` was
-        #: given; checked at morsel boundaries by the pool and inside
-        #: morsels by the inner executors.
-        self.deadline: Optional[Deadline] = None
+        #: Cooperative deadline for THIS execution, passed at construction
+        #: (the engine also re-assigns it unconditionally from the
+        #: ``ExecutorRequest`` so a stale clock can never be inherited);
+        #: checked at morsel boundaries by the pool and inside morsels by
+        #: the inner executors.
+        self.deadline: Optional[Deadline] = deadline
 
     # ------------------------------------------------------------- execution
     def build(self) -> None:
@@ -936,6 +939,9 @@ class ParallelExecutor:
             min_split_span=max(2, MIN_MORSEL_KEYS),
             split_domain=split_domain,
             deadline=self.deadline,
+            # Thread workers adopt this execution's accounting scopes so
+            # worker-side cache hits land in the right result metadata.
+            scopes=self.database.active_scopes(),
         )
         pool = self.database.worker_pool(backend, workers)
         report = pool.run(job)

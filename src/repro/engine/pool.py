@@ -105,6 +105,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.faults import (
     Deadline,
+    PoolClosedError,
     QueryTimeoutError,
     WorkerFailureError,
     fault_point,
@@ -253,6 +254,13 @@ class MorselJob:
     split_domain: Optional[Tuple[int, int]] = None
     deadline: Optional[Deadline] = None
     max_retries: Optional[int] = None
+    #: The submitting execution's cache-accounting scopes
+    #: (:meth:`repro.storage.database.Database.active_scopes`).  Thread
+    #: workers adopt them around each morsel so worker-side index/driver
+    #: cache hits stay attributed to the execution that caused them.  Never
+    #: crosses the fork pipe (fork children bump copy-on-write counters the
+    #: parent never reads).
+    scopes: Optional[Sequence[object]] = None
 
 
 def _job_max_retries(job: MorselJob) -> int:
@@ -388,18 +396,22 @@ class WorkerPool:
         """True once :meth:`close` ran; a closed pool refuses new jobs."""
         return self._closed
 
-    def close(self) -> None:
+    def close(self, drain_timeout: float = 5.0) -> None:
         """Tear the workers down; idempotent and safe to call from atexit.
 
-        An in-flight job is drained first (bounded wait on the submit
-        lock), so closing a pool mid-query finishes the query rather than
-        corrupting it; only then are workers stopped.
+        An in-flight job is drained first (a wait on the submit lock
+        bounded by ``drain_timeout`` seconds), so closing a pool mid-query
+        finishes the query rather than corrupting it; only then are workers
+        stopped.  A job still in flight when the drain gives up is
+        abandoned: *its own* ``run()`` call raises
+        :class:`~repro.engine.faults.PoolClosedError` — ``close()`` itself
+        never raises and never hangs, whichever thread calls it.
         """
         with self._lifecycle_lock:
             if self._closed:
                 return
             self._closed = True
-            self._shutdown()
+            self._shutdown(drain_timeout)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -423,10 +435,10 @@ class WorkerPool:
         planner range order — regardless of scheduling.
         """
         if self._closed:
-            raise RuntimeError(f"{self!r} is closed")
+            raise PoolClosedError(f"{self!r} is closed")
         with self._submit_lock:
             if self._closed:
-                raise RuntimeError(f"{self!r} is closed")
+                raise PoolClosedError(f"{self!r} is closed")
             started = time.perf_counter()
             report = self._run_job(job)
             report.wall_seconds = time.perf_counter() - started
@@ -437,11 +449,12 @@ class WorkerPool:
     def _run_job(self, job: MorselJob) -> JobReport:
         raise NotImplementedError
 
-    def _shutdown(self) -> None:
+    def _shutdown(self, drain_timeout: float = 5.0) -> None:
         raise NotImplementedError
 
     def _drain_submit_lock(self, timeout: float = 5.0) -> bool:
         """Wait (bounded) for an in-flight job before teardown."""
+        timeout = max(0.0, float(timeout))
         acquired = self._submit_lock.acquire(timeout=timeout)
         if acquired:
             self._submit_lock.release()
@@ -554,7 +567,7 @@ class ThreadWorkerPool(WorkerPool):
                 self._state = None
                 self._cond.notify_all()
         if self._abandoned and not state.finished:
-            raise WorkerFailureError(
+            raise PoolClosedError(
                 "worker pool closed while a job was in flight"
             )
         if state.cancelled:
@@ -640,7 +653,8 @@ class ThreadWorkerPool(WorkerPool):
         started = time.perf_counter()
         try:
             fault_point("pool.before_morsel")
-            outcome = job.runner(self.database, job.spec, task)
+            with self.database.adopt_scopes(job.scopes):
+                outcome = job.runner(self.database, job.spec, task)
         except BaseException as error:  # noqa: BLE001 - reported to submitter
             key = (task.index, task.path)
             with self._cond:
@@ -698,8 +712,8 @@ class ThreadWorkerPool(WorkerPool):
             state.finished = True
             self._cond.notify_all()
 
-    def _shutdown(self) -> None:
-        if not self._drain_submit_lock():
+    def _shutdown(self, drain_timeout: float = 5.0) -> None:
+        if not self._drain_submit_lock(timeout=drain_timeout):
             self._abandoned = True
         with self._cond:
             self._closing = True
@@ -999,7 +1013,7 @@ class ForkWorkerPool(WorkerPool):
         silent_with_dead = 0
         while not tracker.done:
             if self._abandoned:
-                raise WorkerFailureError(
+                raise PoolClosedError(
                     "worker pool closed while a job was in flight"
                 )
             if job.deadline is not None and job.deadline.expired():
@@ -1257,11 +1271,11 @@ class ForkWorkerPool(WorkerPool):
         self._task_queue = None
         self._result_queue = None
 
-    def _shutdown(self) -> None:
-        if not self._drain_submit_lock():
+    def _shutdown(self, drain_timeout: float = 5.0) -> None:
+        if not self._drain_submit_lock(timeout=drain_timeout):
             # A failing job is still retrying; abandon it so close() (and
             # the atexit sweep) can never deadlock.  The job's collection
-            # loop notices the flag and raises WorkerFailureError cleanly.
+            # loop notices the flag and raises PoolClosedError cleanly.
             self._abandoned = True
         self._stop_workers()
 

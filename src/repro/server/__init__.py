@@ -1,0 +1,43 @@
+"""The query service layer: serve one shared database to many clients.
+
+Everything the PR 10 service needs lives in this package, layered so each
+piece is testable without sockets:
+
+* :mod:`repro.server.sessions` — token-keyed client sessions holding warm
+  :class:`~repro.engine.prepared.PreparedQuery` handles, TTL-evicted;
+* :mod:`repro.server.admission` — the admission controller bounding
+  concurrent executions (semaphore + bounded wait queue, typed shedding);
+* :mod:`repro.server.service` — :class:`QueryService`, the transport-free
+  core: owns the database, engine, sessions and admission, executes
+  requests and aggregates per-request metadata for reconciliation;
+* :mod:`repro.server.metrics` — Prometheus text exposition of the service,
+  database and pool counters;
+* :mod:`repro.server.http` — the stdlib threaded HTTP front-end
+  (``POST /count | /evaluate | /prepare | /explain``,
+  ``GET /metrics | /healthz``).
+"""
+
+from repro.server.admission import (
+    AdmissionController,
+    QueueFullError,
+    ServiceUnavailableError,
+)
+from repro.server.metrics import render_metrics
+from repro.server.service import QueryService, RequestError
+from repro.server.sessions import (
+    Session,
+    SessionManager,
+    SessionNotFoundError,
+)
+
+__all__ = [
+    "AdmissionController",
+    "QueryService",
+    "QueueFullError",
+    "RequestError",
+    "ServiceUnavailableError",
+    "Session",
+    "SessionManager",
+    "SessionNotFoundError",
+    "render_metrics",
+]

@@ -1,0 +1,205 @@
+"""Admission control: bound concurrent executions, shed overload loudly.
+
+The service runs every query through :meth:`AdmissionController.admit`:
+
+* up to ``max_concurrency`` executions run at once (a semaphore);
+* up to ``max_queue`` further requests *wait* for a slot, each bounded by
+  ``queue_timeout`` seconds;
+* anything beyond that — or a wait that times out — is shed immediately
+  with :class:`QueueFullError` (HTTP 429 + ``Retry-After``), never parked
+  unboundedly: a saturated service stays responsive and tells clients when
+  to come back;
+* once :meth:`AdmissionController.shutdown` ran, new requests get
+  :class:`ServiceUnavailableError` (HTTP 503) while in-flight executions
+  drain.
+
+The controller is transport-free and engine-free — plain threading — so it
+is unit-testable without sockets and reusable outside HTTP.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "AdmissionController",
+    "QueueFullError",
+    "ServiceUnavailableError",
+]
+
+
+class QueueFullError(RuntimeError):
+    """The service is saturated: no execution slot and no queue room.
+
+    ``retry_after`` is the controller's estimate (seconds) of when a retry
+    is likely to be admitted; the HTTP layer forwards it verbatim in a
+    ``Retry-After`` header with status 429.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceUnavailableError(RuntimeError):
+    """The service is shutting down (or degraded) and not admitting work.
+
+    Carries ``retry_after`` like :class:`QueueFullError`; maps to HTTP 503.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """Semaphore + bounded wait queue + typed shedding.
+
+    All counters are monotonic totals (Prometheus-friendly); ``active`` and
+    ``waiting`` are gauges read under the lock.
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 4,
+        max_queue: int = 16,
+        queue_timeout: float = 2.0,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if queue_timeout <= 0:
+            raise ValueError("queue_timeout must be positive")
+        self.max_concurrency = int(max_concurrency)
+        self.max_queue = int(max_queue)
+        self.queue_timeout = float(queue_timeout)
+        self.admitted_total = 0
+        self.rejected_queue_full_total = 0
+        self.rejected_timeout_total = 0
+        self.rejected_shutdown_total = 0
+        self.active = 0
+        self.waiting = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+
+    # -------------------------------------------------------------- admission
+    @contextmanager
+    def admit(self, timeout: Optional[float] = None) -> Iterator[None]:
+        """Hold one execution slot for the duration of the ``with`` body.
+
+        Raises :class:`QueueFullError` when the wait queue is full or the
+        (bounded) wait for a slot expires, :class:`ServiceUnavailableError`
+        once the controller is shut down.  Never blocks longer than
+        ``timeout`` (default: the controller's ``queue_timeout``).
+        """
+        self._acquire(self.queue_timeout if timeout is None else float(timeout))
+        try:
+            yield
+        finally:
+            self._release()
+
+    def _acquire(self, timeout: float) -> None:
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._lock:
+            if self._closed:
+                self.rejected_shutdown_total += 1
+                raise ServiceUnavailableError(
+                    "service is shutting down; not admitting new queries"
+                )
+            if self.active < self.max_concurrency:
+                self.active += 1
+                self.admitted_total += 1
+                return
+            if self.waiting >= self.max_queue:
+                self.rejected_queue_full_total += 1
+                raise QueueFullError(
+                    f"service saturated: {self.active} executions running and "
+                    f"{self.waiting} queued (max_concurrency="
+                    f"{self.max_concurrency}, max_queue={self.max_queue})",
+                    retry_after=self.retry_after_hint(),
+                )
+            self.waiting += 1
+            try:
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.rejected_timeout_total += 1
+                        raise QueueFullError(
+                            "timed out waiting for an execution slot "
+                            f"(queue_timeout={timeout:.6g}s)",
+                            retry_after=self.retry_after_hint(),
+                        )
+                    self._slot_freed.wait(timeout=remaining)
+                    if self._closed:
+                        self.rejected_shutdown_total += 1
+                        raise ServiceUnavailableError(
+                            "service is shutting down; not admitting new queries"
+                        )
+                    if self.active < self.max_concurrency:
+                        self.active += 1
+                        self.admitted_total += 1
+                        return
+            finally:
+                self.waiting -= 1
+
+    def _release(self) -> None:
+        with self._lock:
+            self.active -= 1
+            # notify_all, not notify: admission waiters and drain() waiters
+            # share this condition, and waking the wrong single one would
+            # stall the other kind.
+            self._slot_freed.notify_all()
+
+    # -------------------------------------------------------------- lifecycle
+    def shutdown(self) -> None:
+        """Stop admitting; wake every waiter so they fail fast (typed)."""
+        with self._lock:
+            self._closed = True
+            self._slot_freed.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait (bounded) until no execution is active; True when drained."""
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._lock:
+            while self.active > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._slot_freed.wait(timeout=remaining)
+            return True
+
+    # -------------------------------------------------------------- reporting
+    def retry_after_hint(self) -> float:
+        """A coarse client back-off hint in seconds.
+
+        Scales with how deep the queue is relative to concurrency: a barely
+        saturated service suggests a quick retry, a deeply queued one tells
+        clients to back off for the full queue window.  Deliberately
+        lock-free (single attribute reads are atomic) — it is called from
+        ``_acquire`` while the non-reentrant admission lock is held.
+        """
+        with_queue = self.waiting / max(1, self.max_concurrency)
+        return round(min(self.queue_timeout, 0.5 + with_queue), 3)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "max_concurrency": self.max_concurrency,
+                "max_queue": self.max_queue,
+                "active": self.active,
+                "waiting": self.waiting,
+                "admitted_total": self.admitted_total,
+                "rejected_queue_full_total": self.rejected_queue_full_total,
+                "rejected_timeout_total": self.rejected_timeout_total,
+                "rejected_shutdown_total": self.rejected_shutdown_total,
+                "closed": self._closed,
+            }

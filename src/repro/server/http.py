@@ -1,0 +1,222 @@
+"""The stdlib HTTP front-end: a thin, threaded shell around QueryService.
+
+No framework, no new dependency: :class:`http.server.ThreadingHTTPServer`
+gives one thread per connection, and all real concurrency control lives in
+the service's admission controller — the HTTP layer only translates.
+
+Routes (JSON bodies in, JSON out unless noted):
+
+==========================  =================================================
+``POST /count``             execute, return the count + per-request metadata
+``POST /evaluate``          execute, return (bounded) rows + metadata
+``POST /prepare``           bind a warm prepared handle into a session
+``POST /explain``           the engine's plan / selector / cache explanation
+``GET /metrics``            Prometheus text exposition (0.0.4)
+``GET /healthz``            200 while serving, 503 while draining
+==========================  =================================================
+
+The session token travels in the ``X-Repro-Session`` header or a
+``session`` body field (the header wins).  Error mapping is the service's
+documented table; 429/503 responses carry ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.engine.faults import QueryTimeoutError
+from repro.server.admission import QueueFullError, ServiceUnavailableError
+from repro.server.metrics import render_metrics
+from repro.server.service import QueryService, RequestError
+from repro.server.sessions import SessionNotFoundError
+
+__all__ = ["QueryHTTPServer", "create_server", "serve"]
+
+#: Refuse request bodies beyond this size (a service guard, not a limit a
+#: legitimate query needs: query text is short).
+MAX_BODY_BYTES = 1 << 20
+
+_POST_ROUTES = ("count", "evaluate", "prepare", "explain")
+
+
+class QueryHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service for its handlers."""
+
+    daemon_threads = True  # in-flight handler threads never block exit
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: QueryService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+    def shutdown_gracefully(self, drain_timeout: float = 10.0) -> Dict[str, object]:
+        """Stop accepting, drain the service, stop the serve loop.
+
+        Safe to call from a signal handler's deferred path or another
+        thread; idempotence is inherited from the service and pools.
+        """
+        summary = self.service.shutdown(drain_timeout=drain_timeout)
+        # shutdown() must not be called from the serve_forever thread;
+        # callers invoke this from a signal-triggered worker thread.
+        self.shutdown()
+        return summary
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Keep the default HTTP/1.1 keep-alive off: curl-per-request clients
+    # (the smoke test) and the acceptance harness both use one-shot
+    # connections, and closing eagerly keeps the thread count bounded.
+    protocol_version = "HTTP/1.0"
+    server: QueryHTTPServer
+
+    # ------------------------------------------------------------------ GET
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = render_metrics(self.server.service).encode("utf-8")
+            self._respond_raw(200, body, "text/plain; version=0.0.4; charset=utf-8")
+            return
+        if path == "/healthz":
+            ok, payload = self.server.service.healthz()
+            self._respond_json(200 if ok else 503, payload)
+            return
+        self._respond_json(404, {"error": f"unknown path {self.path!r}"})
+
+    # ----------------------------------------------------------------- POST
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        endpoint = self.path.split("?", 1)[0].strip("/")
+        if endpoint not in _POST_ROUTES:
+            self._respond_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        service = self.server.service
+        try:
+            payload = self._read_json()
+            header_token = self.headers.get("X-Repro-Session")
+            if header_token:
+                payload["session"] = header_token
+            handler = getattr(service, endpoint)
+            response = handler(payload)
+        except RequestError as error:
+            service.record_http_outcome(endpoint, 400)
+            self._respond_json(400, {"error": str(error)})
+        except SessionNotFoundError as error:
+            service.record_http_outcome(endpoint, 404)
+            self._respond_json(404, {"error": str(error)})
+        except QueryTimeoutError as error:
+            # the service recorded the 408 itself (it owns the timing)
+            self._respond_json(408, {"error": str(error)})
+        except QueueFullError as error:
+            service.record_http_outcome(endpoint, 429)
+            self._respond_json(
+                429,
+                {"error": str(error), "retry_after": error.retry_after},
+                extra_headers={"Retry-After": _retry_after(error.retry_after)},
+            )
+        except ServiceUnavailableError as error:
+            service.record_http_outcome(endpoint, 503)
+            self._respond_json(
+                503,
+                {"error": str(error), "retry_after": error.retry_after},
+                extra_headers={"Retry-After": _retry_after(error.retry_after)},
+            )
+        except ValueError as error:
+            # Engine-level parameter rejections (reject_unused etc.).
+            service.record_http_outcome(endpoint, 400)
+            self._respond_json(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            service.record_http_outcome(endpoint, 500)
+            self._respond_json(
+                500, {"error": f"internal error: {type(error).__name__}: {error}"}
+            )
+        else:
+            self._respond_json(200, response)
+
+    # ------------------------------------------------------------------ io
+    def _read_json(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise RequestError(
+                f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        return payload
+
+    def _respond_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._respond_raw(status, body, "application/json", extra_headers)
+
+    def _respond_raw(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for key, value in (extra_headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # the client went away; nothing sane to do
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # quiet by default; /metrics is the observability channel
+
+
+def _retry_after(seconds: float) -> str:
+    """Retry-After wants integer seconds; round up so 0.3 isn't 'now'."""
+    return str(max(1, int(seconds + 0.999)))
+
+
+def create_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 8707
+) -> QueryHTTPServer:
+    """Bind (but do not start) the HTTP server; ``port=0`` picks a free one."""
+    server = QueryHTTPServer((host, port), service)
+    return server
+
+
+def serve(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8707,
+    ready_callback=None,
+) -> QueryHTTPServer:
+    """Start a server on a daemon thread; returns it once accepting.
+
+    The caller owns shutdown (``server.shutdown_gracefully()``).  Used by
+    tests and embedders; the CLI runs the blocking loop itself.
+    """
+    server = create_server(service, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-http", daemon=True
+    )
+    thread.start()
+    # serve_forever polls; the socket is accepting as soon as it is bound
+    # (which __init__ already did), so a probe is enough to be deterministic.
+    with socket.create_connection(server.server_address, timeout=5):
+        pass
+    if ready_callback is not None:
+        ready_callback(server)
+    return server

@@ -1,0 +1,169 @@
+"""Per-client sessions: token-keyed prepared-query handles with TTL eviction.
+
+A session is how a remote client gets the plan-once/run-many workflow of
+:meth:`repro.engine.engine.QueryEngine.prepare` over HTTP: the first
+``/prepare`` (or any request carrying no token) mints an unguessable token,
+and subsequent requests presenting it re-execute through the session's warm
+:class:`~repro.engine.prepared.PreparedQuery` handles — plan-cache hits,
+zero index builds, and for CLFTJ a warm per-mode adhesion cache.
+
+Handles are keyed by a *fingerprint* of ``(query text, algorithm, sorted
+execution parameters)``, so a client repeating the same request keeps
+hitting the same warm handle while a changed parameter transparently
+prepares a fresh one.  Sessions idle longer than ``ttl_seconds`` are
+evicted lazily (on any manager access) — no reaper thread to leak.
+
+Thread-safety: the manager's own bookkeeping is guarded by one lock;
+per-session handle creation is guarded by the session's lock.  Executions
+on a handle are **not** serialised here — :class:`PreparedQuery` documents
+its own locking model and is safe to run from several threads.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from typing import Dict, Optional
+
+__all__ = ["Session", "SessionManager", "SessionNotFoundError"]
+
+
+class SessionNotFoundError(KeyError):
+    """An unknown or expired session token was presented.
+
+    Deliberately one error for both cases: distinguishing "never existed"
+    from "expired" would let a remote caller probe the token space.
+    """
+
+    def __init__(self, token: str) -> None:
+        super().__init__(token)
+        self.token = token
+
+    def __str__(self) -> str:
+        return (
+            f"unknown or expired session {self.token[:8]!r}...; "
+            "POST /prepare without a token to start a new session"
+        )
+
+
+class Session:
+    """One client's state: warm prepared handles plus usage bookkeeping."""
+
+    def __init__(self, token: str, now: float) -> None:
+        self.token = token
+        self.created_at = now
+        self.last_used = now
+        self.requests = 0
+        #: fingerprint -> PreparedQuery; handles carry the warm caches.
+        self.prepared: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def touch(self, now: float) -> None:
+        self.last_used = now
+        self.requests += 1
+
+    def prepared_handle(self, fingerprint: str, factory):
+        """The session's handle for ``fingerprint``, created once.
+
+        ``factory`` runs under the session lock, so two concurrent requests
+        with the same fingerprint share one handle instead of racing two
+        (the whole point: the warm adhesion caches must accumulate).
+        """
+        with self._lock:
+            handle = self.prepared.get(fingerprint)
+            if handle is None:
+                handle = factory()
+                self.prepared[fingerprint] = handle
+            return handle
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly session summary (no token — the caller has it)."""
+        return {
+            "requests": self.requests,
+            "prepared_queries": len(self.prepared),
+            "idle_seconds": max(0.0, time.monotonic() - self.last_used),
+        }
+
+
+class SessionManager:
+    """Create, resolve and TTL-evict sessions.
+
+    ``max_sessions`` bounds the total concurrently-live sessions; hitting
+    the bound evicts the least-recently-used session first (a slow client
+    loses its warm caches rather than the service growing without bound).
+    """
+
+    def __init__(self, ttl_seconds: float = 300.0, max_sessions: int = 256) -> None:
+        if ttl_seconds <= 0:
+            raise ValueError("session ttl_seconds must be positive")
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.ttl_seconds = float(ttl_seconds)
+        self.max_sessions = int(max_sessions)
+        self.created_total = 0
+        self.evicted_total = 0
+        self._sessions: Dict[str, Session] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- lifecycle
+    def create(self) -> Session:
+        """Mint a new session with an unguessable token."""
+        now = time.monotonic()
+        with self._lock:
+            self._evict_expired(now)
+            while len(self._sessions) >= self.max_sessions:
+                oldest = min(self._sessions.values(), key=lambda s: s.last_used)
+                del self._sessions[oldest.token]
+                self.evicted_total += 1
+            token = secrets.token_hex(16)
+            session = Session(token, now)
+            self._sessions[token] = session
+            self.created_total += 1
+            return session
+
+    def get(self, token: str) -> Session:
+        """Resolve ``token``; touches the session (its TTL restarts)."""
+        now = time.monotonic()
+        with self._lock:
+            self._evict_expired(now)
+            session = self._sessions.get(token)
+            if session is None:
+                raise SessionNotFoundError(token)
+            session.touch(now)
+            return session
+
+    def resolve(self, token: Optional[str]) -> Session:
+        """``get(token)``, or a fresh session when no token was presented."""
+        if token:
+            return self.get(token)
+        return self.create()
+
+    def _evict_expired(self, now: float) -> None:
+        # Called under self._lock.
+        expired = [
+            token
+            for token, session in self._sessions.items()
+            if now - session.last_used > self.ttl_seconds
+        ]
+        for token in expired:
+            del self._sessions[token]
+            self.evicted_total += 1
+
+    # ------------------------------------------------------------- reporting
+    def active(self) -> int:
+        with self._lock:
+            self._evict_expired(time.monotonic())
+            return len(self._sessions)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            self._evict_expired(time.monotonic())
+            return {
+                "active": len(self._sessions),
+                "created_total": self.created_total,
+                "evicted_total": self.evicted_total,
+                "prepared_handles": sum(
+                    len(session.prepared) for session in self._sessions.values()
+                ),
+            }

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import sys
 import threading
+from contextlib import contextmanager
 from typing import (
     Callable,
     Dict,
@@ -23,6 +24,51 @@ from repro.storage.trie import LsmTrieIndex
 
 #: A cached-index key: (index kind, relation name, view signature, column order).
 IndexKey = Tuple[str, str, Tuple[object, ...], Tuple[int, ...]]
+
+#: The cache/build counters an execution scope tracks (every name is also a
+#: plain attribute of :class:`Database`, so the global totals stay readable).
+SCOPED_COUNTERS: Tuple[str, ...] = (
+    "index_builds",
+    "index_cache_hits",
+    "index_patches",
+    "index_compactions",
+    "plan_builds",
+    "plan_cache_hits",
+    "compiled_builds",
+    "compiled_cache_hits",
+)
+
+
+class CacheCounterScope:
+    """Per-execution deltas of the database's cache/build counters.
+
+    Created by :meth:`Database.execution_scope`.  Every counter bump that
+    happens *on behalf of this execution* — in the thread that opened the
+    scope, or in a pool worker thread that adopted it for a morsel — is
+    recorded here in addition to the global counter.  Two concurrent
+    executions therefore never see each other's builds: before/after reads
+    of the global counters (the pre-PR-10 scheme) attributed anything that
+    happened to overlap in time.
+
+    ``record`` is only ever called under the database lock (all bumps
+    happen inside locked sections), so plain dict updates are safe.
+    """
+
+    __slots__ = ("_deltas",)
+
+    def __init__(self) -> None:
+        self._deltas: Dict[str, int] = {}
+
+    def record(self, name: str, amount: int) -> None:
+        self._deltas[name] = self._deltas.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """The delta recorded for counter ``name`` (0 when untouched)."""
+        return self._deltas.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """All recorded deltas keyed by counter name."""
+        return dict(self._deltas)
 
 
 def _rough_bytes(obj: object, depth: int = 4, seen: Optional[set] = None) -> int:
@@ -168,6 +214,11 @@ class Database:
         self.compaction_floor = compaction_floor
         #: Guards cache fills and mutations (see the locking model above).
         self._lock = threading.RLock()
+        #: Per-thread stacks of active :class:`CacheCounterScope` objects.
+        #: Thread-local so concurrent executions never observe each other's
+        #: bumps; pool worker threads adopt the submitting execution's
+        #: scopes for the duration of a morsel (see ``adopt_scopes``).
+        self._scope_stacks = threading.local()
         #: The shared, append-only value <-> int-code table all encoded
         #: indexes of this database draw from.  Shared across relations, so
         #: code equality means value equality across atoms.
@@ -211,6 +262,71 @@ class Database:
         self._pools: Dict[Tuple[str, int], object] = {}
         for relation in relations:
             self.add_relation(relation)
+
+    # ---------------------------------------------------- execution accounting
+    def _scope_stack(self) -> List["CacheCounterScope"]:
+        stack = getattr(self._scope_stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._scope_stacks.stack = stack
+        return stack
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        """Increment a global counter and every scope active on this thread.
+
+        Always called under ``self._lock`` (every bump site is a locked
+        cache fill or mutation), so scope recording needs no extra locking.
+        """
+        setattr(self, name, getattr(self, name) + amount)
+        stack = getattr(self._scope_stacks, "stack", None)
+        if stack:
+            for scope in stack:
+                scope.record(name, amount)
+
+    @contextmanager
+    def execution_scope(self) -> Iterator[CacheCounterScope]:
+        """Attribute this thread's counter bumps to a fresh scope.
+
+        The engine opens one scope per execution and reads the per-run
+        cache-delta metadata (``index_builds``, ``plan_cache_hits``, ...)
+        from it, instead of diffing the global counters — which two
+        concurrent executions would misattribute to each other.  Scopes
+        nest: an outer scope keeps recording while an inner one is active.
+        """
+        scope = CacheCounterScope()
+        stack = self._scope_stack()
+        stack.append(scope)
+        try:
+            yield scope
+        finally:
+            stack.remove(scope)
+
+    def active_scopes(self) -> Tuple["CacheCounterScope", ...]:
+        """The scopes active on the *calling* thread (for pool handoff)."""
+        return tuple(getattr(self._scope_stacks, "stack", None) or ())
+
+    @contextmanager
+    def adopt_scopes(
+        self, scopes: Optional[Sequence["CacheCounterScope"]]
+    ) -> Iterator[None]:
+        """Record this thread's bumps into ``scopes`` for the duration.
+
+        Used by pool worker threads running a morsel on behalf of another
+        thread's execution, so worker-side cache hits stay attributed to
+        the execution that caused them.  (Fork workers mutate copy-on-write
+        counter copies that never reach the parent; they have nothing to
+        adopt.)
+        """
+        if not scopes:
+            yield
+            return
+        stack = self._scope_stack()
+        stack.extend(scopes)
+        try:
+            yield
+        finally:
+            for scope in scopes:
+                stack.remove(scope)
 
     def add_relation(self, relation: Relation, replace: bool = False) -> None:
         """Register ``relation``; refuses to silently overwrite unless ``replace``.
@@ -347,7 +463,7 @@ class Database:
                 view_cache[signature] = views
             inserted, deleted = views
             apply_delta(inserted, deleted)
-            self.index_patches += 1
+            self._bump("index_patches")
 
     def deltas_since(self, name: str, version: int) -> Optional[List[DeltaBatch]]:
         """The effective batches applied to ``name`` after ``version``.
@@ -384,7 +500,7 @@ class Database:
                         del self._index_cache[key]
                     else:
                         compact()
-                        self.index_compactions += 1
+                        self._bump("index_compactions")
             return folded
 
     # -------------------------------------------------------------- encoding
@@ -447,9 +563,9 @@ class Database:
             if index is None:
                 index = build()
                 self._index_cache[key] = index
-                self.index_builds += 1
+                self._bump("index_builds")
             else:
-                self.index_cache_hits += 1
+                self._bump("index_cache_hits")
             return index
 
     def trie_index(self, relation_name: str, attribute_order: Sequence[int]) -> LsmTrieIndex:
@@ -514,12 +630,12 @@ class Database:
             entry = self._plan_cache.get(key)
             if entry is None:
                 entry = build()
-                self.plan_builds += 1
+                self._bump("plan_builds")
                 if cache_if is None or cache_if(entry):
                     self._plan_cache[key] = entry
                     self._plan_relations[key] = frozenset(relation_names)
             else:
-                self.plan_cache_hits += 1
+                self._bump("plan_cache_hits")
             return entry
 
     def clear_plan_cache(self) -> int:
@@ -556,11 +672,11 @@ class Database:
             entry = self._compiled_cache.get(key)
             if entry is None:
                 entry = build()
-                self.compiled_builds += 1
+                self._bump("compiled_builds")
                 self._compiled_cache[key] = entry
                 self._compiled_relations[key] = frozenset(relation_names)
             else:
-                self.compiled_cache_hits += 1
+                self._bump("compiled_cache_hits")
             return entry
 
     def has_compiled_driver(self, key: Hashable) -> bool:
@@ -623,12 +739,18 @@ class Database:
                 self._pools[key] = pool
             return pool
 
-    def close_pools(self) -> int:
+    def close_pools(self, drain_timeout: float = 5.0) -> int:
         """Close every worker pool owned by this database; returns the count.
 
-        Idempotent.  Forked workers are told to exit (and terminated after a
-        grace period); in-flight jobs drain first.  The database stays fully
-        usable — the next parallel query simply builds a fresh pool.
+        Idempotent and safe to call from any thread at any time.  Forked
+        workers are told to exit (and terminated after a grace period);
+        in-flight jobs drain first, each waited on for up to
+        ``drain_timeout`` seconds.  A job that outlives its drain window is
+        abandoned: the thread running it gets a typed
+        :class:`~repro.engine.faults.PoolClosedError` from its own call —
+        ``close_pools()`` itself never raises for that and never hangs.
+        The database stays fully usable — the next parallel query simply
+        builds a fresh pool.
         """
         with self._lock:
             pools = list(self._pools.values())
@@ -637,7 +759,7 @@ class Database:
         for pool in pools:
             if not pool.closed:
                 closed += 1
-            pool.close()
+            pool.close(drain_timeout=drain_timeout)
         return closed
 
     def __enter__(self) -> "Database":

@@ -28,6 +28,7 @@ import repro.engine.parallel as parallel_module
 import repro.engine.pool as pool_module
 from repro.core.instrumentation import OperationCounter
 from repro.engine import QueryEngine
+from repro.engine.faults import PoolClosedError
 from repro.engine.pool import (
     ForkWorkerPool,
     MorselJob,
@@ -230,8 +231,126 @@ class TestLifecycle:
         assert not runner.is_alive()
         assert pool.closed
         assert len(outcomes) == 1
-        with pytest.raises(RuntimeError, match="closed"):
+        with pytest.raises(PoolClosedError, match="closed"):
             pool.run(MorselJob(spec=0.0, runner=_sleepy_runner, tasks=_tasks(1)))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_close_races_many_submitting_threads(self, backend):
+        """Multi-threaded-caller close race: several threads submitting jobs
+        while another thread closes the pool.  Every submitter must resolve
+        — a complete report or a typed :class:`PoolClosedError` — and
+        nothing may hang or crash, whichever thread wins each race."""
+        database = _edge_database(name=f"pool-mt-close-{backend}")
+        pool = create_worker_pool(database, backend, 2)
+        outcomes = []
+        outcomes_lock = threading.Lock()
+        barrier = threading.Barrier(5)
+
+        def submitter():
+            barrier.wait(timeout=30)
+            for _ in range(6):
+                try:
+                    report = pool.run(
+                        MorselJob(spec=0.01, runner=_sleepy_runner, tasks=_tasks(2))
+                    )
+                    outcome = ("report", len(report.results))
+                except PoolClosedError as error:
+                    outcome = ("closed", str(error))
+                with outcomes_lock:
+                    outcomes.append(outcome)
+
+        def closer():
+            barrier.wait(timeout=30)
+            time.sleep(0.05)  # let a few jobs through first
+            pool.close(drain_timeout=10.0)
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        threads.append(threading.Thread(target=closer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "a close-race participant hung"
+        assert pool.closed
+        assert len(outcomes) == 24
+        kinds = {kind for kind, _ in outcomes}
+        assert kinds <= {"report", "closed"}
+        for kind, detail in outcomes:
+            if kind == "report":
+                assert detail == 2  # completed jobs are never truncated
+        # Each backend saw at least one job complete before the close won.
+        assert ("report", 2) in outcomes
+
+    def test_abandoned_in_flight_job_raises_pool_closed(self):
+        """A job that outlives ``drain_timeout`` is abandoned with the typed
+        error (not a hang, not a bare RuntimeError)."""
+        database = _edge_database(name="pool-abandon")
+        pool = ThreadWorkerPool(database, 2)
+        failures = []
+
+        def _run():
+            try:
+                pool.run(
+                    MorselJob(spec=1.0, runner=_sleepy_runner, tasks=_tasks(4))
+                )
+            except PoolClosedError as error:
+                failures.append(error)
+
+        runner = threading.Thread(target=_run)
+        runner.start()
+        time.sleep(0.05)  # the slow job is in flight now
+        pool.close(drain_timeout=0.05)  # give up draining almost immediately
+        runner.join(timeout=30)
+        assert not runner.is_alive()
+        assert pool.closed
+        assert len(failures) == 1
+        assert "in flight" in str(failures[0])
+
+    def test_close_pools_races_parallel_queries_from_other_threads(self):
+        """``Database.close_pools()`` racing engine-level parallel queries
+        from other threads: every query either completes correctly or
+        raises :class:`PoolClosedError`, and the database stays usable
+        (the next parallel query builds a fresh pool)."""
+        database = _edge_database(name="pool-db-close-race")
+        engine = QueryEngine(database)
+        query = cycle_query(3)
+        expected = engine.count(query, algorithm="lftj").count
+        barrier = threading.Barrier(4)
+        outcomes = []
+        outcomes_lock = threading.Lock()
+
+        def client():
+            barrier.wait(timeout=30)
+            for _ in range(8):
+                try:
+                    result = engine.count(query, algorithm="lftj", parallel=2)
+                    assert result.count == expected
+                    outcome = "ok"
+                except PoolClosedError:
+                    outcome = "closed"
+                with outcomes_lock:
+                    outcomes.append(outcome)
+
+        def closer():
+            barrier.wait(timeout=30)
+            for _ in range(5):
+                time.sleep(0.01)
+                database.close_pools(drain_timeout=10.0)
+
+        threads = [threading.Thread(target=client) for _ in range(3)]
+        threads.append(threading.Thread(target=closer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "a database close-race thread hung"
+        assert len(outcomes) == 24
+        assert set(outcomes) <= {"ok", "closed"}
+        assert "ok" in outcomes
+        # The database survives: a fresh pool serves the next query.
+        after = engine.count(query, algorithm="lftj", parallel=2)
+        assert after.count == expected
+        database.close_pools()
 
     def test_create_worker_pool_rejects_unknown_backend(self):
         database = _edge_database(name="pool-bad")

@@ -1,0 +1,620 @@
+"""The query service layer: sessions, admission, HTTP front-end, shutdown.
+
+Four suites plus the PR 10 acceptance test:
+
+* **Sessions** — token minting, TTL/LRU eviction, shared warm handles;
+* **Admission** — the concurrency bound, bounded queue, typed shedding,
+  drain, shutdown;
+* **Service** — transport-free request handling: correctness against the
+  brute-force oracle, payload validation, timeout clamping, warm prepared
+  handles, memory-pressure shedding, graceful shutdown;
+* **HTTP** — the stdlib front-end: routes, error mapping (400/404/408/
+  429/503 + Retry-After), session header, /metrics and /healthz;
+* **Acceptance** — 8 concurrent clients x 50 requests over one warm
+  database return results identical to the serial oracle, report zero
+  misattributed cache-delta metadata, and /metrics totals reconcile
+  exactly with the summed per-request metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine.faults import QueryTimeoutError
+from repro.server.admission import (
+    AdmissionController,
+    QueueFullError,
+    ServiceUnavailableError,
+)
+from repro.server.http import serve
+from repro.server.metrics import render_metrics
+from repro.server.service import QueryService, RequestError
+from repro.server.sessions import SessionManager, SessionNotFoundError
+from repro.storage.database import SCOPED_COUNTERS
+from repro.query.patterns import cycle_query, path_query
+
+from tests.conftest import brute_force_count, brute_force_evaluate, random_edge_database
+
+BUILD_COUNTERS = ("index_builds", "plan_builds", "compiled_builds")
+
+
+# ---------------------------------------------------------------------------
+# HTTP plumbing helpers (stdlib-only, mirror what real clients do).
+# ---------------------------------------------------------------------------
+
+
+def _post(base: str, path: str, payload: dict, headers: dict = None):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        body = error.read()
+        return error.code, json.loads(body) if body else {}, dict(error.headers)
+
+
+def _get(base: str, path: str):
+    try:
+        with urllib.request.urlopen(base + path, timeout=30) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+@pytest.fixture
+def service():
+    svc = QueryService(
+        random_edge_database(),
+        max_concurrency=8,
+        max_queue=64,
+        queue_timeout=30.0,
+    )
+    yield svc
+    if not svc.draining:
+        svc.shutdown(drain_timeout=5.0)
+
+
+@pytest.fixture
+def http_server(service):
+    server = serve(service, host="127.0.0.1", port=0)
+    host, port = server.server_address[:2]
+    yield service, f"http://{host}:{port}", server
+    server.shutdown()
+    server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# Sessions.
+# ---------------------------------------------------------------------------
+
+
+class TestSessions:
+    def test_tokens_are_unique_and_resolvable(self):
+        manager = SessionManager(ttl_seconds=60)
+        first, second = manager.create(), manager.create()
+        assert first.token != second.token
+        assert manager.get(first.token) is first
+        assert manager.stats()["active"] == 2
+
+    def test_unknown_token_raises_typed_error(self):
+        manager = SessionManager(ttl_seconds=60)
+        with pytest.raises(SessionNotFoundError):
+            manager.get("deadbeef" * 4)
+
+    def test_ttl_eviction(self, monkeypatch):
+        manager = SessionManager(ttl_seconds=10)
+        session = manager.create()
+        base = time.monotonic()
+        monkeypatch.setattr(time, "monotonic", lambda: base + 11.0)
+        with pytest.raises(SessionNotFoundError):
+            manager.get(session.token)
+        assert manager.stats()["active"] == 0
+        assert manager.evicted_total == 1
+
+    def test_lru_bound_evicts_oldest(self):
+        manager = SessionManager(ttl_seconds=60, max_sessions=2)
+        first = manager.create()
+        second = manager.create()
+        manager.get(first.token)  # touch: first is now more recent
+        third = manager.create()  # evicts second (least recently used)
+        assert manager.get(first.token) is first
+        assert manager.get(third.token) is third
+        with pytest.raises(SessionNotFoundError):
+            manager.get(second.token)
+
+    def test_prepared_handle_shared_under_races(self):
+        manager = SessionManager(ttl_seconds=60)
+        session = manager.create()
+        built = []
+
+        def factory():
+            built.append(object())
+            time.sleep(0.01)
+            return built[-1]
+
+        handles = []
+        threads = [
+            threading.Thread(
+                target=lambda: handles.append(
+                    session.prepared_handle("fp", factory)
+                )
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(built) == 1
+        assert all(handle is built[0] for handle in handles)
+
+
+# ---------------------------------------------------------------------------
+# Admission control.
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_bounds_concurrency(self):
+        controller = AdmissionController(max_concurrency=2, max_queue=8, queue_timeout=5)
+        peak = []
+        lock = threading.Lock()
+        active = [0]
+
+        def work():
+            with controller.admit():
+                with lock:
+                    active[0] += 1
+                    peak.append(active[0])
+                time.sleep(0.02)
+                with lock:
+                    active[0] -= 1
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert max(peak) <= 2
+        assert controller.admitted_total == 6
+
+    def test_queue_full_sheds_with_retry_after(self):
+        controller = AdmissionController(max_concurrency=1, max_queue=0, queue_timeout=1)
+        with controller.admit():
+            with pytest.raises(QueueFullError) as info:
+                with controller.admit():
+                    pass  # pragma: no cover - never admitted
+        assert info.value.retry_after > 0
+        assert controller.rejected_queue_full_total == 1
+
+    def test_wait_timeout_sheds(self):
+        controller = AdmissionController(
+            max_concurrency=1, max_queue=4, queue_timeout=0.05
+        )
+        with controller.admit():
+            started = time.monotonic()
+            with pytest.raises(QueueFullError, match="timed out"):
+                with controller.admit():
+                    pass  # pragma: no cover
+            assert time.monotonic() - started < 2.0
+        assert controller.rejected_timeout_total == 1
+
+    def test_shutdown_rejects_and_wakes_waiters(self):
+        controller = AdmissionController(max_concurrency=1, max_queue=4, queue_timeout=30)
+        release = threading.Event()
+        errors = []
+
+        def holder():
+            with controller.admit():
+                release.wait(timeout=30)
+
+        def waiter():
+            try:
+                with controller.admit():
+                    pass  # pragma: no cover
+            except (QueueFullError, ServiceUnavailableError) as error:
+                errors.append(error)
+
+        hold = threading.Thread(target=holder)
+        hold.start()
+        time.sleep(0.02)
+        wait = threading.Thread(target=waiter)
+        wait.start()
+        time.sleep(0.02)
+        controller.shutdown()
+        wait.join(timeout=10)
+        assert not wait.is_alive(), "shutdown must wake queued waiters"
+        release.set()
+        hold.join(timeout=10)
+        assert len(errors) == 1
+        assert isinstance(errors[0], ServiceUnavailableError)
+        with pytest.raises(ServiceUnavailableError):
+            with controller.admit():
+                pass  # pragma: no cover
+
+    def test_drain_waits_for_active(self):
+        controller = AdmissionController(max_concurrency=2, max_queue=2, queue_timeout=5)
+        release = threading.Event()
+
+        def holder():
+            with controller.admit():
+                release.wait(timeout=30)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        time.sleep(0.02)
+        assert controller.drain(timeout=0.05) is False
+        release.set()
+        assert controller.drain(timeout=10) is True
+        thread.join(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# The transport-free service.
+# ---------------------------------------------------------------------------
+
+
+class TestService:
+    def test_count_matches_oracle(self, service):
+        expected = brute_force_count(cycle_query(3), service.database)
+        response = service.count({"query": "3-cycle"})
+        assert response["count"] == expected
+        assert response["algorithm"] == "clftj"
+        assert "metadata" in response
+
+    def test_evaluate_rows_match_oracle(self, service):
+        query = path_query(3)
+        expected = brute_force_evaluate(query, service.database)
+        response = service.evaluate({"query": "3-path", "algorithm": "lftj"})
+        assert response["count"] == len(expected)
+        assert {tuple(row) for row in response["rows"]} == expected
+        assert response["rows_truncated"] is False
+
+    def test_evaluate_truncates_rows(self, service):
+        response = service.evaluate({"query": "3-path", "max_rows": 5})
+        assert len(response["rows"]) == 5
+        assert response["rows_truncated"] is True
+        assert response["count"] > 5  # the count stays exact
+
+    def test_bad_payloads_raise_request_error(self, service):
+        for payload in (
+            {},
+            {"query": ""},
+            {"query": 7},
+            {"query": "3-cycle", "timeout": "fast"},
+            {"query": "3-cycle", "timeout": -1},
+            {"query": "3-cycle", "parallel": -2},
+            {"query": "3-cycle", "cache_capacity": -1},
+            {"query": "3-cycle", "surprise": True},
+            {"query": "totally unparseable ~~~"},
+        ):
+            with pytest.raises(RequestError):
+                service.count(payload)
+
+    def test_engine_parameter_rejections_surface(self, service):
+        # reject_unused: pairwise does not honour timeout.
+        with pytest.raises(ValueError, match="does not use"):
+            service.count({"query": "3-cycle", "algorithm": "pairwise", "timeout": 5})
+
+    def test_timeout_is_clamped_to_max(self):
+        svc = QueryService(random_edge_database(), max_timeout=0.5)
+        _, parameters = svc._parse({"query": "3-cycle", "timeout": 10_000})
+        assert parameters["timeout"] == 0.5
+
+    def test_expired_timeout_maps_to_query_timeout(self, service):
+        with pytest.raises(QueryTimeoutError):
+            service.count({"query": "3-cycle", "timeout": 1e-9})
+        # and the request ledger recorded the 408
+        assert service.stats()["requests_total"][("count", 408)] == 1
+
+    def test_prepare_then_warm_session_runs(self, service):
+        prep = service.prepare({"query": "3-cycle", "algorithm": "clftj"})
+        token = prep["session"]
+        first = service.count({"query": "3-cycle", "algorithm": "clftj", "session": token})
+        second = service.count({"query": "3-cycle", "algorithm": "clftj", "session": token})
+        assert first["count"] == second["count"]
+        for key in BUILD_COUNTERS:
+            assert second["metadata"][key] == 0, (key, second["metadata"])
+        assert second["metadata"]["prepared_executions"] == 2
+        assert service.sessions.stats()["prepared_handles"] == 1
+
+    def test_unknown_session_token_raises(self, service):
+        with pytest.raises(SessionNotFoundError):
+            service.count({"query": "3-cycle", "session": "no-such-token"})
+
+    def test_memory_pressure_sheds_503(self):
+        database = random_edge_database()
+        service = QueryService(database)
+        service.count({"query": "3-cycle"})  # build caches -> nonzero footprint
+        database.memory_budget_bytes = 1  # everything is now over budget
+        with pytest.raises(ServiceUnavailableError, match="memory budget"):
+            service.count({"query": "3-cycle"})
+
+    def test_graceful_shutdown_drains_and_closes_pools(self):
+        service = QueryService(random_edge_database(), max_concurrency=2)
+        service.count({"query": "3-cycle", "parallel": 2})  # spin up a pool
+        summary = service.shutdown(drain_timeout=5.0)
+        assert summary["drained"] is True
+        assert summary["pools_closed"] == 1
+        with pytest.raises(ServiceUnavailableError):
+            service.count({"query": "3-cycle"})
+        ok, body = service.healthz()
+        assert ok is False and body["status"] == "draining"
+
+    def test_metrics_render_parses_as_prometheus_text(self, service):
+        service.count({"query": "3-cycle"})
+        text = render_metrics(service)
+        lines = [line for line in text.splitlines() if line]
+        samples = 0
+        for line in lines:
+            if line.startswith("# HELP") or line.startswith("# TYPE"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            float(value)  # every sample value must be numeric
+            assert name.startswith("repro_")
+            samples += 1
+        assert samples > 20
+        assert "repro_query_index_builds_total" in text
+        assert 'repro_requests_total{endpoint="count",status="200"} 1' in text
+
+
+# ---------------------------------------------------------------------------
+# The HTTP front-end.
+# ---------------------------------------------------------------------------
+
+
+class TestHTTP:
+    def test_count_roundtrip(self, http_server):
+        service, base, _ = http_server
+        expected = brute_force_count(cycle_query(3), service.database)
+        status, body, _ = _post(base, "/count", {"query": "3-cycle"})
+        assert status == 200
+        assert body["count"] == expected
+
+    def test_session_header_binds_warm_handle(self, http_server):
+        _, base, _ = http_server
+        status, prep, _ = _post(base, "/prepare", {"query": "4-path"})
+        assert status == 200
+        token = prep["session"]
+        headers = {"X-Repro-Session": token}
+        status, first, _ = _post(base, "/count", {"query": "4-path"}, headers)
+        status, second, _ = _post(base, "/count", {"query": "4-path"}, headers)
+        assert first["count"] == second["count"]
+        assert second["session"] == token
+        for key in BUILD_COUNTERS:
+            assert second["metadata"][key] == 0
+
+    def test_error_mapping(self, http_server):
+        _, base, _ = http_server
+        status, body, _ = _post(base, "/count", {"query": ""})
+        assert status == 400 and "query" in body["error"]
+        status, body, _ = _post(base, "/count", {"query": "3-cycle", "timeout": 1e-9})
+        assert status == 408 and "timeout" in body["error"]
+        status, body, _ = _post(
+            base, "/count", {"query": "3-cycle"}, {"X-Repro-Session": "bogus"}
+        )
+        assert status == 404 and "session" in body["error"]
+        status, body, _ = _post(base, "/nonsense", {"query": "3-cycle"})
+        assert status == 404
+
+    def test_invalid_json_is_400(self, http_server):
+        _, base, _ = http_server
+        request = urllib.request.Request(
+            base + "/count", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_healthz_and_metrics(self, http_server):
+        _, base, _ = http_server
+        status, body = _get(base, "/healthz")
+        assert status == 200 and json.loads(body)["status"] == "ok"
+        _post(base, "/count", {"query": "3-cycle"})
+        status, text = _get(base, "/metrics")
+        assert status == 200
+        assert "repro_db_index_builds_total" in text
+        assert 'repro_requests_total{endpoint="count",status="200"}' in text
+
+    def test_saturation_returns_429_with_retry_after(self):
+        service = QueryService(
+            random_edge_database(),
+            max_concurrency=1,
+            max_queue=0,
+            queue_timeout=0.2,
+        )
+        server = serve(service, port=0)
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            # Hold the only execution slot directly, then request over HTTP.
+            with service.admission.admit():
+                status, body, headers = _post(base, "/count", {"query": "3-cycle"})
+                assert status == 429
+                assert "Retry-After" in headers
+                assert int(headers["Retry-After"]) >= 1
+                assert "saturated" in body["error"] or "timed out" in body["error"]
+            # Slot free again: the same request succeeds.
+            status, body, _ = _post(base, "/count", {"query": "3-cycle"})
+            assert status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown(drain_timeout=2.0)
+
+    def test_graceful_shutdown_then_503(self, http_server):
+        service, base, server = http_server
+        _post(base, "/count", {"query": "3-cycle"})
+        summary = server.shutdown_gracefully(drain_timeout=5.0)
+        assert summary["drained"] is True
+        # The serve loop has stopped; the service itself now refuses work.
+        with pytest.raises(ServiceUnavailableError):
+            service.count({"query": "3-cycle"})
+
+
+# ---------------------------------------------------------------------------
+# The CLI entry point, end to end in a subprocess.
+# ---------------------------------------------------------------------------
+
+
+class TestServeCLI:
+    def test_serve_boot_query_sigterm(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        edges = tmp_path / "tiny.txt"
+        edges.write_text(
+            "# tiny directed cycle + chords\n"
+            + "\n".join(f"{u} {v}" for u, v in
+                        [(i, (i + 1) % 8) for i in range(8)]
+                        + [(i, (i + 3) % 8) for i in range(8)]
+                        + [(2, 0), (5, 3)])  # close two directed triangles
+            + "\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--dataset", str(edges), "--port", "0",
+             "--max-concurrency", "2", "--drain-timeout", "5"],
+            cwd="/root/repo",
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "serving" in banner and "http://" in banner, banner
+            base = "http://" + banner.split("http://", 1)[1].split(" ", 1)[0]
+            status, body, _ = _post(base, "/count", {"query": "3-cycle"})
+            assert status == 200 and body["count"] > 0
+            status, text = _get(base, "/metrics")
+            assert status == 200 and "repro_queries_total 1" in text
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=30)
+            assert code == 0
+            tail = process.stdout.read()
+            assert "shutdown: drained=True" in tail, tail
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup on failure
+                process.kill()
+                process.wait(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# PR 10 acceptance: concurrent clients over one warm database.
+# ---------------------------------------------------------------------------
+
+
+class TestAcceptance:
+    NUM_CLIENTS = 8
+    REQUESTS_PER_CLIENT = 50
+
+    def test_eight_concurrent_clients_reconcile(self, http_server):
+        service, base, _ = http_server
+        database = service.database
+
+        workload = [
+            {"query": "3-cycle", "algorithm": "clftj"},
+            {"query": "3-cycle", "algorithm": "lftj"},
+            {"query": "3-path", "algorithm": "generic_join"},
+            {"query": "4-path", "algorithm": "clftj"},
+            {"query": "4-cycle", "algorithm": "lftj"},
+            {"query": "3-path", "algorithm": "lftj"},
+            {"query": "4-path", "algorithm": "lftj"},
+            {"query": "3-cycle", "algorithm": "pclftj", "parallel": 2},
+        ]
+        metadata_sums = {name: 0 for name in SCOPED_COUNTERS}
+        sums_lock = threading.Lock()
+
+        def absorb(metadata):
+            with sums_lock:
+                for name in SCOPED_COUNTERS:
+                    value = metadata.get(name)
+                    if isinstance(value, int):
+                        metadata_sums[name] += value
+
+        # Serial warmup: one pass per workload item records the oracle
+        # answer and pays every build exactly once.
+        serial = []
+        for item in workload:
+            status, body, _ = _post(base, "/evaluate", dict(item))
+            assert status == 200
+            absorb(body["metadata"])
+            serial.append((body["count"], body["rows"]))
+
+        barrier = threading.Barrier(self.NUM_CLIENTS)
+        failures = []
+
+        def client(index):
+            item = workload[index % len(workload)]
+            expected_count, expected_rows = serial[index % len(workload)]
+            token = None
+            if index % 2 == 0:  # half the clients pin a session
+                status, prep, _ = _post(base, "/prepare", dict(item))
+                assert status == 200
+                token = prep["session"]
+            headers = {"X-Repro-Session": token} if token else {}
+            barrier.wait(timeout=60)
+            for _ in range(self.REQUESTS_PER_CLIENT):
+                status, body, _ = _post(base, "/evaluate", dict(item), headers)
+                if status != 200:
+                    failures.append((index, status, body))
+                    return
+                absorb(body["metadata"])
+                # Identical to the serial oracle, byte for byte.
+                if body["count"] != expected_count or body["rows"] != expected_rows:
+                    failures.append((index, "mismatch", body["count"]))
+                    return
+                # Zero misattributed builds: the database is warm, so any
+                # nonzero build delta here was stolen from another client.
+                for key in BUILD_COUNTERS:
+                    if body["metadata"][key] != 0:
+                        failures.append((index, "misattributed", key, body["metadata"]))
+                        return
+
+        threads = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(self.NUM_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+            assert not thread.is_alive(), "an acceptance client hung"
+        assert failures == []
+
+        # /metrics reconciles exactly with the summed per-request metadata.
+        status, text = _get(base, "/metrics")
+        assert status == 200
+        exposed = {}
+        for line in text.splitlines():
+            if line.startswith("repro_query_") and not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                counter = name[len("repro_query_"):-len("_total")]
+                if counter in SCOPED_COUNTERS:
+                    exposed[counter] = int(value)
+        for name in SCOPED_COUNTERS:
+            assert exposed[name] == metadata_sums[name], (
+                name,
+                exposed[name],
+                metadata_sums[name],
+            )
+        # And nothing global is unaccounted for: every build the database
+        # performed belongs to exactly one served request.
+        for name in BUILD_COUNTERS:
+            assert getattr(database, name) == metadata_sums[name], name
